@@ -1,0 +1,37 @@
+//! Criterion bench: end-to-end JigSaw pipeline overhead on a small
+//! benchmark (framework cost beyond raw trial execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jigsaw_circuit::bench::ghz;
+use jigsaw_compiler::CompilerOptions;
+use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_device::Device;
+use jigsaw_sim::RunConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let device = Device::toronto();
+    let bench = ghz(6);
+    let compiler = CompilerOptions { max_seeds: 4, ..CompilerOptions::default() };
+    let mut group = c.benchmark_group("pipeline_ghz6_1k_trials");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            run_baseline(bench.circuit(), &device, 1024, 1, &RunConfig::default(), &compiler)
+        });
+    });
+
+    let jig = JigsawConfig { compiler, ..JigsawConfig::jigsaw(1024) };
+    group.bench_function("jigsaw", |b| {
+        b.iter(|| run_jigsaw(bench.circuit(), &device, &jig));
+    });
+
+    let jm = JigsawConfig { subset_sizes: vec![2, 3, 4, 5], ..jig.clone() };
+    group.bench_function("jigsaw_m", |b| {
+        b.iter(|| run_jigsaw(bench.circuit(), &device, &jm));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: PMF primitive throughput (projection, marginalisation,
+//! normalisation, merge) — the inner loops of Bayesian reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jigsaw_pmf::{BitString, Pmf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n_bits: usize, entries: usize, seed: u64) -> Pmf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Pmf::new(n_bits);
+    while p.support_size() < entries {
+        let mut b = BitString::zeros(n_bits);
+        for i in 0..n_bits {
+            if rng.gen::<bool>() {
+                b.set_bit(i, true);
+            }
+        }
+        p.add(b, rng.gen::<f64>() + 1e-3);
+    }
+    p.normalize();
+    p
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let p = synthetic(30, 4_000, 1);
+    let q = synthetic(30, 4_000, 2);
+    let mut group = c.benchmark_group("pmf_ops_4k_entries");
+    group.sample_size(20);
+
+    group.bench_function("marginal_2q", |b| {
+        b.iter(|| p.marginal(&[3, 17]));
+    });
+    group.bench_function("normalize", |b| {
+        b.iter(|| p.normalized());
+    });
+    group.bench_function("add_scaled", |b| {
+        b.iter(|| {
+            let mut acc = p.clone();
+            acc.add_scaled(&q, 0.5);
+            acc
+        });
+    });
+    group.bench_function("tvd", |b| {
+        b.iter(|| jigsaw_pmf::metrics::tvd(&p, &q));
+    });
+    group.bench_function("hellinger", |b| {
+        b.iter(|| jigsaw_pmf::metrics::hellinger(&p, &q));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

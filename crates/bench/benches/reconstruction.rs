@@ -1,0 +1,70 @@
+//! Criterion bench: Bayesian reconstruction scales linearly in global-PMF
+//! entries and in CPM count (the Table 7 / §7.3 performance claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::{reconstruction_round, Marginal};
+use jigsaw_pmf::{BitString, Pmf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_global(n_bits: usize, entries: usize, rng: &mut StdRng) -> Pmf {
+    let mut p = Pmf::new(n_bits);
+    while p.support_size() < entries {
+        let mut b = BitString::zeros(n_bits);
+        for i in 0..n_bits {
+            if rng.gen::<bool>() {
+                b.set_bit(i, true);
+            }
+        }
+        p.add(b, rng.gen::<f64>() + 1e-3);
+    }
+    p.normalize();
+    p
+}
+
+fn synthetic_marginals(n_bits: usize, count: usize, rng: &mut StdRng) -> Vec<Marginal> {
+    (0..count)
+        .map(|i| {
+            let a = i % n_bits;
+            let b = (i + 1) % n_bits;
+            let qubits = vec![a.min(b), a.max(b)];
+            let mut pmf = Pmf::new(2);
+            for v in 0..4u64 {
+                pmf.set(BitString::from_u64(v, 2), rng.gen::<f64>() + 1e-3);
+            }
+            pmf.normalize();
+            Marginal::new(qubits, pmf)
+        })
+        .collect()
+}
+
+fn bench_entries(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("reconstruction_vs_entries");
+    group.sample_size(10);
+    for entries in [1_000usize, 4_000, 16_000] {
+        let p = synthetic_global(30, entries, &mut rng);
+        let ms = synthetic_marginals(30, 20, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| reconstruction_round(&p, &ms));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpms(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = synthetic_global(30, 4_000, &mut rng);
+    let mut group = c.benchmark_group("reconstruction_vs_cpms");
+    group.sample_size(10);
+    for cpms in [5usize, 20, 80] {
+        let ms = synthetic_marginals(30, cpms, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(cpms), &cpms, |b, _| {
+            b.iter(|| reconstruction_round(&p, &ms));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entries, bench_cpms);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: noise-aware compilation latency (the paper leans on
+//! SABRE's low latency for per-CPM recompilation, §4.2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jigsaw_circuit::bench::{ghz, qaoa_maxcut};
+use jigsaw_compiler::cpm::recompile_cpm;
+use jigsaw_compiler::{compile, CompilerOptions};
+use jigsaw_device::Device;
+
+fn bench_compile(c: &mut Criterion) {
+    let device = Device::toronto();
+    let options = CompilerOptions::default();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+
+    let mut ghz12 = ghz(12).circuit().clone();
+    ghz12.measure_all();
+    group.bench_function("ghz12_toronto", |b| {
+        b.iter(|| compile(&ghz12, &device, &options));
+    });
+
+    let mut qaoa12 = qaoa_maxcut(12, 2).circuit().clone();
+    qaoa12.measure_all();
+    group.bench_function("qaoa12p2_toronto", |b| {
+        b.iter(|| compile(&qaoa12, &device, &options));
+    });
+
+    let manhattan = Device::manhattan();
+    let mut ghz18 = ghz(18).circuit().clone();
+    ghz18.measure_all();
+    group.bench_function("ghz18_manhattan", |b| {
+        b.iter(|| compile(&ghz18, &manhattan, &options));
+    });
+    group.finish();
+}
+
+fn bench_cpm_recompile(c: &mut Criterion) {
+    let device = Device::toronto();
+    let options = CompilerOptions::default();
+    let program = qaoa_maxcut(10, 1).circuit().clone();
+    let mut group = c.benchmark_group("cpm_recompile");
+    group.sample_size(10);
+    group.bench_function("qaoa10_size2_cpm", |b| {
+        b.iter(|| recompile_cpm(&program, &[3, 4], &device, &options));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_cpm_recompile);
+criterion_main!(benches);

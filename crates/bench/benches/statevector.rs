@@ -1,0 +1,54 @@
+//! Criterion bench: state-vector gate throughput versus register width
+//! (substrate sanity — the executor's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_circuit::Gate;
+use jigsaw_sim::StateVector;
+
+fn ghz_gates(n: usize) -> Vec<Gate> {
+    let mut gates = vec![Gate::H(0)];
+    for q in 0..n - 1 {
+        gates.push(Gate::Cx(q, q + 1));
+    }
+    for q in 0..n {
+        gates.push(Gate::Rz(q, 0.3));
+    }
+    gates
+}
+
+fn bench_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_ghz_layer");
+    group.sample_size(10);
+    for n in [10usize, 16, 20] {
+        let gates = ghz_gates(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sv = StateVector::new(n);
+                sv.apply_all(&gates);
+                sv.probability(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_sampling");
+    group.sample_size(10);
+    let n = 16;
+    let mut sv = StateVector::new(n);
+    sv.apply_all(&ghz_gates(n));
+    let cdf = sv.cumulative();
+    group.bench_function("sample_1k_from_cdf", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..1000).map(|_| sv.sample_from_cdf(&cdf, &mut rng)).count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_widths, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: the global/subset trial split (paper §5.4 uses ½ for
+//! simplicity and notes the split can be tuned when trials are scarce).
+//!
+//! Sweeps the global fraction on GHZ-10 and QAOA-10 and reports JigSaw's
+//! relative PST per split.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin abl_split -- [--trials 8192]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::harness_compiler;
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{ghz, qaoa_maxcut};
+use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics;
+use jigsaw_sim::{resolve_correct_set, RunConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(8192);
+    let seed = args.seed();
+    let device = Device::toronto();
+    let compiler = harness_compiler();
+
+    println!("Ablation — global/subset trial split (trials {trials}, seed {seed}, {})", device.name());
+    println!();
+
+    let mut rows = Vec::new();
+    for bench in [ghz(10), qaoa_maxcut(10, 1)] {
+        let correct = resolve_correct_set(&bench);
+        let baseline =
+            run_baseline(bench.circuit(), &device, trials, seed, &RunConfig::default(), &compiler);
+        let base_pst = metrics::pst(&baseline, &correct);
+        for fraction in [0.125, 0.25, 0.5, 0.75, 0.875] {
+            let cfg = JigsawConfig {
+                global_fraction: fraction,
+                compiler,
+                ..JigsawConfig::jigsaw(trials)
+            }
+            .with_seed(seed);
+            let result = run_jigsaw(bench.circuit(), &device, &cfg);
+            let rel = metrics::pst(&result.output, &correct) / base_pst;
+            rows.push(vec![
+                bench.name().to_string(),
+                format!("{fraction:.3}"),
+                table::num(rel),
+            ]);
+        }
+    }
+    println!("{}", table::render(&["Benchmark", "Global fraction", "Relative PST"], &rows));
+    println!("Expected shape: broad plateau around the paper's default 0.5.");
+}

@@ -1,0 +1,82 @@
+//! Ablation: the fidelity-vs-correlation trade-off of the CPM subset size
+//! (paper §4.4's motivation for JigSaw-M).
+//!
+//! Runs single-size JigSaw at s = 2..6 on GHZ-12 and reports relative PST
+//! plus the average local-PMF fidelity per size.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin abl_subset_size -- [--trials 8192]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::harness_compiler;
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::ghz;
+use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_device::Device;
+use jigsaw_pmf::{metrics, Pmf};
+use jigsaw_sim::{ideal_pmf, resolve_correct_set, RunConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(8192);
+    let seed = args.seed();
+    let device = Device::toronto();
+    let bench = ghz(12);
+    let correct = resolve_correct_set(&bench);
+    let compiler = harness_compiler();
+
+    let baseline = run_baseline(
+        bench.circuit(),
+        &device,
+        trials,
+        seed,
+        &RunConfig::default(),
+        &compiler,
+    );
+    let base_pst = metrics::pst(&baseline, &correct);
+
+    println!("Ablation — CPM subset size, GHZ-12 on {} (trials {trials}, seed {seed})", device.name());
+    println!("Baseline PST: {base_pst:.4}");
+    println!();
+
+    let mut rows = Vec::new();
+    for size in 2..=6usize {
+        eprintln!("[abl_subset_size] s = {size} ...");
+        let cfg = JigsawConfig {
+            subset_sizes: vec![size],
+            compiler,
+            ..JigsawConfig::jigsaw(trials)
+        }
+        .with_seed(seed);
+        let result = run_jigsaw(bench.circuit(), &device, &cfg);
+        let rel = metrics::pst(&result.output, &correct) / base_pst;
+
+        // Average local-PMF fidelity against each subset's ideal marginal.
+        let mut ideal_circuit = bench.circuit().clone();
+        ideal_circuit.measure_all();
+        let ideal: Pmf = ideal_pmf(&ideal_circuit);
+        let mean_local_fidelity: f64 = result
+            .marginals
+            .iter()
+            .map(|m| metrics::fidelity(&ideal.marginal(&m.qubits), &m.pmf))
+            .sum::<f64>()
+            / result.marginals.len() as f64;
+
+        rows.push(vec![
+            size.to_string(),
+            result.marginals.len().to_string(),
+            format!("{mean_local_fidelity:.4}"),
+            table::num(rel),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Subset size s", "CPMs", "Mean local fidelity", "Relative PST"],
+            &rows
+        )
+    );
+    println!("Expected shape: local fidelity falls as s grows (more measurements),");
+    println!("while captured correlation rises — the JigSaw-M trade-off.");
+}

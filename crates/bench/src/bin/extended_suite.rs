@@ -1,0 +1,68 @@
+//! Extended evaluation: JigSaw on workload families *beyond* Table 2 —
+//! QFT adders (all-to-all phase structure), W states (one-hot answers) and
+//! supremacy-style random circuits (speckle output). Demonstrates the
+//! framework generalises past the paper's benchmark shapes.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin extended_suite -- [--trials 8192]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::{evaluate, Policy, PolicySet};
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{qft_adder, random_circuit, w_state};
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics::geometric_mean;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(8192);
+    let seed = args.seed();
+    let suite = vec![
+        qft_adder(6, 23, 42),
+        qft_adder(8, 100, 155),
+        w_state(8),
+        w_state(12),
+        random_circuit(10, 8, 7),
+        random_circuit(12, 6, 7),
+    ];
+
+    println!("Extended suite — relative PST beyond Table 2 (trials {trials}, seed {seed})");
+    println!();
+
+    for device in [Device::toronto(), Device::manhattan()] {
+        let mut rows = Vec::new();
+        let mut rel = (Vec::new(), Vec::new());
+        for bench in &suite {
+            eprintln!("[extended] {} / {} ...", device.name(), bench.name());
+            let e = evaluate(
+                bench,
+                &device,
+                trials,
+                seed,
+                PolicySet { edm: false, ..PolicySet::fig8() },
+            );
+            let jig = e.relative(Policy::Jigsaw).expect("jigsaw ran").pst;
+            let jm = e.relative(Policy::JigsawM).expect("jigsaw-m ran").pst;
+            rel.0.push(jig);
+            rel.1.push(jm);
+            rows.push(vec![
+                bench.name().to_string(),
+                table::num(e.baseline.1.pst),
+                table::num(jig),
+                table::num(jm),
+            ]);
+        }
+        rows.push(vec![
+            "GMean".into(),
+            String::new(),
+            table::num(geometric_mean(&rel.0)),
+            table::num(geometric_mean(&rel.1)),
+        ]);
+        println!("{}", device.name());
+        println!(
+            "{}",
+            table::render(&["Benchmark", "Base PST", "JigSaw", "JigSaw-M"], &rows)
+        );
+    }
+}

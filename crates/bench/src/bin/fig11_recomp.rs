@@ -1,0 +1,54 @@
+//! Figure 11: mean relative PST of EDM, JigSaw without recompilation
+//! (measurement subsetting only), JigSaw with recompilation, and JigSaw-M,
+//! per machine — the recompilation ablation.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig11_recomp -- [--trials 8192] [--quick]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::{evaluate, Policy, PolicySet};
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{paper_suite, small_suite};
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics::geometric_mean;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(if args.flag("quick") { 2048 } else { 8192 });
+    let seed = args.seed();
+    let suite = if args.flag("quick") { small_suite() } else { paper_suite() };
+
+    println!("Figure 11 — Mean relative PST per machine (trials {trials}, seed {seed})");
+    println!();
+
+    let policies = [
+        Policy::Edm,
+        Policy::JigsawWithoutRecompilation,
+        Policy::Jigsaw,
+        Policy::JigsawM,
+    ];
+    let mut rows = Vec::new();
+    for device in Device::paper_fleet() {
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        for bench in &suite {
+            eprintln!("[fig11] {} / {} ...", device.name(), bench.name());
+            let e = evaluate(bench, &device, trials, seed, PolicySet::fig11());
+            for (k, policy) in policies.into_iter().enumerate() {
+                per_policy[k].push(e.relative(policy).expect("policy ran").pst);
+            }
+        }
+        let mut row = vec![device.name().to_string()];
+        for values in &per_policy {
+            row.push(table::num(geometric_mean(values)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Machine", "EDM", "JigSaw w/o recomp", "JigSaw", "JigSaw-M"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 13: number of observed global-PMF entries and the observed
+//! fraction ε = unique/trials, versus trial count — the empirical basis of
+//! the §7 scalability argument (ε ≪ 1 and shrinking).
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig13_epsilon -- [--max-trials 262144]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::harness_compiler;
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{ghz, qaoa_maxcut, Benchmark};
+use jigsaw_compiler::compile;
+use jigsaw_device::Device;
+use jigsaw_pmf::Counts;
+use jigsaw_sim::{Executor, RunConfig};
+
+fn run_counts(bench: &Benchmark, device: &Device, trials: u64, seed: u64) -> Counts {
+    let compiler = harness_compiler();
+    let mut logical = bench.circuit().clone();
+    logical.measure_all();
+    let compiled = compile(&logical, device, &compiler);
+    Executor::new(device).run(compiled.circuit(), trials, &RunConfig::default().with_seed(seed))
+}
+
+fn main() {
+    let args = Args::from_env();
+    let max_trials = args.u64_or("max-trials", 262_144);
+    let seed = args.seed();
+    let device = Device::paris();
+
+    let benches = vec![ghz(14), ghz(16), qaoa_maxcut(10, 1), qaoa_maxcut(10, 2)];
+    let mut points = vec![8 * 1024u64];
+    while *points.last().expect("non-empty") * 4 <= max_trials {
+        let next = points.last().expect("non-empty") * 4;
+        points.push(next);
+    }
+
+    println!("Figure 13 — Global-PMF entries and epsilon vs trials on {} (seed {seed})", device.name());
+    println!();
+
+    let mut headers: Vec<String> = vec!["Trials".into()];
+    for b in &benches {
+        headers.push(format!("{} K", b.name()));
+        headers.push(format!("{} eps", b.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for &t in &points {
+        eprintln!("[fig13] {t} trials ...");
+        let mut row = vec![t.to_string()];
+        for b in &benches {
+            let counts = run_counts(b, &device, t, seed);
+            row.push(counts.unique_outcomes().to_string());
+            row.push(format!("{:.4}", counts.epsilon()));
+        }
+        rows.push(row);
+    }
+    println!("{}", table::render(&header_refs, &rows));
+    println!("Expected shape: entry counts grow sub-linearly; epsilon shrinks with trials.");
+}

@@ -1,0 +1,89 @@
+//! Figure 2: probe-qubit fidelity versus the number of simultaneous
+//! measurements, for four probe states (paper §3.1).
+//!
+//! The probe sits on a fixed physical qubit of the Paris model; N−1
+//! companion qubits are prepared in seeded-random `U3` states and measured
+//! alongside it. Fidelity is `1 − TVD` between the probe's measured
+//! marginal and its ideal single-qubit distribution.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig2_crosstalk -- [--trials 4000] [--samples 10]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{probe_circuit, ProbeState};
+use jigsaw_circuit::Circuit;
+use jigsaw_core::seed;
+use jigsaw_device::Device;
+use jigsaw_pmf::{metrics, BitString, Pmf};
+use jigsaw_sim::{Executor, RunConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The probed physical qubit (the paper probes Qubit 6 of IBMQ-Paris).
+const PROBE_QUBIT: usize = 6;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(4000);
+    let samples = args.u64_or("samples", 10);
+    let experiment_seed = args.seed();
+    let device = Device::paris();
+    let executor = Executor::new(&device);
+
+    println!(
+        "Figure 2 — Probe-qubit fidelity vs simultaneous measurements ({}, probe Q{PROBE_QUBIT}, {trials} trials, {samples} samples/N)",
+        device.name()
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for n in 1..=10usize {
+        let mut row = vec![n.to_string()];
+        for state in ProbeState::ALL {
+            let mut fidelities = Vec::new();
+            for sample in 0..samples {
+                let s = seed::mix(experiment_seed, (n as u64) << 20 | sample << 4 | state as u64);
+                // Logical probe circuit: qubit 0 is the probe.
+                let logical = probe_circuit(n, state, s);
+                // Map the probe to the fixed physical qubit and companions
+                // to random other physical qubits.
+                let mut others: Vec<usize> =
+                    (0..device.n_qubits()).filter(|&q| q != PROBE_QUBIT).collect();
+                others.shuffle(&mut StdRng::seed_from_u64(s ^ 0xC0FFEE));
+                let mut layout = vec![PROBE_QUBIT];
+                layout.extend(others.into_iter().take(n - 1));
+                let physical: Circuit = logical.remapped(&layout, device.n_qubits());
+
+                let counts = executor.run(
+                    &physical,
+                    trials,
+                    &RunConfig::default().with_seed(seed::mix(s, 1)),
+                );
+                let probe_marginal = counts.to_pmf().marginal(&[0]);
+                let mut ideal = Pmf::new(1);
+                let p1 = state.ideal_p1();
+                if p1 < 1.0 {
+                    ideal.set(BitString::from_u64(0, 1), 1.0 - p1);
+                }
+                if p1 > 0.0 {
+                    ideal.set(BitString::from_u64(1, 1), p1);
+                }
+                fidelities.push(metrics::fidelity(&ideal, &probe_marginal));
+            }
+            let mean = fidelities.iter().sum::<f64>() / fidelities.len() as f64;
+            row.push(format!("{mean:.4}"));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["N (measured)", "|0>", "|1>", "|+>", "U3(pi/3,pi/5,0)"],
+            &rows
+        )
+    );
+    println!("Expected shape: fidelity decreases as N grows (measurement crosstalk).");
+}

@@ -1,0 +1,58 @@
+//! Figure 3: spatial variation of measurement error rates on the
+//! IBMQ-Toronto model — summary statistics, per-qubit percentile buckets,
+//! and the §3.2 region analysis showing that larger programs are forced
+//! onto worse readout qubits.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig3_spatial
+//! ```
+
+use jigsaw_bench::table;
+use jigsaw_device::Device;
+
+fn main() {
+    let device = Device::toronto();
+    let s = device.readout_summary();
+
+    println!("Figure 3 — Readout-error spatial variation on {}", device.name());
+    println!();
+    println!("Mean:    {:.2} %   (paper: 4.70 %)", 100.0 * s.mean);
+    println!("Median:  {:.2} %   (paper: 2.76 %)", 100.0 * s.median);
+    println!("Minimum: {:.2} %   (paper: 0.85 %)", 100.0 * s.min);
+    println!("Maximum: {:.2} %   (paper: 22.2 %)", 100.0 * s.max);
+    println!();
+
+    let buckets = device.readout_percentile_buckets();
+    let labels = ["<25", "25-50", "50-75", ">75"];
+    let means = device.calibration().readout_means();
+    let mut rows: Vec<Vec<String>> = (0..device.n_qubits())
+        .map(|q| {
+            vec![
+                format!("Q{q}"),
+                format!("{:.2}", 100.0 * means[q]),
+                labels[buckets[q] as usize].to_string(),
+            ]
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        a[1].parse::<f64>().unwrap().partial_cmp(&b[1].parse::<f64>().unwrap()).unwrap()
+    });
+    println!("{}", table::render(&["Qubit", "Readout err %", "Percentile range"], &rows));
+
+    println!("Best achievable worst-case readout error inside any connected k-qubit region");
+    println!("(§3.2: the compiler cannot avoid bad qubits as programs grow):");
+    println!();
+    let mut region_rows = Vec::new();
+    for k in [2, 4, 6, 8, 12, 16, 21, 27] {
+        let worst = device.best_region_worst_readout(k);
+        region_rows.push(vec![
+            k.to_string(),
+            format!("{:.2}", 100.0 * worst),
+            if worst > s.median { "above median".into() } else { "at/below median".into() },
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["Region size k", "Best worst-case err %", "vs median"], &region_rows)
+    );
+}

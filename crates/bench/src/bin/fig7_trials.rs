@@ -1,0 +1,59 @@
+//! Figure 7: application PST versus trial count — fidelity saturates, so
+//! adding trials cannot substitute for error mitigation.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig7_trials -- [--max-trials 262144]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::harness_compiler;
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{ghz, qaoa_maxcut};
+use jigsaw_core::run_baseline;
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics;
+use jigsaw_sim::{resolve_correct_set, RunConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let max_trials = args.u64_or("max-trials", 262_144);
+    let seed = args.seed();
+    let device = Device::paris();
+    let compiler = harness_compiler();
+
+    let benches = vec![
+        ghz(12),
+        ghz(14),
+        ghz(16),
+        qaoa_maxcut(10, 1),
+        qaoa_maxcut(10, 2),
+        qaoa_maxcut(10, 4),
+    ];
+
+    let mut points = vec![8 * 1024u64];
+    while *points.last().expect("non-empty") * 4 <= max_trials {
+        let next = points.last().expect("non-empty") * 4;
+        points.push(next);
+    }
+
+    println!("Figure 7 — PST vs number of trials on {} (seed {seed})", device.name());
+    println!();
+
+    let mut headers: Vec<String> = vec!["Trials".into()];
+    headers.extend(benches.iter().map(|b| b.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for &t in &points {
+        eprintln!("[fig7] {t} trials ...");
+        let mut row = vec![t.to_string()];
+        for b in &benches {
+            let correct = resolve_correct_set(b);
+            let pmf = run_baseline(b.circuit(), &device, t, seed, &RunConfig::default(), &compiler);
+            row.push(format!("{:.4}", metrics::pst(&pmf, &correct)));
+        }
+        rows.push(row);
+    }
+    println!("{}", table::render(&header_refs, &rows));
+    println!("Expected shape: columns are flat — more trials do not raise PST.");
+}

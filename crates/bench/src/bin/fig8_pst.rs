@@ -1,0 +1,62 @@
+//! Figure 8: Probability of a Successful Trial for EDM / JigSaw / JigSaw-M
+//! relative to the baseline, across the Table 2 suite and the three-machine
+//! fleet.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig8_pst -- [--trials 8192] [--seed 2021] [--quick]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::{evaluate, Policy, PolicySet};
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{paper_suite, small_suite};
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics::geometric_mean;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(if args.flag("quick") { 2048 } else { 8192 });
+    let seed = args.seed();
+    let suite = if args.flag("quick") { small_suite() } else { paper_suite() };
+
+    println!("Figure 8 — Relative PST (trials per policy: {trials}, seed {seed})");
+    println!("Benchmarks: {}", suite.iter().map(|b| b.name()).collect::<Vec<_>>().join(", "));
+    println!();
+
+    for device in Device::paper_fleet() {
+        let mut rows = Vec::new();
+        let mut rel = (Vec::new(), Vec::new(), Vec::new());
+        for bench in &suite {
+            eprintln!("[fig8] {} / {} ...", device.name(), bench.name());
+            let e = evaluate(bench, &device, trials, seed, PolicySet::fig8());
+            let edm = e.relative(Policy::Edm).expect("edm ran").pst;
+            let jig = e.relative(Policy::Jigsaw).expect("jigsaw ran").pst;
+            let jm = e.relative(Policy::JigsawM).expect("jigsaw-m ran").pst;
+            rel.0.push(edm);
+            rel.1.push(jig);
+            rel.2.push(jm);
+            rows.push(vec![
+                bench.name().to_string(),
+                table::num(e.baseline.1.pst),
+                table::num(edm),
+                table::num(jig),
+                table::num(jm),
+            ]);
+        }
+        rows.push(vec![
+            "GMean".to_string(),
+            String::new(),
+            table::num(geometric_mean(&rel.0)),
+            table::num(geometric_mean(&rel.1)),
+            table::num(geometric_mean(&rel.2)),
+        ]);
+        println!("{} ({} qubits)", device.name(), device.n_qubits());
+        println!(
+            "{}",
+            table::render(
+                &["Benchmark", "Base PST", "EDM", "JigSaw", "JigSaw-M"],
+                &rows
+            )
+        );
+    }
+}

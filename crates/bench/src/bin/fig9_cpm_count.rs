@@ -1,0 +1,94 @@
+//! Figure 9a: JigSaw's PST gain versus the number of random CPMs used —
+//! gains saturate once additional CPMs stop adding unique information.
+//!
+//! All 66 possible size-2 CPMs of a 12-qubit QAOA program are measured
+//! once; each sweep point reconstructs with `N` randomly chosen local PMFs,
+//! averaged over repeats (the paper repeats "hundreds of times").
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig9_cpm_count -- [--trials 8192] [--repeats 50]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::harness_compiler;
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::qaoa_maxcut;
+use jigsaw_compiler::compile;
+use jigsaw_core::{reconstruct, seed, Marginal, ReconstructionConfig};
+use jigsaw_core::subsets::random_distinct;
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics;
+use jigsaw_sim::{resolve_correct_set, Executor, RunConfig};
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(8192);
+    let repeats = args.u64_or("repeats", 50);
+    let experiment_seed = args.seed();
+    let device = Device::paris();
+    let bench = qaoa_maxcut(12, 1);
+    let correct = resolve_correct_set(&bench);
+    let compiler = harness_compiler();
+    let executor = Executor::new(&device);
+
+    eprintln!("[fig9a] global mode ...");
+    let mut global_logical = bench.circuit().clone();
+    global_logical.measure_all();
+    let global = compile(&global_logical, &device, &compiler);
+    let global_pmf = executor
+        .run(global.circuit(), trials / 2, &RunConfig::default().with_seed(experiment_seed))
+        .to_pmf();
+    let base_pst = metrics::pst(&global_pmf, &correct);
+
+    // Measure all 66 possible 2-qubit CPMs once, at the per-CPM budget the
+    // sliding-window design would use (half the trials across 12 CPMs).
+    let all_subsets = random_distinct(12, 2, 66, seed::mix(experiment_seed, 9));
+    let per_cpm = (trials / 2 / 12).max(1);
+    eprintln!("[fig9a] measuring all 66 CPMs ({per_cpm} trials each) ...");
+    let marginals: Vec<Marginal> = all_subsets
+        .iter()
+        .enumerate()
+        .map(|(i, subset)| {
+            let compiled = jigsaw_compiler::cpm::recompile_cpm(
+                bench.circuit(),
+                subset,
+                &device,
+                &compiler,
+            );
+            let counts = executor.run(
+                compiled.circuit(),
+                per_cpm,
+                &RunConfig::default().with_seed(seed::mix(experiment_seed, 100 + i as u64)),
+            );
+            Marginal::new(subset.clone(), counts.to_pmf())
+        })
+        .collect();
+
+    println!(
+        "Figure 9a — PST gain vs number of CPMs (QAOA-12 p1, {}, {} repeats, global PST {:.4})",
+        device.name(),
+        repeats,
+        base_pst
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8, 12, 16, 24, 32, 48, 66] {
+        let mut gains = Vec::new();
+        for r in 0..repeats {
+            let mut rng = StdRng::seed_from_u64(seed::mix(experiment_seed, 10_000 + r));
+            let mut chosen: Vec<Marginal> = marginals.clone();
+            chosen.shuffle(&mut rng);
+            chosen.truncate(n);
+            let out = reconstruct(&global_pmf, &chosen, &ReconstructionConfig::default());
+            gains.push(metrics::pst(&out.pmf, &correct) / base_pst);
+        }
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        rows.push(vec![n.to_string(), format!("{mean:.3}")]);
+    }
+    println!("{}", table::render(&["CPM count N", "Mean relative PST"], &rows));
+    println!("Expected shape: rises quickly, then saturates (paper Fig. 9a).");
+}

@@ -1,0 +1,141 @@
+//! Combined evaluation pass: one run of the full suite × fleet × policies,
+//! printing Fig. 8 (relative PST), Table 3 (relative IST), Table 4
+//! (relative Fidelity) and Fig. 11 (mean PST incl. the no-recompilation
+//! ablation) from the same data — a third of the cost of running the four
+//! binaries separately.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin suite_metrics -- [--trials 16384]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::{evaluate, Evaluation, Policy, PolicySet};
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{paper_suite, small_suite};
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics::geometric_mean;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(if args.flag("quick") { 2048 } else { 16_384 });
+    let seed = args.seed();
+    let suite = if args.flag("quick") { small_suite() } else { paper_suite() };
+
+    println!("Combined suite metrics (trials per policy: {trials}, seed {seed})");
+    println!();
+
+    let mut evaluations: Vec<Vec<Evaluation>> = Vec::new();
+    for device in Device::paper_fleet() {
+        let mut per_device = Vec::new();
+        for bench in &suite {
+            eprintln!("[suite] {} / {} ...", device.name(), bench.name());
+            per_device.push(evaluate(bench, &device, trials, seed, PolicySet::fig11()));
+        }
+        evaluations.push(per_device);
+    }
+    let fleet = Device::paper_fleet();
+
+    // ---- Fig. 8: relative PST per benchmark --------------------------------
+    println!("== Figure 8 — Relative PST ==");
+    println!();
+    for (device, evals) in fleet.iter().zip(&evaluations) {
+        let mut rows = Vec::new();
+        let mut rel = (Vec::new(), Vec::new(), Vec::new());
+        for e in evals {
+            let edm = e.relative(Policy::Edm).expect("edm").pst;
+            let jig = e.relative(Policy::Jigsaw).expect("jigsaw").pst;
+            let jm = e.relative(Policy::JigsawM).expect("jigsaw-m").pst;
+            rel.0.push(edm);
+            rel.1.push(jig);
+            rel.2.push(jm);
+            rows.push(vec![
+                e.bench_name.clone(),
+                table::num(e.baseline.1.pst),
+                table::num(edm),
+                table::num(jig),
+                table::num(jm),
+            ]);
+        }
+        rows.push(vec![
+            "GMean".into(),
+            String::new(),
+            table::num(geometric_mean(&rel.0)),
+            table::num(geometric_mean(&rel.1)),
+            table::num(geometric_mean(&rel.2)),
+        ]);
+        println!("{}", device.name());
+        println!(
+            "{}",
+            table::render(&["Benchmark", "Base PST", "EDM", "JigSaw", "JigSaw-M"], &rows)
+        );
+    }
+
+    // ---- Tables 3 & 4: relative IST / Fidelity summaries -------------------
+    for (title, pick) in [
+        ("Table 3 — Relative IST", 0usize),
+        ("Table 4 — Relative Fidelity", 1usize),
+    ] {
+        println!("== {title} ==");
+        println!();
+        let mut rows = Vec::new();
+        for (device, evals) in fleet.iter().zip(&evaluations) {
+            let mut row = vec![device.name().to_string()];
+            for policy in [Policy::Edm, Policy::Jigsaw, Policy::JigsawM] {
+                let values: Vec<f64> = evals
+                    .iter()
+                    .map(|e| {
+                        let r = e.relative(policy).expect("ran");
+                        if pick == 0 {
+                            r.ist
+                        } else {
+                            r.fidelity
+                        }
+                    })
+                    .filter(|v| v.is_finite())
+                    .collect();
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(0.0f64, f64::max);
+                row.push(table::num(min));
+                row.push(table::num(max));
+                row.push(table::num(geometric_mean(&values)));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            table::render(
+                &[
+                    "Machine", "EDM min", "EDM max", "EDM avg", "JigSaw min", "JigSaw max",
+                    "JigSaw avg", "JigSaw-M min", "JigSaw-M max", "JigSaw-M avg",
+                ],
+                &rows
+            )
+        );
+    }
+
+    // ---- Fig. 11: mean relative PST incl. the recompilation ablation -------
+    println!("== Figure 11 — Mean relative PST ==");
+    println!();
+    let mut rows = Vec::new();
+    for (device, evals) in fleet.iter().zip(&evaluations) {
+        let mut row = vec![device.name().to_string()];
+        for policy in [
+            Policy::Edm,
+            Policy::JigsawWithoutRecompilation,
+            Policy::Jigsaw,
+            Policy::JigsawM,
+        ] {
+            let values: Vec<f64> =
+                evals.iter().map(|e| e.relative(policy).expect("ran").pst).collect();
+            row.push(table::num(geometric_mean(&values)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Machine", "EDM", "JigSaw w/o recomp", "JigSaw", "JigSaw-M"],
+            &rows
+        )
+    );
+}

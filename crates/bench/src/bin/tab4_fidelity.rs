@@ -1,0 +1,56 @@
+//! Table 4: Fidelity (1 − TVD vs the noiseless distribution) of EDM /
+//! JigSaw / JigSaw-M relative to the baseline — min / max / geometric mean
+//! per machine.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin tab4_fidelity -- [--trials 8192] [--quick]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::{evaluate, Policy, PolicySet};
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{paper_suite, small_suite};
+use jigsaw_device::Device;
+use jigsaw_pmf::metrics::geometric_mean;
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(if args.flag("quick") { 2048 } else { 8192 });
+    let seed = args.seed();
+    let suite = if args.flag("quick") { small_suite() } else { paper_suite() };
+
+    println!("Table 4 — Relative Fidelity (trials {trials}, seed {seed})");
+    println!();
+
+    let mut rows = Vec::new();
+    for device in Device::paper_fleet() {
+        let mut per_policy: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for bench in &suite {
+            eprintln!("[tab4] {} / {} ...", device.name(), bench.name());
+            let e = evaluate(bench, &device, trials, seed, PolicySet::fig8());
+            for (k, policy) in [Policy::Edm, Policy::Jigsaw, Policy::JigsawM].into_iter().enumerate()
+            {
+                per_policy[k].push(e.relative(policy).expect("policy ran").fidelity);
+            }
+        }
+        let mut row = vec![device.name().to_string()];
+        for values in &per_policy {
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = values.iter().copied().fold(0.0f64, f64::max);
+            row.push(table::num(min));
+            row.push(table::num(max));
+            row.push(table::num(geometric_mean(values)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "Machine", "EDM min", "EDM max", "EDM avg", "JigSaw min", "JigSaw max",
+                "JigSaw avg", "JigSaw-M min", "JigSaw-M max", "JigSaw-M avg",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,68 @@
+//! Table 5: Approximation Ratio Gap (%) for the QAOA benchmarks under
+//! Baseline / EDM / JigSaw / JigSaw-M. Lower is better.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin tab5_arg -- [--trials 8192]
+//! ```
+
+use jigsaw_bench::cli::Args;
+use jigsaw_bench::harness::{evaluate, Policy, PolicySet};
+use jigsaw_bench::table;
+use jigsaw_circuit::bench::{qaoa_maxcut, Benchmark};
+use jigsaw_circuit::qaoa::approximation_ratio_gap;
+use jigsaw_device::Device;
+use jigsaw_pmf::Pmf;
+
+fn arg_of(bench: &Benchmark, ideal: &Pmf, output: &Pmf) -> f64 {
+    let (graph, _) = bench.qaoa().expect("QAOA benchmark");
+    let ar_ideal = graph.approximation_ratio(ideal);
+    let ar_real = graph.approximation_ratio(output);
+    approximation_ratio_gap(ar_ideal, ar_real)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let trials = args.trials(if args.flag("quick") { 2048 } else { 8192 });
+    let seed = args.seed();
+    let suite = if args.flag("quick") {
+        vec![qaoa_maxcut(6, 1), qaoa_maxcut(8, 2)]
+    } else {
+        vec![
+            qaoa_maxcut(8, 1),
+            qaoa_maxcut(10, 2),
+            qaoa_maxcut(10, 4),
+            qaoa_maxcut(12, 4),
+            qaoa_maxcut(14, 2),
+        ]
+    };
+
+    println!("Table 5 — Approximation Ratio Gap, % (lower is better; trials {trials}, seed {seed})");
+    println!();
+
+    let mut rows = Vec::new();
+    for device in Device::paper_fleet() {
+        for bench in &suite {
+            eprintln!("[tab5] {} / {} ...", device.name(), bench.name());
+            let e = evaluate(bench, &device, trials, seed, PolicySet::fig8());
+            let cell = |policy: Policy| -> String {
+                let (pmf, _) = e.policy_output(policy).expect("policy ran");
+                table::num(arg_of(bench, &e.ideal, pmf))
+            };
+            rows.push(vec![
+                device.name().to_string(),
+                bench.name().to_string(),
+                cell(Policy::Baseline),
+                cell(Policy::Edm),
+                cell(Policy::Jigsaw),
+                cell(Policy::JigsawM),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Machine", "Workload", "Baseline", "EDM", "JigSaw", "JigSaw-M"],
+            &rows
+        )
+    );
+}

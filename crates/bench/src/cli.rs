@@ -1,0 +1,127 @@
+//! Tiny argument parser shared by the experiment binaries.
+//!
+//! Every binary accepts `--trials N`, `--seed S` and binary-specific flags;
+//! no external CLI dependency is warranted for this surface.
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arguments that do not start with `--`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (testable entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arguments that do not start with `--`.
+    #[must_use]
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            let key = tok
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument {tok:?}; options use --key [value]"))
+                .to_string();
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key, iter.next().expect("peeked"));
+                }
+                _ => flags.push(key),
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// Integer option with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Float option with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    #[must_use]
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Standard trial budget (`--trials`, default per binary).
+    #[must_use]
+    pub fn trials(&self, default: u64) -> u64 {
+        self.u64_or("trials", default)
+    }
+
+    /// Standard experiment seed (`--seed`, default 2021 — the paper's year).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.u64_or("seed", 2021)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args("--trials 4096 --quick --seed 7");
+        assert_eq!(a.trials(999), 4096);
+        assert_eq!(a.seed(), 7);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("paper"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("");
+        assert_eq!(a.trials(8192), 8192);
+        assert_eq!(a.seed(), 2021);
+        assert_eq!(a.f64_or("epsilon", 0.05), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = args("--trials lots");
+        let _ = a.trials(1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared evaluation engine for the experiment binaries: runs every policy
+//! (Baseline, EDM, JigSaw w/o recompilation, JigSaw, JigSaw-M) on a
+//! benchmark × device pair under an equal trial budget, exactly as §5.4
+//! prescribes.
+
+use jigsaw_circuit::bench::Benchmark;
+use jigsaw_compiler::edm::PAPER_ENSEMBLE_SIZE;
+use jigsaw_compiler::CompilerOptions;
+use jigsaw_core::{run_baseline, run_edm, run_jigsaw, JigsawConfig, Scores};
+use jigsaw_device::Device;
+use jigsaw_pmf::{BitString, Pmf};
+use jigsaw_sim::{ideal_pmf, resolve_correct_set, RunConfig};
+
+/// Which mitigation policies to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicySet {
+    /// Ensemble of Diverse Mappings.
+    pub edm: bool,
+    /// JigSaw with measurement subsetting only (no CPM recompilation).
+    pub jigsaw_without_recompilation: bool,
+    /// Default JigSaw (subset size 2, recompiled CPMs).
+    pub jigsaw: bool,
+    /// Multi-layer JigSaw (subset sizes 2–5).
+    pub jigsaw_m: bool,
+}
+
+impl PolicySet {
+    /// The Fig. 8 policy set (EDM, JigSaw, JigSaw-M).
+    #[must_use]
+    pub fn fig8() -> Self {
+        Self { edm: true, jigsaw_without_recompilation: false, jigsaw: true, jigsaw_m: true }
+    }
+
+    /// The Fig. 11 policy set (all four).
+    #[must_use]
+    pub fn fig11() -> Self {
+        Self { edm: true, jigsaw_without_recompilation: true, jigsaw: true, jigsaw_m: true }
+    }
+}
+
+/// One benchmark × device evaluation: output PMFs and scores per policy.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Benchmark name.
+    pub bench_name: String,
+    /// Device name.
+    pub device_name: String,
+    /// Noiseless reference distribution.
+    pub ideal: Pmf,
+    /// Correct-answer set.
+    pub correct: Vec<BitString>,
+    /// Baseline output and scores.
+    pub baseline: (Pmf, Scores),
+    /// EDM output and scores, when requested.
+    pub edm: Option<(Pmf, Scores)>,
+    /// Subsetting-only JigSaw, when requested.
+    pub jigsaw_without_recompilation: Option<(Pmf, Scores)>,
+    /// Default JigSaw, when requested.
+    pub jigsaw: Option<(Pmf, Scores)>,
+    /// JigSaw-M, when requested.
+    pub jigsaw_m: Option<(Pmf, Scores)>,
+}
+
+impl Evaluation {
+    /// Relative PST of a policy versus baseline (None when not evaluated).
+    #[must_use]
+    pub fn relative(&self, policy: Policy) -> Option<Scores> {
+        let (_, s) = self.policy_output(policy)?;
+        Some(s.relative_to(&self.baseline.1))
+    }
+
+    /// The output/scores pair of a policy.
+    #[must_use]
+    pub fn policy_output(&self, policy: Policy) -> Option<&(Pmf, Scores)> {
+        match policy {
+            Policy::Baseline => Some(&self.baseline),
+            Policy::Edm => self.edm.as_ref(),
+            Policy::JigsawWithoutRecompilation => self.jigsaw_without_recompilation.as_ref(),
+            Policy::Jigsaw => self.jigsaw.as_ref(),
+            Policy::JigsawM => self.jigsaw_m.as_ref(),
+        }
+    }
+}
+
+/// Policy identifiers for table formatting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Noise-aware SABRE, all trials global.
+    Baseline,
+    /// Ensemble of Diverse Mappings.
+    Edm,
+    /// JigSaw, subsetting only.
+    JigsawWithoutRecompilation,
+    /// Default JigSaw.
+    Jigsaw,
+    /// Multi-layer JigSaw.
+    JigsawM,
+}
+
+/// Compiler options for harness runs: fewer placement seeds than the
+/// library default keeps the 27-run sweep tractable on one core without
+/// changing any conclusion.
+#[must_use]
+pub fn harness_compiler() -> CompilerOptions {
+    CompilerOptions { max_seeds: 6, ..CompilerOptions::default() }
+}
+
+/// Runs the requested policies on one benchmark × device pair with an
+/// equal `trials` budget per policy.
+#[must_use]
+pub fn evaluate(
+    bench: &Benchmark,
+    device: &Device,
+    trials: u64,
+    seed: u64,
+    policies: PolicySet,
+) -> Evaluation {
+    let compiler = harness_compiler();
+    let run = RunConfig::default();
+    let correct = resolve_correct_set(bench);
+    let mut ideal_circuit = bench.circuit().clone();
+    ideal_circuit.measure_all();
+    let ideal = ideal_pmf(&ideal_circuit);
+
+    let score = |pmf: &Pmf| Scores::of(pmf, &ideal, &correct);
+
+    let baseline_pmf = run_baseline(bench.circuit(), device, trials, seed, &run, &compiler);
+    let baseline = (baseline_pmf.clone(), score(&baseline_pmf));
+
+    let edm = policies.edm.then(|| {
+        let pmf = run_edm(bench.circuit(), device, trials, PAPER_ENSEMBLE_SIZE, seed, &run, &compiler);
+        let s = score(&pmf);
+        (pmf, s)
+    });
+
+    let jigsaw_cfg = JigsawConfig {
+        compiler,
+        run,
+        ..JigsawConfig::jigsaw(trials)
+    };
+
+    let jigsaw_without_recompilation = policies.jigsaw_without_recompilation.then(|| {
+        let cfg = jigsaw_cfg.clone().without_recompilation().with_seed(seed);
+        let result = run_jigsaw(bench.circuit(), device, &cfg);
+        let s = score(&result.output);
+        (result.output, s)
+    });
+
+    let jigsaw = policies.jigsaw.then(|| {
+        let cfg = jigsaw_cfg.clone().with_seed(seed);
+        let result = run_jigsaw(bench.circuit(), device, &cfg);
+        let s = score(&result.output);
+        (result.output, s)
+    });
+
+    let jigsaw_m = policies.jigsaw_m.then(|| {
+        let cfg = JigsawConfig {
+            subset_sizes: vec![2, 3, 4, 5],
+            ..jigsaw_cfg.clone()
+        }
+        .with_seed(seed);
+        let result = run_jigsaw(bench.circuit(), device, &cfg);
+        let s = score(&result.output);
+        (result.output, s)
+    });
+
+    Evaluation {
+        bench_name: bench.name().to_string(),
+        device_name: device.name().to_string(),
+        ideal,
+        correct,
+        baseline,
+        edm,
+        jigsaw_without_recompilation,
+        jigsaw,
+        jigsaw_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_circuit::bench;
+
+    #[test]
+    fn evaluation_covers_requested_policies() {
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let e = evaluate(&b, &device, 1500, 3, PolicySet::fig8());
+        assert!(e.edm.is_some());
+        assert!(e.jigsaw.is_some());
+        assert!(e.jigsaw_m.is_some());
+        assert!(e.jigsaw_without_recompilation.is_none());
+        assert!(e.baseline.1.pst > 0.0);
+    }
+
+    #[test]
+    fn relative_scores_are_ratios() {
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let e = evaluate(&b, &device, 1500, 3, PolicySet::fig8());
+        let rel = e.relative(Policy::Jigsaw).expect("jigsaw ran");
+        let abs = e.jigsaw.as_ref().expect("jigsaw ran").1.pst;
+        assert!((rel.pst - abs / e.baseline.1.pst).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness for the JigSaw (MICRO 2021) reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation lives in
+//! `src/bin/`; run them as
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig8_pst -- --trials 8192 --seed 2021
+//! ```
+//!
+//! The [`harness`] module hosts the shared policy-evaluation engine
+//! (Baseline / EDM / JigSaw / JigSaw-M under equal trial budgets, §5.4),
+//! [`cli`] the tiny option parser, and [`table`] the text-table renderer.
+//! Criterion benches (`cargo bench -p jigsaw-bench`) cover the performance
+//! claims (reconstruction linearity, compile latency, simulator
+//! throughput).
+
+pub mod cli;
+pub mod harness;
+pub mod table;

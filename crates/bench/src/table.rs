@@ -1,0 +1,92 @@
+//! Fixed-width text tables for experiment output.
+
+/// Renders a header row plus data rows with aligned columns, matching the
+/// plain-text presentation style of the paper's tables.
+#[must_use]
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width {} != header width {cols}", row.len());
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with three significant-ish decimals, the paper's usual
+/// precision.
+#[must_use]
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 100.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else if a >= 0.01 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "2.5".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn num_picks_precision() {
+        assert_eq!(num(123.4), "123");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1.234), "1.23");
+        assert_eq!(num(0.00123), "0.0012");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let _ = render(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Bernstein–Vazirani (paper Table 2, BV-n).
+
+use jigsaw_pmf::BitString;
+
+use super::{Benchmark, CorrectSet};
+use crate::Circuit;
+
+/// Builds BV-n: an `n`-qubit Bernstein–Vazirani circuit over an
+/// `(n−1)`-bit secret, with the ancilla on qubit `n−1`.
+///
+/// The circuit applies the textbook phase-oracle construction: prepare the
+/// ancilla in `|−⟩`, Hadamard the inputs, apply `CX(input_i → ancilla)` for
+/// every set secret bit, and undo the Hadamards. The deterministic correct
+/// outcome reads the secret on qubits `0..n−1` and `1` on the ancilla
+/// (which the final Hadamard returns to `|1⟩`).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the secret does not fit in `n−1` bits.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_circuit::bench::bernstein_vazirani;
+///
+/// let b = bernstein_vazirani(6, 0b10110);
+/// assert_eq!(b.name(), "BV-6");
+/// assert_eq!(b.n_qubits(), 6);
+/// ```
+#[must_use]
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Benchmark {
+    assert!(n >= 2, "BV needs at least 2 qubits (1 secret bit + ancilla)");
+    let secret_bits = n - 1;
+    assert!(
+        secret_bits == 64 || secret < (1u64 << secret_bits),
+        "secret {secret:#b} does not fit in {secret_bits} bits"
+    );
+
+    let ancilla = n - 1;
+    let mut c = Circuit::new(n);
+    // Ancilla to |1⟩ then into |−⟩; inputs into |+⟩.
+    c.x(ancilla);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Phase oracle for f(x) = s·x.
+    for i in 0..secret_bits {
+        if (secret >> i) & 1 == 1 {
+            c.cx(i, ancilla);
+        }
+    }
+    // Undo the Hadamard wall; inputs now hold the secret, ancilla holds |1⟩.
+    for q in 0..n {
+        c.h(q);
+    }
+
+    let mut answer = BitString::from_u64(secret, n);
+    answer.set_bit(ancilla, true);
+    Benchmark::new(format!("BV-{n}"), c, CorrectSet::Known(vec![answer]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_match_table2_formula() {
+        // Table 2: 2(n+1) single-qubit gates, n two-qubit gates — for an
+        // all-ones secret. Our count: 1 X + 2n H = 2n+1 one-qubit gates and
+        // popcount(secret) CNOTs; the all-ones secret gives n−1 CNOTs.
+        let b = bernstein_vazirani(6, 0b11111);
+        assert_eq!(b.circuit().one_qubit_gates(), 2 * 6 + 1);
+        assert_eq!(b.circuit().two_qubit_gates(), 5);
+    }
+
+    #[test]
+    fn correct_answer_is_secret_plus_ancilla() {
+        let b = bernstein_vazirani(4, 0b011);
+        match b.correct() {
+            CorrectSet::Known(ans) => {
+                assert_eq!(ans.len(), 1);
+                assert_eq!(ans[0].to_string(), "1011"); // ancilla=1, secret=011
+            }
+            other => panic!("unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_secret_rejected() {
+        let _ = bernstein_vazirani(3, 0b100);
+    }
+}

@@ -1,0 +1,201 @@
+//! Extension benchmarks beyond Table 2: QFT adders, W-states and random
+//! (supremacy-style) circuits. These exercise interaction patterns the
+//! paper's suite lacks — all-to-all (QFT), star-with-fanout (W), and dense
+//! random entanglement — and are used by the extended evaluation in
+//! `EXPERIMENTS.md`.
+
+use std::f64::consts::PI;
+
+use jigsaw_pmf::BitString;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{Benchmark, CorrectSet};
+use crate::{Circuit, Gate};
+
+/// Quantum Fourier Transform addition: computes `a + b mod 2^n` by QFT,
+/// phase addition and inverse QFT on an `n`-qubit register prepared in
+/// `|a⟩`. Deterministic output `|a+b mod 2^n⟩`, making it a crisp
+/// measurement-error probe with all-to-all controlled-phase structure.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n > 16`, or the inputs do not fit in `n` bits.
+#[must_use]
+pub fn qft_adder(n: usize, a: u64, b: u64) -> Benchmark {
+    assert!((2..=16).contains(&n), "QFT adder supported for 2..=16 qubits");
+    assert!(a < (1u64 << n) && b < (1u64 << n), "inputs must fit in {n} bits");
+
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        if (a >> i) & 1 == 1 {
+            c.x(i);
+        }
+    }
+    for g in qft_gates(n) {
+        c.push(g);
+    }
+    // After this QFT (no bit reversal), Fourier qubit k carries phase
+    // weight 2π/2^(k+1); adding b rotates each by 2π·b/2^(k+1).
+    for k in 0..n {
+        let angle = 2.0 * PI * (b as f64) / (1u64 << (k + 1)) as f64;
+        c.rz(k, angle);
+    }
+    // Inverse QFT = exact adjoint: reversed gate order, negated angles.
+    for g in qft_gates(n).into_iter().rev() {
+        let adjoint = match g {
+            Gate::Rz(q, t) => Gate::Rz(q, -t),
+            other => other, // H and CX are self-adjoint
+        };
+        c.push(adjoint);
+    }
+
+    let sum = (a + b) & ((1u64 << n) - 1);
+    Benchmark::new(
+        format!("QFTAdd-{n}"),
+        c,
+        CorrectSet::Known(vec![BitString::from_u64(sum, n)]),
+    )
+}
+
+/// Gate list of the textbook QFT without the final bit reversal: after it,
+/// Fourier qubit j is in `|0⟩ + e^{2πi·x/2^(j+1)}|1⟩` (LSB convention).
+fn qft_gates(n: usize) -> Vec<crate::Gate> {
+    let mut c = Circuit::new(n);
+    for target in (0..n).rev() {
+        c.h(target);
+        for (distance, control) in (0..target).rev().enumerate() {
+            let angle = PI / (1u64 << (distance + 1)) as f64;
+            controlled_phase(&mut c, control, target, angle);
+        }
+    }
+    c.gates().to_vec()
+}
+
+/// `CP(θ)` decomposed into RZ + CX (hardware basis): a symmetric
+/// controlled-phase.
+fn controlled_phase(c: &mut Circuit, a: usize, b: usize, theta: f64) {
+    c.rz(a, theta / 2.0);
+    c.rz(b, theta / 2.0);
+    c.cx(a, b);
+    c.rz(b, -theta / 2.0);
+    c.cx(a, b);
+}
+
+/// W-state preparation over `n` qubits: the equal superposition of all
+/// one-hot strings, built by cascaded amplitude splitting. The correct set
+/// is all `n` one-hot outcomes.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn w_state(n: usize) -> Benchmark {
+    assert!(n >= 2, "W state needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    // Start with the excitation on qubit 0, then split it rightward:
+    // at step k the excitation moves from qubit k to k+1 with amplitude
+    // sqrt((n-k-1)/(n-k)) using a controlled rotation + CX pair.
+    c.x(0);
+    for k in 0..n - 1 {
+        let remaining = (n - k) as f64;
+        let theta = 2.0 * (1.0 / remaining.sqrt()).acos();
+        // Controlled-RY(θ) from qubit k to k+1, decomposed.
+        c.ry(k + 1, theta / 2.0);
+        c.cx(k, k + 1);
+        c.ry(k + 1, -theta / 2.0);
+        c.cx(k, k + 1);
+        // Move the "already emitted" marker: CX back clears qubit k when
+        // the excitation hopped.
+        c.cx(k + 1, k);
+    }
+    let correct = (0..n)
+        .map(|i| {
+            let mut b = BitString::zeros(n);
+            b.set_bit(i, true);
+            b
+        })
+        .collect();
+    Benchmark::new(format!("W-{n}"), c, CorrectSet::Known(correct))
+}
+
+/// Supremacy-style random circuit: `depth` layers of random single-qubit
+/// rotations followed by a brickwork of CX gates on a line. Its output is a
+/// speckle distribution — the stress case for the ε analysis (Fig. 13).
+#[must_use]
+pub fn random_circuit(n: usize, depth: usize, seed: u64) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for layer in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..3) {
+                0 => c.rx(q, rng.gen::<f64>() * PI),
+                1 => c.ry(q, rng.gen::<f64>() * PI),
+                _ => c.rz(q, rng.gen::<f64>() * PI),
+            };
+        }
+        let offset = layer % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            c.cx(q, q + 1);
+            q += 2;
+        }
+    }
+    Benchmark::new(
+        format!("Random-{n}x{depth}"),
+        c,
+        CorrectSet::DominantIdeal { threshold: 0.5 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_adder_declares_the_sum() {
+        let b = qft_adder(4, 5, 9);
+        match b.correct() {
+            CorrectSet::Known(ans) => assert_eq!(ans[0].to_u64(), (5 + 9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qft_adder_wraps_modulo() {
+        let b = qft_adder(3, 6, 7);
+        match b.correct() {
+            CorrectSet::Known(ans) => assert_eq!(ans[0].to_u64(), (6 + 7) % 8),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn w_state_correct_set_is_one_hot() {
+        let b = w_state(5);
+        match b.correct() {
+            CorrectSet::Known(ans) => {
+                assert_eq!(ans.len(), 5);
+                for a in ans {
+                    assert_eq!(a.count_ones(), 1);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_circuit_is_seed_deterministic() {
+        let a = random_circuit(6, 8, 3);
+        let b = random_circuit(6, 8, 3);
+        assert_eq!(a.circuit(), b.circuit());
+        assert_ne!(a.circuit(), random_circuit(6, 8, 4).circuit());
+    }
+
+    #[test]
+    fn random_circuit_brickwork_alternates() {
+        let b = random_circuit(6, 2, 0);
+        // Layer 0 pairs (0,1),(2,3),(4,5); layer 1 pairs (1,2),(3,4).
+        assert_eq!(b.circuit().two_qubit_gates(), 3 + 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Greenberger–Horne–Zeilinger state preparation (paper Table 2, GHZ-n).
+
+use jigsaw_pmf::BitString;
+
+use super::{Benchmark, CorrectSet};
+use crate::Circuit;
+
+/// Builds GHZ-n: `H` on qubit 0 followed by a CNOT chain, preparing the
+/// equal superposition of `|0…0⟩` and `|1…1⟩`. Matches Table 2's counts:
+/// one single-qubit gate and `n−1` two-qubit gates. Both all-zero and
+/// all-one outcomes are correct (paper Fig. 1).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_circuit::bench::ghz;
+///
+/// let b = ghz(14);
+/// assert_eq!(b.circuit().two_qubit_gates(), 13);
+/// ```
+#[must_use]
+pub fn ghz(n: usize) -> Benchmark {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    let correct = vec![BitString::zeros(n), BitString::ones(n)];
+    Benchmark::new(format!("GHZ-{n}"), c, CorrectSet::Known(correct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_gate_counts() {
+        let b = ghz(14);
+        assert_eq!(b.circuit().one_qubit_gates(), 1);
+        assert_eq!(b.circuit().two_qubit_gates(), 13);
+        assert_eq!(b.n_qubits(), 14);
+    }
+
+    #[test]
+    fn both_cat_outcomes_are_correct() {
+        let b = ghz(3);
+        match b.correct() {
+            CorrectSet::Known(ans) => {
+                assert_eq!(ans.len(), 2);
+                assert!(ans.contains(&"000".parse().unwrap()));
+                assert!(ans.contains(&"111".parse().unwrap()));
+            }
+            other => panic!("unexpected correct set {other:?}"),
+        }
+    }
+}

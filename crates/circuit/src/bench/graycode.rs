@@ -1,0 +1,103 @@
+//! Gray-code decoder (paper Table 2, Graycode-n).
+//!
+//! The circuit prepares a Gray-code word with X gates and converts it to
+//! plain binary with a CNOT cascade: `b[n−1] = g[n−1]`,
+//! `b[i] = g[i] ⊕ b[i+1]`. The output is deterministic, which is what makes
+//! Graycode a useful measurement-error probe (paper Table 6 studies its
+//! observed-outcome count).
+
+use jigsaw_pmf::BitString;
+
+use super::{Benchmark, CorrectSet};
+use crate::Circuit;
+
+/// Builds Graycode-n with the default alternating input word `…0101`, which
+/// uses `⌈n/2⌉` X gates — matching Table 2's `n/2` single-qubit count.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn graycode(n: usize) -> Benchmark {
+    let mut input = BitString::zeros(n);
+    for i in (0..n).step_by(2) {
+        input.set_bit(i, true);
+    }
+    graycode_with_input(n, input)
+}
+
+/// Builds Graycode-n decoding an explicit Gray-code word.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the input width differs from `n`.
+#[must_use]
+pub fn graycode_with_input(n: usize, gray_input: BitString) -> Benchmark {
+    assert!(n >= 2, "Graycode needs at least 2 qubits");
+    assert_eq!(gray_input.len(), n, "input word width must equal the qubit count");
+
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        if gray_input.bit(i) {
+            c.x(i);
+        }
+    }
+    // Cascade from the top wire down: wire i accumulates b[i] = g[i] ⊕ b[i+1].
+    for i in (0..n - 1).rev() {
+        c.cx(i + 1, i);
+    }
+
+    // The deterministic correct answer is the decoded binary word.
+    let mut binary = BitString::zeros(n);
+    let mut acc = false;
+    for i in (0..n).rev() {
+        acc ^= gray_input.bit(i);
+        binary.set_bit(i, acc);
+    }
+    Benchmark::new(format!("Graycode-{n}"), c, CorrectSet::Known(vec![binary]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_gate_counts() {
+        let b = graycode(18);
+        assert_eq!(b.circuit().one_qubit_gates(), 9); // n/2 X gates
+        assert_eq!(b.circuit().two_qubit_gates(), 17); // n−1 CNOTs
+    }
+
+    #[test]
+    fn decoding_matches_gray_to_binary() {
+        // gray 110 decodes to binary 100 (msb-first: b2=1, b1=1⊕1=0, b0=0⊕0=0).
+        let b = graycode_with_input(3, "110".parse().unwrap());
+        match b.correct() {
+            CorrectSet::Known(ans) => assert_eq!(ans[0].to_string(), "100"),
+            other => panic!("unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_input_decodes_to_zero() {
+        let b = graycode_with_input(4, BitString::zeros(4));
+        match b.correct() {
+            CorrectSet::Known(ans) => assert_eq!(ans[0], BitString::zeros(4)),
+            other => panic!("unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gray_of_binary_round_trips() {
+        // For every 5-bit word: encode to Gray classically, decode via the
+        // benchmark's answer computation, recover the original.
+        for v in 0u64..32 {
+            let gray = v ^ (v >> 1);
+            let b = graycode_with_input(5, BitString::from_u64(gray, 5));
+            match b.correct() {
+                CorrectSet::Known(ans) => assert_eq!(ans[0].to_u64(), v, "word {v}"),
+                other => panic!("unexpected correct set {other:?}"),
+            }
+        }
+    }
+}

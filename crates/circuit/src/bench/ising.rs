@@ -1,0 +1,90 @@
+//! Trotterized transverse-field Ising model evolution (paper Table 2,
+//! Ising-n).
+//!
+//! Each Trotter step applies a `ZZ` interaction on every chain bond plus a
+//! ZXZ Euler rotation on every qubit. With `steps = n` the two-qubit count is
+//! `n(n−1)` ZZ interactions — Table 2's figure — and the single-qubit count
+//! per step is `3n + (n−1) ≈ 4.5n−2`, matching the paper's order.
+//!
+//! The ideal output of a deep Ising evolution is a spread distribution, so
+//! the correct-answer set is defined as the dominant noiseless outcomes
+//! ([`CorrectSet::DominantIdeal`]), resolved by the harness with the ideal
+//! simulator.
+
+use super::{Benchmark, CorrectSet};
+use crate::Circuit;
+
+/// Relative-probability threshold defining the Ising correct set: outcomes
+/// with noiseless probability ≥ 50% of the maximum.
+pub const ISING_DOMINANT_THRESHOLD: f64 = 0.5;
+
+/// Builds Ising-n with `steps` first-order Trotter steps of a transverse- and
+/// longitudinal-field Ising chain (J = 1, hx = 1, hz = 0.4, dt = 0.15).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `steps == 0`.
+#[must_use]
+pub fn ising(n: usize, steps: usize) -> Benchmark {
+    assert!(n >= 2, "Ising chain needs at least 2 sites");
+    assert!(steps >= 1, "Ising evolution needs at least one Trotter step");
+
+    const J: f64 = 1.0;
+    const HX: f64 = 1.0;
+    const HZ: f64 = 0.4;
+    const DT: f64 = 0.15;
+
+    let mut c = Circuit::new(n);
+    for _ in 0..steps {
+        for q in 0..n {
+            c.rz(q, 2.0 * HZ * DT);
+        }
+        for i in 0..n - 1 {
+            c.zz(i, i + 1, 2.0 * J * DT);
+        }
+        for q in 0..n {
+            c.rx(q, 2.0 * HX * DT);
+            c.rz(q, 2.0 * HZ * DT);
+        }
+    }
+    Benchmark::new(
+        format!("Ising-{n}"),
+        c,
+        CorrectSet::DominantIdeal { threshold: ISING_DOMINANT_THRESHOLD },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_two_qubit_count() {
+        // steps = n → n(n−1) ZZ interactions → 2n(n−1) CNOTs.
+        let b = ising(10, 10);
+        assert_eq!(b.circuit().two_qubit_gates(), 2 * 10 * 9);
+    }
+
+    #[test]
+    fn one_qubit_count_scales_like_table2() {
+        let n = 10;
+        let b = ising(n, n);
+        // Per step: n RZ + (n−1) RZ (inside ZZ) + n RX + n RZ = 4n−1.
+        assert_eq!(b.circuit().one_qubit_gates(), n * (4 * n - 1));
+    }
+
+    #[test]
+    fn correct_set_is_dominant_ideal() {
+        match ising(5, 5).correct() {
+            CorrectSet::DominantIdeal { threshold } => {
+                assert!((threshold - ISING_DOMINANT_THRESHOLD).abs() < 1e-12);
+            }
+            other => panic!("unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_grows_with_steps() {
+        assert!(ising(6, 6).circuit().depth() > ising(6, 2).circuit().depth());
+    }
+}

@@ -1,0 +1,165 @@
+//! The NISQ benchmark programs of paper Table 2, plus the measurement
+//! crosstalk characterization circuits of Fig. 2.
+//!
+//! Each generator returns a [`Benchmark`]: a measurement-free circuit (the
+//! JigSaw pipeline decides what to measure), a description of the correct
+//! answer set, and — for QAOA — the underlying MaxCut instance needed for
+//! the Approximation-Ratio-Gap metric.
+
+mod bv;
+mod extra;
+mod ghz;
+mod graycode;
+mod ising;
+mod probe;
+mod qaoa_bench;
+
+pub use bv::bernstein_vazirani;
+pub use extra::{qft_adder, random_circuit, w_state};
+pub use ghz::ghz;
+pub use graycode::{graycode, graycode_with_input};
+pub use ising::ising;
+pub use probe::{probe_circuit, ProbeState};
+pub use qaoa_bench::qaoa_maxcut;
+
+use jigsaw_pmf::BitString;
+
+use crate::qaoa::{Graph, QaoaAngles};
+use crate::Circuit;
+
+/// How a benchmark's correct-answer set is defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorrectSet {
+    /// The exact correct outcomes are known analytically (BV, GHZ, Graycode,
+    /// QAOA MaxCut optima).
+    Known(Vec<BitString>),
+    /// The correct set is every outcome whose *noiseless* probability is at
+    /// least `threshold` times the maximum noiseless probability (used for
+    /// Ising time evolution, whose ideal output is a spread distribution).
+    /// Resolved by the harness with the ideal simulator.
+    DominantIdeal {
+        /// Relative probability threshold in `(0, 1]`.
+        threshold: f64,
+    },
+}
+
+/// A ready-to-run NISQ benchmark program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    name: String,
+    circuit: Circuit,
+    correct: CorrectSet,
+    qaoa: Option<(Graph, QaoaAngles)>,
+}
+
+impl Benchmark {
+    /// Assembles a benchmark. Generator functions in this module are the
+    /// usual way to obtain one.
+    #[must_use]
+    pub fn new(name: impl Into<String>, circuit: Circuit, correct: CorrectSet) -> Self {
+        Self { name: name.into(), circuit, correct, qaoa: None }
+    }
+
+    /// Attaches the QAOA instance used for ARG scoring.
+    #[must_use]
+    pub fn with_qaoa(mut self, graph: Graph, angles: QaoaAngles) -> Self {
+        self.qaoa = Some((graph, angles));
+        self
+    }
+
+    /// Benchmark name as printed in the paper's figures (e.g. `"QAOA-10 p2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program circuit, without measurements.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of program qubits.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.circuit.n_qubits()
+    }
+
+    /// Correct-answer specification.
+    #[must_use]
+    pub fn correct(&self) -> &CorrectSet {
+        &self.correct
+    }
+
+    /// The MaxCut instance and angle schedule, for QAOA benchmarks.
+    #[must_use]
+    pub fn qaoa(&self) -> Option<(&Graph, &QaoaAngles)> {
+        self.qaoa.as_ref().map(|(g, a)| (g, a))
+    }
+}
+
+/// The nine-benchmark evaluation suite of paper Fig. 8 (Table 2 sizes):
+/// BV-6, QAOA-8 p1, QAOA-10 p2, QAOA-10 p4, QAOA-12 p4, QAOA-14 p2,
+/// Ising-10, GHZ-14, Graycode-18.
+#[must_use]
+pub fn paper_suite() -> Vec<Benchmark> {
+    vec![
+        bernstein_vazirani(6, 0b10110),
+        qaoa_maxcut(8, 1),
+        qaoa_maxcut(10, 2),
+        qaoa_maxcut(10, 4),
+        qaoa_maxcut(12, 4),
+        qaoa_maxcut(14, 2),
+        ising(10, 10),
+        ghz(14),
+        graycode(18),
+    ]
+}
+
+/// A trimmed suite for quick runs and CI: the same program families at
+/// smaller widths.
+#[must_use]
+pub fn small_suite() -> Vec<Benchmark> {
+    vec![bernstein_vazirani(4, 0b101), qaoa_maxcut(6, 1), ghz(6), graycode(8), ising(5, 5)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_matches_table2_sizes() {
+        let suite = paper_suite();
+        let sizes: Vec<(String, usize)> =
+            suite.iter().map(|b| (b.name().to_string(), b.n_qubits())).collect();
+        assert_eq!(
+            sizes,
+            vec![
+                ("BV-6".to_string(), 6),
+                ("QAOA-8 p1".to_string(), 8),
+                ("QAOA-10 p2".to_string(), 10),
+                ("QAOA-10 p4".to_string(), 10),
+                ("QAOA-12 p4".to_string(), 12),
+                ("QAOA-14 p2".to_string(), 14),
+                ("Ising-10".to_string(), 10),
+                ("GHZ-14".to_string(), 14),
+                ("Graycode-18".to_string(), 18),
+            ]
+        );
+    }
+
+    #[test]
+    fn suite_circuits_have_no_measurements() {
+        for b in paper_suite() {
+            assert!(b.circuit().measurements().is_empty(), "{} is pre-measured", b.name());
+        }
+    }
+
+    #[test]
+    fn qaoa_benchmarks_carry_their_instance() {
+        for b in paper_suite() {
+            let is_qaoa = b.name().starts_with("QAOA");
+            assert_eq!(b.qaoa().is_some(), is_qaoa, "{}", b.name());
+        }
+    }
+}

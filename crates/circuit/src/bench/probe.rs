@@ -1,0 +1,123 @@
+//! Measurement-crosstalk characterization circuits (paper Fig. 2a).
+//!
+//! An `N`-qubit circuit prepares every qubit in an arbitrary state with a
+//! `U3` gate and measures all of them. Qubit 0 is the *probe*: sweeping `N`
+//! while tracking the probe's marginal fidelity exposes how simultaneous
+//! measurements degrade readout (paper §3.1).
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Circuit;
+
+/// The four probe states evaluated in paper Fig. 2b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeState {
+    /// Computational basis `|0⟩` (identity preparation).
+    Zero,
+    /// Computational basis `|1⟩` (`U3(π, 0, π)`).
+    One,
+    /// Equal superposition `|+⟩` (`U3(π/2, 0, π)`).
+    Plus,
+    /// A generic Bloch-sphere point (`U3(π/3, π/5, 0)`).
+    Arbitrary,
+}
+
+impl ProbeState {
+    /// All four probe states, in presentation order.
+    pub const ALL: [ProbeState; 4] =
+        [ProbeState::Zero, ProbeState::One, ProbeState::Plus, ProbeState::Arbitrary];
+
+    /// `U3(θ, φ, λ)` preparation angles.
+    #[must_use]
+    pub fn angles(self) -> (f64, f64, f64) {
+        match self {
+            ProbeState::Zero => (0.0, 0.0, 0.0),
+            ProbeState::One => (PI, 0.0, PI),
+            ProbeState::Plus => (PI / 2.0, 0.0, PI),
+            ProbeState::Arbitrary => (PI / 3.0, PI / 5.0, 0.0),
+        }
+    }
+
+    /// The ideal probability of reading `1` from this state:
+    /// `sin²(θ/2)`.
+    #[must_use]
+    pub fn ideal_p1(self) -> f64 {
+        let (theta, _, _) = self.angles();
+        (theta / 2.0).sin().powi(2)
+    }
+
+    /// Display label used in figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeState::Zero => "|0>",
+            ProbeState::One => "|1>",
+            ProbeState::Plus => "|+>",
+            ProbeState::Arbitrary => "U3(pi/3,pi/5,0)",
+        }
+    }
+}
+
+/// Builds the Fig. 2a characterization circuit: the probe on qubit 0 in
+/// `state`, and `n − 1` companion qubits in seeded-random `U3` states. All
+/// qubits measured (qubit *i* → classical bit *i*).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn probe_circuit(n: usize, state: ProbeState, seed: u64) -> Circuit {
+    assert!(n >= 1, "probe circuit needs at least the probe qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let (t, p, l) = state.angles();
+    c.u3(0, t, p, l);
+    for q in 1..n {
+        let theta: f64 = rng.gen::<f64>() * PI;
+        let phi: f64 = rng.gen::<f64>() * 2.0 * PI;
+        let lambda: f64 = rng.gen::<f64>() * 2.0 * PI;
+        c.u3(q, theta, phi, lambda);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_p1_of_basis_states() {
+        assert!(ProbeState::Zero.ideal_p1().abs() < 1e-12);
+        assert!((ProbeState::One.ideal_p1() - 1.0).abs() < 1e-12);
+        assert!((ProbeState::Plus.ideal_p1() - 0.5).abs() < 1e-12);
+        let arb = ProbeState::Arbitrary.ideal_p1();
+        assert!(arb > 0.0 && arb < 0.5);
+    }
+
+    #[test]
+    fn circuit_shape() {
+        let c = probe_circuit(5, ProbeState::Plus, 3);
+        assert_eq!(c.n_qubits(), 5);
+        assert_eq!(c.one_qubit_gates(), 5);
+        assert_eq!(c.measurements().len(), 5);
+    }
+
+    #[test]
+    fn companions_are_seed_deterministic() {
+        let a = probe_circuit(4, ProbeState::Zero, 11);
+        let b = probe_circuit(4, ProbeState::Zero, 11);
+        assert_eq!(a, b);
+        let c = probe_circuit(4, ProbeState::Zero, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_qubit_probe_has_no_companions() {
+        let c = probe_circuit(1, ProbeState::One, 0);
+        assert_eq!(c.one_qubit_gates(), 1);
+    }
+}

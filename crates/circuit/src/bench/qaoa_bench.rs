@@ -1,0 +1,85 @@
+//! QAOA MaxCut benchmarks (paper Table 2, QAOA-n at p = 1, 2, 4).
+
+use super::{Benchmark, CorrectSet};
+use crate::qaoa::{qaoa_circuit, Graph, QaoaAngles};
+
+/// Builds QAOA-n with `p` layers on the path graph `0−1−…−(n−1)` using the
+/// deterministic linear-ramp angle schedule.
+///
+/// The path graph's edge count (`n−1`) reproduces Table 2's two-qubit gate
+/// counts exactly: `2(n−1)` CNOTs per layer. Its MaxCut optima are the two
+/// alternating colourings, giving a crisp correct-answer set for PST/IST
+/// while the attached [`Graph`] supports the ARG metric.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_circuit::bench::qaoa_maxcut;
+///
+/// let b = qaoa_maxcut(10, 2);
+/// assert_eq!(b.name(), "QAOA-10 p2");
+/// assert!(b.qaoa().is_some());
+/// ```
+#[must_use]
+pub fn qaoa_maxcut(n: usize, p: usize) -> Benchmark {
+    let graph = Graph::path(n);
+    let angles = QaoaAngles::linear_ramp(p);
+    qaoa_maxcut_on(graph, angles, format!("QAOA-{n} p{p}"))
+}
+
+/// Builds a QAOA benchmark on an arbitrary graph with explicit angles.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 vertices (the MaxCut optimum is
+/// brute-forced to define the correct-answer set).
+#[must_use]
+pub fn qaoa_maxcut_on(graph: Graph, angles: QaoaAngles, name: String) -> Benchmark {
+    let circuit = qaoa_circuit(&graph, &angles);
+    let (_, optima) = graph.max_cut();
+    Benchmark::new(name, circuit, CorrectSet::Known(optima)).with_qaoa(graph, angles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_pmf::BitString;
+
+    #[test]
+    fn table2_gate_counts() {
+        // QAOA-n (p=1): n H + n RX = 2n... Table 2 counts 4n single-qubit
+        // gates (its transpilation splits H/RX differently); the two-qubit
+        // count 2(n−1) is exact.
+        let b = qaoa_maxcut(8, 1);
+        assert_eq!(b.circuit().two_qubit_gates(), 2 * 7);
+        let b = qaoa_maxcut(10, 2);
+        assert_eq!(b.circuit().two_qubit_gates(), 2 * 2 * 9);
+        let b = qaoa_maxcut(12, 4);
+        assert_eq!(b.circuit().two_qubit_gates(), 2 * 4 * 11);
+    }
+
+    #[test]
+    fn correct_set_is_alternating_colourings() {
+        let b = qaoa_maxcut(6, 1);
+        match b.correct() {
+            CorrectSet::Known(ans) => {
+                assert_eq!(ans.len(), 2);
+                assert!(ans.contains(&"010101".parse::<BitString>().unwrap()));
+                assert!(ans.contains(&"101010".parse::<BitString>().unwrap()));
+            }
+            other => panic!("unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_graph_benchmark() {
+        let g = Graph::ring(6);
+        let b = qaoa_maxcut_on(g, QaoaAngles::linear_ramp(1), "QAOA-ring6".into());
+        assert_eq!(b.n_qubits(), 6);
+        assert_eq!(b.circuit().two_qubit_gates(), 2 * 6);
+    }
+}

@@ -1,0 +1,192 @@
+//! Quantum gates in the workspace's basis set.
+//!
+//! Circuits are expressed directly in a near-hardware basis: arbitrary
+//! single-qubit rotations plus `CX`/`CZ`/`SWAP`. Two-qubit interactions that
+//! superconducting hardware would synthesise from CNOTs (e.g. the `ZZ(θ)` of
+//! QAOA and Ising benchmarks) are emitted as explicit CNOT+RZ sequences by
+//! the benchmark generators, so gate counts and noise accounting match what
+//! a transpiled circuit would incur.
+
+use std::fmt;
+
+/// A gate instance applied to specific qubit indices.
+///
+/// Angles are radians. Two-qubit gates list `(control, target)` or the
+/// unordered pair for symmetric gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Phase gate S = diag(1, i).
+    S(usize),
+    /// Inverse phase gate S† = diag(1, −i).
+    Sdg(usize),
+    /// T = diag(1, e^{iπ/4}).
+    T(usize),
+    /// T† = diag(1, e^{−iπ/4}).
+    Tdg(usize),
+    /// Square root of X (the IBM native √X).
+    Sx(usize),
+    /// Rotation about X by the angle.
+    Rx(usize, f64),
+    /// Rotation about Y by the angle.
+    Ry(usize, f64),
+    /// Rotation about Z by the angle.
+    Rz(usize, f64),
+    /// Generic single-qubit gate `U3(θ, φ, λ)` (paper Fig. 2's state
+    /// preparation gate).
+    U3(usize, f64, f64, f64),
+    /// Controlled-X with `(control, target)`.
+    Cx(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// SWAP (symmetric). Inserted by the router; hardware decomposes it into
+    /// three CNOTs, which the noise model accounts for.
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// Qubits the gate acts on, in `(first, second)` order; `second` is
+    /// `None` for single-qubit gates.
+    #[must_use]
+    pub fn qubits(&self) -> (usize, Option<usize>) {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Sx(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::U3(q, _, _, _) => (q, None),
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => (a, Some(b)),
+        }
+    }
+
+    /// `true` for gates acting on two qubits.
+    #[must_use]
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().1.is_some()
+    }
+
+    /// Number of physical CNOTs this gate costs on CNOT-native hardware
+    /// (1 for `CX`/`CZ`, 3 for `SWAP`, 0 for single-qubit gates). The noise
+    /// model charges two-qubit error once per equivalent CNOT.
+    #[must_use]
+    pub fn cnot_cost(&self) -> u32 {
+        match self {
+            Gate::Swap(_, _) => 3,
+            g if g.is_two_qubit() => 1,
+            _ => 0,
+        }
+    }
+
+    /// Lower-case mnemonic (`"cx"`, `"rz"`, ...).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Sx(_) => "sx",
+            Gate::Rx(_, _) => "rx",
+            Gate::Ry(_, _) => "ry",
+            Gate::Rz(_, _) => "rz",
+            Gate::U3(_, _, _, _) => "u3",
+            Gate::Cx(_, _) => "cx",
+            Gate::Cz(_, _) => "cz",
+            Gate::Swap(_, _) => "swap",
+        }
+    }
+
+    /// Returns the same gate acting on relabelled qubits: qubit `q` becomes
+    /// `map(q)`. Used when placing a logical circuit onto physical qubits.
+    #[must_use]
+    pub fn remapped(&self, map: impl Fn(usize) -> usize) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(map(q)),
+            Gate::X(q) => Gate::X(map(q)),
+            Gate::Y(q) => Gate::Y(map(q)),
+            Gate::Z(q) => Gate::Z(map(q)),
+            Gate::S(q) => Gate::S(map(q)),
+            Gate::Sdg(q) => Gate::Sdg(map(q)),
+            Gate::T(q) => Gate::T(map(q)),
+            Gate::Tdg(q) => Gate::Tdg(map(q)),
+            Gate::Sx(q) => Gate::Sx(map(q)),
+            Gate::Rx(q, a) => Gate::Rx(map(q), a),
+            Gate::Ry(q, a) => Gate::Ry(map(q), a),
+            Gate::Rz(q, a) => Gate::Rz(map(q), a),
+            Gate::U3(q, t, p, l) => Gate::U3(map(q), t, p, l),
+            Gate::Cx(a, b) => Gate::Cx(map(a), map(b)),
+            Gate::Cz(a, b) => Gate::Cz(map(a), map(b)),
+            Gate::Swap(a, b) => Gate::Swap(map(a), map(b)),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.qubits() {
+            (q, None) => match self {
+                Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) => {
+                    write!(f, "{}({a:.4}) q{q}", self.name())
+                }
+                Gate::U3(_, t, p, l) => write!(f, "u3({t:.4},{p:.4},{l:.4}) q{q}"),
+                _ => write!(f, "{} q{q}", self.name()),
+            },
+            (a, Some(b)) => write!(f, "{} q{a}, q{b}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_and_arity() {
+        assert_eq!(Gate::H(3).qubits(), (3, None));
+        assert_eq!(Gate::Cx(1, 2).qubits(), (1, Some(2)));
+        assert!(!Gate::Rz(0, 1.0).is_two_qubit());
+        assert!(Gate::Swap(0, 1).is_two_qubit());
+    }
+
+    #[test]
+    fn cnot_cost_charges_swap_three() {
+        assert_eq!(Gate::Swap(0, 1).cnot_cost(), 3);
+        assert_eq!(Gate::Cx(0, 1).cnot_cost(), 1);
+        assert_eq!(Gate::Cz(0, 1).cnot_cost(), 1);
+        assert_eq!(Gate::H(0).cnot_cost(), 0);
+    }
+
+    #[test]
+    fn remapped_applies_to_all_operands() {
+        let g = Gate::Cx(0, 1).remapped(|q| q + 10);
+        assert_eq!(g, Gate::Cx(10, 11));
+        let g = Gate::U3(2, 0.1, 0.2, 0.3).remapped(|q| q * 2);
+        assert_eq!(g, Gate::U3(4, 0.1, 0.2, 0.3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Gate::H(0).to_string(), "h q0");
+        assert_eq!(Gate::Cx(1, 2).to_string(), "cx q1, q2");
+        assert!(Gate::Rz(0, std::f64::consts::PI).to_string().starts_with("rz(3.14"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Quantum-circuit IR and NISQ benchmark programs for the JigSaw
+//! (MICRO 2021) reproduction.
+//!
+//! * [`Gate`] / [`Circuit`] — a minimal near-hardware circuit representation
+//!   (single-qubit rotations + CX/CZ/SWAP) with a builder API, gate
+//!   statistics and layout remapping.
+//! * [`mod@bench`] — the paper's Table 2 workloads (BV, GHZ, Graycode, QAOA,
+//!   Ising) and the Fig. 2 crosstalk-probe circuits, each packaged as a
+//!   [`bench::Benchmark`] with its correct-answer set.
+//! * [`qaoa`] — the MaxCut substrate: problem graphs, brute-force optima,
+//!   angle schedules and the Approximation-Ratio-Gap metric.
+//!
+//! # Examples
+//!
+//! ```
+//! use jigsaw_circuit::{bench, Circuit};
+//!
+//! // Hand-built circuit…
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).measure_all();
+//!
+//! // …or a paper benchmark.
+//! let ghz = bench::ghz(14);
+//! assert_eq!(ghz.circuit().two_qubit_gates(), 13);
+//! ```
+
+pub mod bench;
+#[allow(clippy::module_inception)]
+mod circuit;
+mod gate;
+pub mod qaoa;
+pub mod qasm;
+
+pub use circuit::{Circuit, Measurement};
+pub use gate::Gate;

@@ -1,0 +1,318 @@
+//! OpenQASM 2.0 interchange: export circuits for inspection in standard
+//! tooling (Qiskit, quirk converters) and import simple QASM programs.
+//!
+//! The supported subset covers everything this workspace emits: `qreg` /
+//! `creg` declarations, the gate set of [`Gate`], and `measure`. The parser
+//! accepts the canonical `qelib1.inc` spellings (`cx`, `u3`, `rz(θ)`, …)
+//! with literal angles (floats, optionally `pi`-scaled like `pi/2` or
+//! `2*pi`).
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::{Circuit, Gate};
+
+/// Serialises a circuit as an OpenQASM 2.0 program.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_circuit::{qasm, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("cx q[0], q[1];"));
+/// let back = qasm::from_qasm(&text)?;
+/// assert_eq!(back, c);
+/// # Ok::<(), qasm::ParseQasmError>(())
+/// ```
+#[must_use]
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    if circuit.n_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.n_clbits());
+    }
+    for g in circuit.gates() {
+        let line = match *g {
+            Gate::H(q) => format!("h q[{q}];"),
+            Gate::X(q) => format!("x q[{q}];"),
+            Gate::Y(q) => format!("y q[{q}];"),
+            Gate::Z(q) => format!("z q[{q}];"),
+            Gate::S(q) => format!("s q[{q}];"),
+            Gate::Sdg(q) => format!("sdg q[{q}];"),
+            Gate::T(q) => format!("t q[{q}];"),
+            Gate::Tdg(q) => format!("tdg q[{q}];"),
+            Gate::Sx(q) => format!("sx q[{q}];"),
+            Gate::Rx(q, a) => format!("rx({a}) q[{q}];"),
+            Gate::Ry(q, a) => format!("ry({a}) q[{q}];"),
+            Gate::Rz(q, a) => format!("rz({a}) q[{q}];"),
+            Gate::U3(q, t, p, l) => format!("u3({t},{p},{l}) q[{q}];"),
+            Gate::Cx(a, b) => format!("cx q[{a}], q[{b}];"),
+            Gate::Cz(a, b) => format!("cz q[{a}], q[{b}];"),
+            Gate::Swap(a, b) => format!("swap q[{a}], q[{b}];"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for m in circuit.measurements() {
+        let _ = writeln!(out, "measure q[{}] -> c[{}];", m.qubit, m.clbit);
+    }
+    out
+}
+
+/// Parses the supported OpenQASM 2.0 subset back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unsupported statements, malformed
+/// operands, missing declarations, or out-of-range indices.
+pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+            || line.starts_with("creg")
+            || line.starts_with("barrier")
+        {
+            continue;
+        }
+        let stmt = line.strip_suffix(';').ok_or(ParseQasmError::MissingSemicolon {
+            line: line_no + 1,
+        })?;
+
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let n = bracket_index(rest.trim(), line_no + 1)?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+
+        let c = circuit.as_mut().ok_or(ParseQasmError::MissingQreg)?;
+
+        if let Some(rest) = stmt.strip_prefix("measure") {
+            let (lhs, rhs) = rest.split_once("->").ok_or(ParseQasmError::Malformed {
+                line: line_no + 1,
+            })?;
+            let qubit = bracket_index(lhs.trim(), line_no + 1)?;
+            let clbit = bracket_index(rhs.trim(), line_no + 1)?;
+            if qubit >= c.n_qubits() {
+                return Err(ParseQasmError::IndexOutOfRange { line: line_no + 1 });
+            }
+            c.measure(qubit, clbit);
+            continue;
+        }
+
+        // Gate statement: `name(args)? operand (, operand)*`.
+        let (head, operands_text) =
+            stmt.split_once(' ').ok_or(ParseQasmError::Malformed { line: line_no + 1 })?;
+        let (name, angles) = match head.split_once('(') {
+            Some((name, args)) => {
+                let args = args.strip_suffix(')').ok_or(ParseQasmError::Malformed {
+                    line: line_no + 1,
+                })?;
+                let parsed: Result<Vec<f64>, _> =
+                    args.split(',').map(|a| parse_angle(a.trim(), line_no + 1)).collect();
+                (name, parsed?)
+            }
+            None => (head, Vec::new()),
+        };
+        let operands: Result<Vec<usize>, _> = operands_text
+            .split(',')
+            .map(|o| bracket_index(o.trim(), line_no + 1))
+            .collect();
+        let operands = operands?;
+        let bad = || ParseQasmError::Malformed { line: line_no + 1 };
+        let gate = match (name, operands.as_slice(), angles.as_slice()) {
+            ("h", [q], []) => Gate::H(*q),
+            ("x", [q], []) => Gate::X(*q),
+            ("y", [q], []) => Gate::Y(*q),
+            ("z", [q], []) => Gate::Z(*q),
+            ("s", [q], []) => Gate::S(*q),
+            ("sdg", [q], []) => Gate::Sdg(*q),
+            ("t", [q], []) => Gate::T(*q),
+            ("tdg", [q], []) => Gate::Tdg(*q),
+            ("sx", [q], []) => Gate::Sx(*q),
+            ("rx", [q], [a]) => Gate::Rx(*q, *a),
+            ("ry", [q], [a]) => Gate::Ry(*q, *a),
+            ("rz", [q], [a]) => Gate::Rz(*q, *a),
+            ("u3", [q], [t, p, l]) => Gate::U3(*q, *t, *p, *l),
+            ("cx", [a, b], []) => Gate::Cx(*a, *b),
+            ("cz", [a, b], []) => Gate::Cz(*a, *b),
+            ("swap", [a, b], []) => Gate::Swap(*a, *b),
+            _ => {
+                return Err(ParseQasmError::UnsupportedGate {
+                    name: name.to_string(),
+                    line: line_no + 1,
+                })
+            }
+        };
+        let (a, b) = gate.qubits();
+        if a >= c.n_qubits() || b.is_some_and(|b| b >= c.n_qubits()) {
+            return Err(ParseQasmError::IndexOutOfRange { line: line_no + 1 });
+        }
+        if b == Some(a) {
+            return Err(bad());
+        }
+        c.push(gate);
+    }
+    circuit.ok_or(ParseQasmError::MissingQreg)
+}
+
+/// Extracts `name[i]`'s index.
+fn bracket_index(token: &str, line: usize) -> Result<usize, ParseQasmError> {
+    let open = token.find('[').ok_or(ParseQasmError::Malformed { line })?;
+    let close = token.find(']').ok_or(ParseQasmError::Malformed { line })?;
+    token[open + 1..close].parse().map_err(|_| ParseQasmError::Malformed { line })
+}
+
+/// Parses a literal angle, allowing `pi`, `k*pi`, `pi/k`, and plain floats.
+fn parse_angle(text: &str, line: usize) -> Result<f64, ParseQasmError> {
+    use std::f64::consts::PI;
+    let bad = || ParseQasmError::Malformed { line };
+    let t = text.replace(' ', "");
+    if let Ok(v) = f64::from_str(&t) {
+        return Ok(v);
+    }
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest.to_string()),
+        None => (false, t),
+    };
+    let value = if t == "pi" {
+        PI
+    } else if let Some(k) = t.strip_prefix("pi/") {
+        PI / f64::from_str(k).map_err(|_| bad())?
+    } else if let Some(k) = t.strip_suffix("*pi") {
+        f64::from_str(k).map_err(|_| bad())? * PI
+    } else {
+        return Err(bad());
+    };
+    Ok(if neg { -value } else { value })
+}
+
+/// Error from [`from_qasm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseQasmError {
+    /// No `qreg` declaration before the first gate.
+    MissingQreg,
+    /// A statement lacked its terminating semicolon.
+    MissingSemicolon {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A statement could not be parsed.
+    Malformed {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A gate outside the supported subset.
+    UnsupportedGate {
+        /// Gate name as written.
+        name: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A qubit or classical-bit index beyond the declared register.
+    IndexOutOfRange {
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingQreg => write!(f, "no qreg declaration found"),
+            Self::MissingSemicolon { line } => write!(f, "missing semicolon at line {line}"),
+            Self::Malformed { line } => write!(f, "malformed statement at line {line}"),
+            Self::UnsupportedGate { name, line } => {
+                write!(f, "unsupported gate {name:?} at line {line}")
+            }
+            Self::IndexOutOfRange { line } => write!(f, "index out of range at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn ghz_round_trips() {
+        let mut c = bench::ghz(4).circuit().clone();
+        c.measure_all();
+        let text = to_qasm(&c);
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[4];"));
+        assert!(text.contains("creg c[4];"));
+        let back = from_qasm(&text).expect("round trip");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn every_benchmark_round_trips() {
+        for b in bench::paper_suite() {
+            let mut c = b.circuit().clone();
+            c.measure_all();
+            let back = from_qasm(&to_qasm(&c)).unwrap_or_else(|_| panic!("{}", b.name()));
+            assert_eq!(back, c, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn rotation_angles_round_trip_exactly() {
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.123456789).ry(0, -2.5).rz(0, 3.0).u3(0, 0.1, 0.2, 0.3);
+        assert_eq!(from_qasm(&to_qasm(&c)).expect("round trip"), c);
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let text = "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(2*pi) q[0];";
+        let c = from_qasm(text).expect("pi parse");
+        match c.gates()[0] {
+            Gate::Rz(0, a) => assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            ref g => panic!("unexpected {g}"),
+        }
+        match c.gates()[1] {
+            Gate::Rx(0, a) => assert!((a + std::f64::consts::PI).abs() < 1e-12),
+            ref g => panic!("unexpected {g}"),
+        }
+    }
+
+    #[test]
+    fn ignores_comments_and_barriers() {
+        let text = "OPENQASM 2.0;\n// a comment\nqreg q[2];\nbarrier q;\nh q[0]; // trailing\ncx q[0], q[1];";
+        let c = from_qasm(text).expect("parse");
+        assert_eq!(c.gates().len(), 2);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nfoo q[0];"),
+            Err(ParseQasmError::UnsupportedGate { name: "foo".into(), line: 3 })
+        );
+        assert_eq!(
+            from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[7];"),
+            Err(ParseQasmError::IndexOutOfRange { line: 3 })
+        );
+        assert_eq!(from_qasm("qreg q[2]"), Err(ParseQasmError::MissingSemicolon { line: 1 }));
+        assert_eq!(from_qasm("h q[0];"), Err(ParseQasmError::MissingQreg));
+        assert_eq!(from_qasm(""), Err(ParseQasmError::MissingQreg));
+    }
+
+    #[test]
+    fn measurement_mapping_survives() {
+        let mut c = Circuit::new(3);
+        c.h(0).measure(2, 0).measure(0, 1);
+        let back = from_qasm(&to_qasm(&c)).expect("round trip");
+        assert_eq!(back.measured_qubits(), vec![2, 0]);
+    }
+}

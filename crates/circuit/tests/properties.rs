@@ -1,0 +1,138 @@
+//! Property-based tests for the circuit IR and benchmark generators.
+
+use jigsaw_circuit::bench;
+use jigsaw_circuit::qaoa::Graph;
+use jigsaw_circuit::{Circuit, Gate};
+use jigsaw_pmf::BitString;
+use proptest::prelude::*;
+
+fn chain_circuit(n: usize, ops: &[(u8, usize)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(kind, q) in ops {
+        let q = q % n;
+        match kind % 4 {
+            0 => c.h(q),
+            1 => c.x(q),
+            2 => c.rz(q, 0.5),
+            _ => {
+                if n > 1 {
+                    c.cx(q, (q + 1) % n)
+                } else {
+                    c.h(q)
+                }
+            }
+        };
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn gate_counts_are_partitioned(ops in prop::collection::vec((0u8..4, 0usize..6), 1..40)) {
+        let c = chain_circuit(6, &ops);
+        prop_assert_eq!(c.one_qubit_gates() + c.two_qubit_gates(), c.gates().len());
+    }
+
+    #[test]
+    fn depth_bounds(ops in prop::collection::vec((0u8..4, 0usize..6), 1..40)) {
+        let c = chain_circuit(6, &ops);
+        // Depth is at least gates/width and at most the gate count.
+        prop_assert!(c.depth() <= c.gates().len());
+        prop_assert!(c.depth() * 6 >= c.gates().len());
+    }
+
+    #[test]
+    fn remap_preserves_structure(ops in prop::collection::vec((0u8..4, 0usize..5), 1..30)) {
+        let c = {
+            let mut base = chain_circuit(5, &ops);
+            base.measure_all();
+            base
+        };
+        let layout: Vec<usize> = vec![9, 3, 7, 0, 5];
+        let m = c.remapped(&layout, 12);
+        prop_assert_eq!(m.gates().len(), c.gates().len());
+        prop_assert_eq!(m.one_qubit_gates(), c.one_qubit_gates());
+        prop_assert_eq!(m.two_qubit_gates(), c.two_qubit_gates());
+        prop_assert_eq!(m.depth(), c.depth());
+        prop_assert_eq!(m.n_clbits(), c.n_clbits());
+        // Gate-by-gate, operands map through the layout.
+        for (orig, mapped) in c.gates().iter().zip(m.gates()) {
+            let (a, b) = orig.qubits();
+            let (ma, mb) = mapped.qubits();
+            prop_assert_eq!(ma, layout[a]);
+            prop_assert_eq!(mb, b.map(|x| layout[x]));
+        }
+    }
+
+    #[test]
+    fn bv_answer_always_ends_with_ancilla_one(n in 2usize..12, secret_seed in 0u64..1000) {
+        let bits = n - 1;
+        let secret = if bits >= 64 { secret_seed } else { secret_seed % (1u64 << bits) };
+        let b = bench::bernstein_vazirani(n, secret);
+        match b.correct() {
+            bench::CorrectSet::Known(ans) => {
+                prop_assert_eq!(ans.len(), 1);
+                prop_assert!(ans[0].bit(n - 1), "ancilla must read 1");
+                for i in 0..bits {
+                    prop_assert_eq!(ans[0].bit(i), (secret >> i) & 1 == 1);
+                }
+            }
+            other => prop_assert!(false, "unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ghz_gate_counts(n in 2usize..20) {
+        let b = bench::ghz(n);
+        prop_assert_eq!(b.circuit().one_qubit_gates(), 1);
+        prop_assert_eq!(b.circuit().two_qubit_gates(), n - 1);
+    }
+
+    #[test]
+    fn graycode_answer_round_trips(n in 2usize..16, v in 0u64..1024) {
+        let value = v % (1u64 << n.min(10));
+        let gray = value ^ (value >> 1);
+        let b = bench::graycode_with_input(n, BitString::from_u64(gray, n));
+        match b.correct() {
+            bench::CorrectSet::Known(ans) => prop_assert_eq!(ans[0].to_u64(), value),
+            other => prop_assert!(false, "unexpected correct set {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qaoa_two_qubit_count_is_2p_edges(n in 3usize..12, p in 1usize..4) {
+        let b = bench::qaoa_maxcut(n, p);
+        prop_assert_eq!(b.circuit().two_qubit_gates(), 2 * p * (n - 1));
+    }
+
+    #[test]
+    fn path_maxcut_is_full(n in 2usize..14) {
+        let g = Graph::path(n);
+        let (best, winners) = g.max_cut();
+        prop_assert_eq!(best, (n - 1) as u64);
+        prop_assert_eq!(winners.len(), 2, "exactly the two alternating colourings");
+    }
+
+    #[test]
+    fn cut_value_invariant_under_complement(n in 2usize..10, v in 0u64..1024) {
+        let g = Graph::path(n);
+        let assignment = BitString::from_u64(v % (1u64 << n), n);
+        let mut complement = assignment;
+        for i in 0..n {
+            complement.flip_bit(i);
+        }
+        prop_assert_eq!(g.cut_value(&assignment), g.cut_value(&complement));
+    }
+
+    #[test]
+    fn gate_display_names_match_kind(q in 0usize..4, angle in -3.0f64..3.0) {
+        for (g, name) in [
+            (Gate::H(q), "h"),
+            (Gate::Rx(q, angle), "rx"),
+            (Gate::Cx(q, q + 1), "cx"),
+            (Gate::Swap(q, q + 1), "swap"),
+        ] {
+            prop_assert_eq!(g.name(), name);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Ensemble of Diverse Mappings (Tannu & Qureshi, MICRO'19 \[48\]) — the
+//! prior-work baseline the paper compares against (§5.2).
+//!
+//! EDM runs independent copies of a program on *different* physical-qubit
+//! allocations and merges the histograms: diverse mappings make dissimilar
+//! mistakes, so correlated errors from any single allocation wash out.
+
+use jigsaw_circuit::Circuit;
+use jigsaw_device::Device;
+
+use crate::compile::{compile_with_avoidance, Compiled, CompilerOptions};
+use crate::placement::PlacementConfig;
+
+/// Compiles `k` diverse mappings of a measured logical circuit.
+///
+/// Each compilation penalises qubits used by earlier ensemble members, so
+/// allocations spread across the device (falling back to overlap when the
+/// machine is too small for disjoint copies).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the program is wider than the device.
+#[must_use]
+pub fn ensemble(logical: &Circuit, device: &Device, k: usize, options: &CompilerOptions) -> Vec<Compiled> {
+    assert!(k >= 1, "an ensemble needs at least one mapping");
+    let diverse = CompilerOptions {
+        placement: PlacementConfig { diversity_penalty: 2.0, ..options.placement },
+        ..*options
+    };
+    let mut used: Vec<Vec<usize>> = Vec::new();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let compiled = compile_with_avoidance(logical, device, &diverse, &used);
+        used.push(compiled.routed.initial_layout.occupied());
+        out.push(compiled);
+    }
+    out
+}
+
+/// The ensemble size the paper evaluates (four mappings, trials split
+/// equally; §5.4).
+pub const PAPER_ENSEMBLE_SIZE: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_circuit::bench;
+
+    fn measured(n: usize) -> Circuit {
+        let mut c = bench::ghz(n).circuit().clone();
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn ensemble_has_k_members() {
+        let device = Device::toronto();
+        let members = ensemble(&measured(4), &device, 4, &CompilerOptions::default());
+        assert_eq!(members.len(), 4);
+    }
+
+    #[test]
+    fn small_program_mappings_are_substantially_diverse() {
+        let device = Device::toronto();
+        let members = ensemble(&measured(4), &device, 4, &CompilerOptions::default());
+        // 4 copies × 4 qubits = 16 ≤ 27, so pairwise overlap should be low.
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let a = members[i].routed.initial_layout.occupied();
+                let b = members[j].routed.initial_layout.occupied();
+                let overlap = a.iter().filter(|q| b.contains(q)).count();
+                assert!(overlap <= 2, "mappings {i},{j} overlap on {overlap} qubits");
+            }
+        }
+    }
+
+    #[test]
+    fn big_programs_still_yield_ensembles() {
+        // 4 copies of 14 qubits cannot be disjoint on 27; EDM still works,
+        // just with overlap.
+        let device = Device::toronto();
+        let members = ensemble(&measured(14), &device, 4, &CompilerOptions::default());
+        assert_eq!(members.len(), 4);
+        for m in &members {
+            assert!(m.eps > 0.0);
+        }
+    }
+
+    #[test]
+    fn members_execute_the_same_program() {
+        use jigsaw_sim::ideal_pmf;
+        let device = Device::paris();
+        let logical = measured(5);
+        let reference = ideal_pmf(&logical);
+        for m in ensemble(&logical, &device, 3, &CompilerOptions::default()) {
+            let p = ideal_pmf(m.circuit());
+            for (b, prob) in reference.iter() {
+                assert!((p.prob(b) - prob).abs() < 1e-9);
+            }
+        }
+    }
+}

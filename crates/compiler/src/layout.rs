@@ -1,0 +1,184 @@
+//! Logical→physical qubit assignments.
+
+use std::fmt;
+
+/// A bijective placement of `n` logical (program) qubits onto distinct
+/// physical qubits of a device.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_compiler::Layout;
+///
+/// let layout = Layout::new(vec![4, 2, 7], 10);
+/// assert_eq!(layout.physical(1), 2);
+/// assert_eq!(layout.logical(7), Some(2));
+/// assert_eq!(layout.logical(0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    logical_to_physical: Vec<usize>,
+    physical_to_logical: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// Creates a layout mapping logical qubit `l` to
+    /// `logical_to_physical[l]` on a `device_qubits`-wide machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map contains duplicates or out-of-range targets.
+    #[must_use]
+    pub fn new(logical_to_physical: Vec<usize>, device_qubits: usize) -> Self {
+        let mut physical_to_logical = vec![None; device_qubits];
+        for (l, &p) in logical_to_physical.iter().enumerate() {
+            assert!(p < device_qubits, "logical {l} mapped to physical {p} outside the device");
+            assert!(physical_to_logical[p].is_none(), "physical qubit {p} assigned twice");
+            physical_to_logical[p] = Some(l);
+        }
+        Self { logical_to_physical, physical_to_logical }
+    }
+
+    /// The identity placement of `n` logical qubits on a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > device_qubits`.
+    #[must_use]
+    pub fn identity(n: usize, device_qubits: usize) -> Self {
+        assert!(n <= device_qubits, "program wider than device");
+        Self::new((0..n).collect(), device_qubits)
+    }
+
+    /// Number of logical qubits placed.
+    #[must_use]
+    pub fn n_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Device width.
+    #[must_use]
+    pub fn n_physical(&self) -> usize {
+        self.physical_to_logical.len()
+    }
+
+    /// Physical home of a logical qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logical qubit is out of range.
+    #[must_use]
+    pub fn physical(&self, logical: usize) -> usize {
+        self.logical_to_physical[logical]
+    }
+
+    /// Logical occupant of a physical qubit, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical qubit is out of range.
+    #[must_use]
+    pub fn logical(&self, physical: usize) -> Option<usize> {
+        self.physical_to_logical[physical]
+    }
+
+    /// The full logical→physical map.
+    #[must_use]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.logical_to_physical
+    }
+
+    /// Applies a SWAP on two physical qubits (as the router does): whatever
+    /// logical qubits lived there exchange homes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either physical qubit is out of range.
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.physical_to_logical[a];
+        let lb = self.physical_to_logical[b];
+        self.physical_to_logical[a] = lb;
+        self.physical_to_logical[b] = la;
+        if let Some(l) = la {
+            self.logical_to_physical[l] = b;
+        }
+        if let Some(l) = lb {
+            self.logical_to_physical[l] = a;
+        }
+    }
+
+    /// Set of physical qubits in use.
+    #[must_use]
+    pub fn occupied(&self) -> Vec<usize> {
+        let mut v = self.logical_to_physical.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout{{")?;
+        for (l, p) in self.logical_to_physical.iter().enumerate() {
+            if l > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{l}->Q{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mapping() {
+        let l = Layout::new(vec![3, 0, 5], 6);
+        assert_eq!(l.physical(0), 3);
+        assert_eq!(l.logical(3), Some(0));
+        assert_eq!(l.logical(1), None);
+        assert_eq!(l.n_logical(), 3);
+        assert_eq!(l.n_physical(), 6);
+    }
+
+    #[test]
+    fn swap_physical_updates_both_directions() {
+        let mut l = Layout::new(vec![0, 1], 4);
+        l.swap_physical(1, 2); // logical 1 moves to physical 2
+        assert_eq!(l.physical(1), 2);
+        assert_eq!(l.logical(2), Some(1));
+        assert_eq!(l.logical(1), None);
+        // Swapping two empty qubits is a no-op.
+        l.swap_physical(1, 3);
+        assert_eq!(l.physical(0), 0);
+        assert_eq!(l.physical(1), 2);
+    }
+
+    #[test]
+    fn swap_with_occupied_pair_exchanges() {
+        let mut l = Layout::new(vec![0, 1], 2);
+        l.swap_physical(0, 1);
+        assert_eq!(l.physical(0), 1);
+        assert_eq!(l.physical(1), 0);
+    }
+
+    #[test]
+    fn occupied_is_sorted() {
+        let l = Layout::new(vec![5, 2, 9], 10);
+        assert_eq!(l.occupied(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        let _ = Layout::new(vec![1, 1], 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = Layout::new(vec![2, 0], 3);
+        assert_eq!(l.to_string(), "layout{q0->Q2, q1->Q0}");
+    }
+}

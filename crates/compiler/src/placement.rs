@@ -1,0 +1,414 @@
+//! Noise-aware initial placement: pick a good connected region of the
+//! device, then assign logical qubits inside it by interaction weight.
+//!
+//! Regions are grown greedily from every seed qubit with a cost that mixes
+//! coupler error, readout error (for measured programs) and an optional
+//! diversity penalty against previously-used regions (the knob EDM turns;
+//! paper §5.2 \[48\]).
+
+use jigsaw_circuit::Circuit;
+use jigsaw_device::Device;
+
+use crate::Layout;
+
+/// Placement tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementConfig {
+    /// Weight of a candidate qubit's readout error in region growth.
+    /// Measured qubits dominate CPM recompilation by raising this.
+    pub readout_weight: f64,
+    /// Weight of the best connecting coupler's error in region growth.
+    pub gate_weight: f64,
+    /// Penalty per previously-used region containing the candidate qubit
+    /// (diversity for EDM).
+    pub diversity_penalty: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        Self { readout_weight: 1.0, gate_weight: 1.0, diversity_penalty: 0.0 }
+    }
+}
+
+/// Grows one candidate region from `seed` and assigns the circuit's logical
+/// qubits inside it. Returns `None` when the component around `seed` is
+/// smaller than the program.
+#[must_use]
+pub fn layout_from_seed(
+    circuit: &Circuit,
+    device: &Device,
+    seed: usize,
+    config: &PlacementConfig,
+    avoid: &[Vec<usize>],
+) -> Option<Layout> {
+    let n = circuit.n_qubits();
+    let topo = device.topology();
+    let cal = device.calibration();
+    if n > topo.n_qubits() {
+        return None;
+    }
+
+    let qubit_cost = |q: usize, region: &[usize]| -> f64 {
+        let readout = cal.readout(q).mean();
+        let best_link = region
+            .iter()
+            .filter(|&&r| topo.are_adjacent(r, q))
+            .map(|&r| cal.gate_2q(r, q))
+            .fold(f64::INFINITY, f64::min);
+        let overlap = avoid.iter().filter(|used| used.contains(&q)).count() as f64;
+        config.readout_weight * readout
+            + config.gate_weight * if best_link.is_finite() { best_link } else { 0.0 }
+            + config.diversity_penalty * overlap
+    };
+
+    // Region growth: absorb the cheapest frontier qubit until n are held.
+    let mut region = vec![seed];
+    let mut in_region = vec![false; topo.n_qubits()];
+    in_region[seed] = true;
+    while region.len() < n {
+        let next = region
+            .iter()
+            .flat_map(|&q| topo.neighbors(q))
+            .filter(|&&nb| !in_region[nb])
+            .min_by(|&&x, &&y| {
+                qubit_cost(x, &region)
+                    .partial_cmp(&qubit_cost(y, &region))
+                    .expect("finite costs")
+                    .then(x.cmp(&y))
+            })
+            .copied()?;
+        in_region[next] = true;
+        region.push(next);
+    }
+
+    Some(assign_in_region(circuit, device, &region))
+}
+
+/// Assigns logical qubits to the qubits of a connected region, placing
+/// heavily-interacting logical qubits close together.
+fn assign_in_region(circuit: &Circuit, device: &Device, region: &[usize]) -> Layout {
+    let n = circuit.n_qubits();
+    let topo = device.topology();
+
+    // Interaction weights from the program's 2q gates.
+    let mut weight = vec![vec![0u32; n]; n];
+    let mut degree = vec![0u32; n];
+    for g in circuit.gates() {
+        if let (a, Some(b)) = g.qubits() {
+            weight[a][b] += 1;
+            weight[b][a] += 1;
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+    }
+
+    let mut assignment: Vec<Option<usize>> = vec![None; n]; // logical -> physical
+    let mut free: Vec<usize> = region.to_vec();
+
+    // Most-interacting logical goes to the region's most-connected qubit.
+    let first_logical =
+        (0..n).max_by_key(|&l| (degree[l], std::cmp::Reverse(l))).expect("n >= 1");
+    let first_physical_idx = (0..free.len())
+        .max_by_key(|&i| {
+            let q = free[i];
+            (region.iter().filter(|&&r| topo.are_adjacent(r, q)).count(), std::cmp::Reverse(q))
+        })
+        .expect("region non-empty");
+    assignment[first_logical] = Some(free.swap_remove(first_physical_idx));
+
+    // Repeatedly place the unassigned logical most connected to the placed
+    // set, on the free qubit minimising weighted distance to its partners.
+    for _ in 1..n {
+        let next_logical = (0..n)
+            .filter(|&l| assignment[l].is_none())
+            .max_by_key(|&l| {
+                let attached: u32 =
+                    (0..n).filter(|&o| assignment[o].is_some()).map(|o| weight[l][o]).sum();
+                (attached, degree[l], std::cmp::Reverse(l))
+            })
+            .expect("unassigned logical remains");
+        let best_idx = (0..free.len())
+            .min_by(|&i, &j| {
+                let cost = |q: usize| -> f64 {
+                    (0..n)
+                        .filter_map(|o| assignment[o].map(|p| (o, p)))
+                        .map(|(o, p)| f64::from(weight[next_logical][o] * topo.distance(q, p)))
+                        .sum()
+                };
+                cost(free[i])
+                    .partial_cmp(&cost(free[j]))
+                    .expect("finite")
+                    .then(free[i].cmp(&free[j]))
+            })
+            .expect("free qubit remains");
+        assignment[next_logical] = Some(free.swap_remove(best_idx));
+    }
+
+    let map: Vec<usize> = assignment.into_iter().map(|p| p.expect("all placed")).collect();
+    Layout::new(map, device.n_qubits())
+}
+
+/// Detects whether the program's interaction graph is a simple path and, if
+/// so, returns the logical qubits in path order.
+///
+/// GHZ chains, Graycode cascades, path-graph QAOA and Ising chains — most
+/// of the paper's Table 2 — are interaction paths, which embed swap-free on
+/// heavy-hex hardware when placed along a device path.
+#[must_use]
+pub fn interaction_path(circuit: &Circuit) -> Option<Vec<usize>> {
+    let n = circuit.n_qubits();
+    if n == 0 {
+        return None;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for g in circuit.gates() {
+        if let (a, Some(b)) = g.qubits() {
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+    }
+    let edges: usize = adj.iter().map(Vec::len).sum::<usize>() / 2;
+    if edges != n - 1 || adj.iter().any(|nb| nb.len() > 2) {
+        return None;
+    }
+    let start = (0..n).find(|&q| adj[q].len() == 1)?;
+    let mut order = vec![start];
+    let mut prev = usize::MAX;
+    while order.len() < n {
+        let cur = *order.last().expect("non-empty");
+        let next = adj[cur].iter().copied().find(|&nb| nb != prev)?;
+        prev = cur;
+        order.push(next);
+    }
+    Some(order)
+}
+
+/// Finds a low-cost simple path of `len` physical qubits starting at `seed`
+/// (depth-first, cheapest neighbour first, with backtracking), and lays the
+/// logical path order onto it.
+#[must_use]
+pub fn path_layout_from_seed(
+    circuit: &Circuit,
+    device: &Device,
+    seed: usize,
+    config: &PlacementConfig,
+    avoid: &[Vec<usize>],
+) -> Option<Layout> {
+    let logical_order = interaction_path(circuit)?;
+    let n = logical_order.len();
+    let topo = device.topology();
+    let cal = device.calibration();
+
+    let cost = |q: usize| -> f64 {
+        let overlap = avoid.iter().filter(|used| used.contains(&q)).count() as f64;
+        config.readout_weight * cal.readout(q).mean() + config.diversity_penalty * overlap
+    };
+
+    // DFS with backtracking, visiting cheapest extensions first. The step
+    // budget keeps worst-case devices cheap; heavy-hex lattices resolve in
+    // far fewer steps.
+    let mut path = vec![seed];
+    let mut on_path = vec![false; topo.n_qubits()];
+    on_path[seed] = true;
+    let mut choice_stack: Vec<Vec<usize>> = Vec::new();
+    let mut budget = 50_000usize;
+    while path.len() < n && budget > 0 {
+        budget -= 1;
+        let cur = *path.last().expect("non-empty");
+        let mut options: Vec<usize> = topo
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .filter(|&nb| !on_path[nb])
+            .collect();
+        options.sort_by(|&x, &y| {
+            let edge = |q: usize| config.gate_weight * cal.gate_2q(cur, q);
+            (cost(x) + edge(x))
+                .partial_cmp(&(cost(y) + edge(y)))
+                .expect("finite")
+                .then(x.cmp(&y))
+        });
+        options.reverse(); // pop() takes the cheapest
+        if let Some(next) = options.pop() {
+            choice_stack.push(options);
+            on_path[next] = true;
+            path.push(next);
+        } else {
+            // Dead end: backtrack.
+            loop {
+                let dead = path.pop()?;
+                on_path[dead] = false;
+                if path.is_empty() {
+                    return None;
+                }
+                let remaining = choice_stack.last_mut()?;
+                if let Some(next) = remaining.pop() {
+                    on_path[next] = true;
+                    path.push(next);
+                    break;
+                }
+                choice_stack.pop();
+            }
+        }
+    }
+    if path.len() < n {
+        return None;
+    }
+
+    let mut map = vec![usize::MAX; n];
+    for (k, &logical) in logical_order.iter().enumerate() {
+        map[logical] = path[k];
+    }
+    Some(Layout::new(map, topo.n_qubits()))
+}
+
+/// Spreads `k` seed qubits across the device, favouring low readout error:
+/// the first seeds are the best-readout qubits, the remainder striped across
+/// the index space for coverage.
+#[must_use]
+pub fn spread_seeds(device: &Device, k: usize) -> Vec<usize> {
+    let n = device.n_qubits();
+    let k = k.min(n);
+    let mut seeds: Vec<usize> = device.best_readout_qubits(k.div_ceil(2));
+    let mut i = 0;
+    while seeds.len() < k {
+        let candidate = (i * n) / k;
+        if !seeds.contains(&candidate) {
+            seeds.push(candidate);
+        }
+        i += 1;
+        if i > 2 * n {
+            break;
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_circuit::bench;
+
+    fn ghz_circuit(n: usize) -> Circuit {
+        let mut c = bench::ghz(n).circuit().clone();
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn layout_is_valid_and_connected_enough() {
+        let device = Device::toronto();
+        let c = ghz_circuit(8);
+        let layout =
+            layout_from_seed(&c, &device, 0, &PlacementConfig::default(), &[]).expect("fits");
+        assert_eq!(layout.n_logical(), 8);
+        // The occupied set must be connected (it was grown as a region).
+        let occ = layout.occupied();
+        for &q in &occ {
+            assert!(
+                occ.iter().any(|&r| r != q && device.topology().are_adjacent(q, r)),
+                "qubit {q} isolated in region"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_neighbors_land_close() {
+        // GHZ's interaction graph is a chain; adjacent logicals should be
+        // placed within short distance.
+        let device = Device::toronto();
+        let c = ghz_circuit(6);
+        let layout =
+            layout_from_seed(&c, &device, 12, &PlacementConfig::default(), &[]).expect("fits");
+        for l in 0..5 {
+            let d = device.topology().distance(layout.physical(l), layout.physical(l + 1));
+            assert!(d <= 3, "chain neighbours {l},{} are {d} apart", l + 1);
+        }
+    }
+
+    #[test]
+    fn oversized_program_returns_none() {
+        let device = Device::toronto();
+        let c = ghz_circuit(28);
+        assert!(layout_from_seed(&c, &device, 0, &PlacementConfig::default(), &[]).is_none());
+    }
+
+    #[test]
+    fn diversity_penalty_moves_the_region() {
+        let device = Device::toronto();
+        let c = ghz_circuit(5);
+        let cfg = PlacementConfig::default();
+        let first = layout_from_seed(&c, &device, 0, &cfg, &[]).expect("fits");
+        let penalised = PlacementConfig { diversity_penalty: 10.0, ..cfg };
+        // Seeded elsewhere with the first region blacklisted, the overlap
+        // should shrink.
+        let second =
+            layout_from_seed(&c, &device, 20, &penalised, &[first.occupied()]).expect("fits");
+        let overlap = second
+            .occupied()
+            .iter()
+            .filter(|q| first.occupied().contains(q))
+            .count();
+        assert!(overlap <= 2, "overlap {overlap} too high");
+    }
+
+    #[test]
+    fn interaction_path_detects_chains() {
+        let c = ghz_circuit(6);
+        let order = interaction_path(&c).expect("GHZ is a chain");
+        assert_eq!(order.len(), 6);
+        // Consecutive logicals in the order must interact.
+        for w in order.windows(2) {
+            assert!(
+                c.gates().iter().any(|g| {
+                    matches!(g.qubits(), (a, Some(b)) if (a == w[0] && b == w[1]) || (a == w[1] && b == w[0]))
+                }),
+                "order step {w:?} has no gate"
+            );
+        }
+    }
+
+    #[test]
+    fn interaction_path_rejects_stars() {
+        // BV's oracle is a star around the ancilla.
+        let b = bench::bernstein_vazirani(5, 0b1111);
+        assert!(interaction_path(b.circuit()).is_none());
+    }
+
+    #[test]
+    fn path_layout_embeds_chain_on_couplers() {
+        let device = Device::toronto();
+        let c = ghz_circuit(12);
+        let layout = path_layout_from_seed(&c, &device, 0, &PlacementConfig::default(), &[])
+            .expect("12-qubit path exists on Falcon");
+        // Every interacting pair must be adjacent — zero swaps needed.
+        for l in 0..11 {
+            assert!(device
+                .topology()
+                .are_adjacent(layout.physical(l), layout.physical(l + 1)));
+        }
+    }
+
+    #[test]
+    fn path_layout_survives_dead_ends() {
+        // Seeding at a leaf of the heavy-hex graph forces backtracking.
+        let device = Device::manhattan();
+        let c = ghz_circuit(18);
+        let layout = path_layout_from_seed(&c, &device, 0, &PlacementConfig::default(), &[]);
+        assert!(layout.is_some(), "18-qubit path exists on Hummingbird");
+    }
+
+    #[test]
+    fn spread_seeds_are_distinct_and_in_range() {
+        let device = Device::manhattan();
+        let seeds = spread_seeds(&device, 12);
+        assert_eq!(seeds.len(), 12);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12, "seeds must be distinct");
+        assert!(seeds.iter().all(|&s| s < 65));
+    }
+}

@@ -1,0 +1,366 @@
+//! SABRE-style swap routing (Li, Ding, Xie — the paper's baseline compiler
+//! \[27\]), with the noise-aware swap scoring used by Noise-Aware SABRE.
+//!
+//! The router maintains a *front layer* of dependency-free gates, executes
+//! whatever the current layout allows, and otherwise inserts the SWAP that
+//! minimises a lookahead distance heuristic. The noise-aware bias multiplies
+//! each candidate's score by a factor that grows with the SWAP coupler's
+//! calibrated error rate, steering routing away from bad couplers.
+
+use std::collections::BTreeSet;
+
+use jigsaw_circuit::{Circuit, Gate};
+use jigsaw_device::Device;
+
+use crate::Layout;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SabreConfig {
+    /// Size of the lookahead (extended) gate set.
+    pub extended_set_size: usize,
+    /// Weight of the lookahead term relative to the front layer.
+    pub extended_weight: f64,
+    /// Additive decay applied to recently swapped qubits, discouraging
+    /// ping-pong swaps.
+    pub decay_increment: f64,
+    /// Noise-awareness: candidate SWAPs are penalised by
+    /// `1 + noise_bias · e_coupler`. Zero recovers vanilla SABRE.
+    pub noise_bias: f64,
+}
+
+impl Default for SabreConfig {
+    fn default() -> Self {
+        Self { extended_set_size: 20, extended_weight: 0.5, decay_increment: 0.001, noise_bias: 10.0 }
+    }
+}
+
+impl SabreConfig {
+    /// Vanilla (noise-blind) SABRE.
+    #[must_use]
+    pub fn noise_blind() -> Self {
+        Self { noise_bias: 0.0, ..Self::default() }
+    }
+}
+
+/// The result of routing a logical circuit onto a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routed {
+    /// The physical circuit (SWAPs inserted, measurements placed according
+    /// to the final layout).
+    pub circuit: Circuit,
+    /// Placement before the first gate.
+    pub initial_layout: Layout,
+    /// Placement after the last gate (where measurements read from).
+    pub final_layout: Layout,
+    /// Number of SWAPs inserted.
+    pub swap_count: usize,
+}
+
+/// Routes `logical` onto `device` starting from `initial`.
+///
+/// # Panics
+///
+/// Panics if the layout does not cover the circuit or the device is
+/// disconnected in a way that makes a front gate unroutable.
+#[must_use]
+pub fn route(logical: &Circuit, device: &Device, initial: Layout, config: &SabreConfig) -> Routed {
+    assert_eq!(
+        initial.n_logical(),
+        logical.n_qubits(),
+        "layout covers {} logical qubits, circuit has {}",
+        initial.n_logical(),
+        logical.n_qubits()
+    );
+    assert_eq!(initial.n_physical(), device.n_qubits(), "layout sized for a different device");
+
+    let topo = device.topology();
+    let gates = logical.gates();
+    let n_gates = gates.len();
+
+    // Dependency DAG over the gate list.
+    let mut pred_count = vec![0usize; n_gates];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n_gates];
+    {
+        let mut last: Vec<Option<usize>> = vec![None; logical.n_qubits()];
+        for (i, g) in gates.iter().enumerate() {
+            let (a, b) = g.qubits();
+            for q in [Some(a), b].into_iter().flatten() {
+                if let Some(j) = last[q] {
+                    successors[j].push(i);
+                    pred_count[i] += 1;
+                }
+                last[q] = Some(i);
+            }
+        }
+    }
+
+    let mut front: BTreeSet<usize> =
+        (0..n_gates).filter(|&i| pred_count[i] == 0).collect();
+    let mut executed = vec![false; n_gates];
+    let mut mapping = initial.clone();
+    let mut out = Circuit::new(device.n_qubits());
+    let mut decay = vec![1.0f64; device.n_qubits()];
+    let mut swap_count = 0usize;
+    let mut stall_rounds = 0usize;
+    let stall_limit = 2 * device.n_qubits() + 8;
+
+    while !front.is_empty() {
+        // Phase 1: drain everything executable under the current layout.
+        loop {
+            let ready: Vec<usize> = front
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let (a, b) = gates[i].qubits();
+                    match b {
+                        None => true,
+                        Some(b) => topo.are_adjacent(mapping.physical(a), mapping.physical(b)),
+                    }
+                })
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            for i in ready {
+                out.push(gates[i].remapped(|q| mapping.physical(q)));
+                front.remove(&i);
+                executed[i] = true;
+                for &s in &successors[i] {
+                    pred_count[s] -= 1;
+                    if pred_count[s] == 0 {
+                        front.insert(s);
+                    }
+                }
+            }
+            decay.fill(1.0);
+            stall_rounds = 0;
+        }
+        if front.is_empty() {
+            break;
+        }
+
+        // Phase 2: insert the best SWAP for the blocked front layer.
+        let front_pairs: Vec<(usize, usize)> = front
+            .iter()
+            .filter_map(|&i| {
+                let (a, b) = gates[i].qubits();
+                b.map(|b| (a, b))
+            })
+            .collect();
+        debug_assert!(!front_pairs.is_empty(), "front blocked without 2q gates");
+
+        let extended: Vec<(usize, usize)> = (0..n_gates)
+            .filter(|&i| !executed[i] && !front.contains(&i))
+            .filter_map(|i| {
+                let (a, b) = gates[i].qubits();
+                b.map(|b| (a, b))
+            })
+            .take(config.extended_set_size)
+            .collect();
+
+        let mut candidates: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &(a, b) in &front_pairs {
+            for p in [mapping.physical(a), mapping.physical(b)] {
+                for &nb in topo.neighbors(p) {
+                    candidates.insert((p.min(nb), p.max(nb)));
+                }
+            }
+        }
+
+        let score_of = |swap: (usize, usize), mapping: &Layout| -> f64 {
+            let pos = |l: usize| {
+                let p = mapping.physical(l);
+                if p == swap.0 {
+                    swap.1
+                } else if p == swap.1 {
+                    swap.0
+                } else {
+                    p
+                }
+            };
+            let front_cost: f64 = front_pairs
+                .iter()
+                .map(|&(a, b)| f64::from(topo.distance(pos(a), pos(b))))
+                .sum::<f64>()
+                / front_pairs.len() as f64;
+            let ext_cost: f64 = if extended.is_empty() {
+                0.0
+            } else {
+                extended
+                    .iter()
+                    .map(|&(a, b)| f64::from(topo.distance(pos(a), pos(b))))
+                    .sum::<f64>()
+                    / extended.len() as f64
+            };
+            let noise = if config.noise_bias > 0.0 {
+                1.0 + config.noise_bias * device.calibration().gate_2q(swap.0, swap.1)
+            } else {
+                1.0
+            };
+            decay[swap.0].max(decay[swap.1])
+                * (front_cost + config.extended_weight * ext_cost)
+                * noise
+        };
+
+        let best = if stall_rounds > stall_limit {
+            // Fallback: force progress along the shortest path of the first
+            // blocked gate (guards against heuristic livelock).
+            let (a, b) = front_pairs[0];
+            let (pa, pb) = (mapping.physical(a), mapping.physical(b));
+            let nb = topo
+                .neighbors(pa)
+                .iter()
+                .copied()
+                .min_by_key(|&nb| (topo.distance(nb, pb), nb))
+                .expect("connected device");
+            (pa.min(nb), pa.max(nb))
+        } else {
+            candidates
+                .iter()
+                .copied()
+                .min_by(|&x, &y| {
+                    score_of(x, &mapping)
+                        .partial_cmp(&score_of(y, &mapping))
+                        .expect("finite scores")
+                        .then_with(|| x.cmp(&y))
+                })
+                .expect("blocked front always has candidate swaps")
+        };
+
+        out.push(Gate::Swap(best.0, best.1));
+        mapping.swap_physical(best.0, best.1);
+        decay[best.0] += config.decay_increment;
+        decay[best.1] += config.decay_increment;
+        swap_count += 1;
+        stall_rounds += 1;
+    }
+
+    // Measurements read from the final placement.
+    for m in logical.measurements() {
+        out.measure(mapping.physical(m.qubit), m.clbit);
+    }
+
+    Routed { circuit: out, initial_layout: initial, final_layout: mapping, swap_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_sim::{ideal_pmf, Executor, RunConfig};
+
+    fn ghz_logical(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn adjacent_circuit_needs_no_swaps() {
+        let device = Device::toronto();
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let routed = route(&c, &device, Layout::new(vec![0, 1], 27), &SabreConfig::default());
+        assert_eq!(routed.swap_count, 0);
+        assert_eq!(routed.circuit.two_qubit_gates(), 1);
+    }
+
+    #[test]
+    fn distant_qubits_get_swapped_together() {
+        let device = Device::toronto();
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).measure_all();
+        // Physical 0 and 4 are two hops apart on the Falcon lattice.
+        let routed = route(&c, &device, Layout::new(vec![0, 4], 27), &SabreConfig::default());
+        assert!(routed.swap_count >= 1);
+        // Every emitted 2q gate must be coupler-conformant.
+        for g in routed.circuit.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert!(device.topology().are_adjacent(a, b), "{g} not on a coupler");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_circuit_preserves_semantics() {
+        // Ideal simulation of a routed GHZ must equal the logical one after
+        // mapping classical bits (clbits are preserved by routing).
+        let device = Device::toronto();
+        let logical = ghz_logical(5);
+        let layout = Layout::new(vec![0, 1, 4, 7, 10], 27);
+        let routed = route(&logical, &device, layout, &SabreConfig::default());
+        let ideal_logical = ideal_pmf(&logical);
+        let ideal_routed = ideal_pmf(&routed.circuit);
+        assert_eq!(ideal_logical.n_bits(), ideal_routed.n_bits());
+        for (b, p) in ideal_logical.iter() {
+            assert!((ideal_routed.prob(b) - p).abs() < 1e-9, "mismatch at {b}");
+        }
+    }
+
+    #[test]
+    fn routed_circuit_runs_on_the_executor() {
+        let device = Device::toronto();
+        let logical = ghz_logical(6);
+        let layout = Layout::new(vec![0, 1, 2, 3, 5, 8], 27);
+        let routed = route(&logical, &device, layout, &SabreConfig::default());
+        let counts =
+            Executor::new(&device).run(&routed.circuit, 500, &RunConfig::noiseless());
+        let pmf = counts.to_pmf();
+        let z = pmf.prob(&jigsaw_pmf::BitString::zeros(6));
+        let o = pmf.prob(&jigsaw_pmf::BitString::ones(6));
+        assert!((z + o - 1.0).abs() < 1e-9, "GHZ support violated: {z} + {o}");
+    }
+
+    #[test]
+    fn measurements_follow_the_final_layout() {
+        let device = Device::toronto();
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).measure_all();
+        let routed = route(&c, &device, Layout::new(vec![0, 4], 27), &SabreConfig::default());
+        // However routing went, measured physical qubits are where the final
+        // layout says the logicals live.
+        let measured: Vec<usize> = routed.circuit.measured_qubits();
+        assert_eq!(measured[0], routed.final_layout.physical(0));
+        assert_eq!(measured[1], routed.final_layout.physical(1));
+    }
+
+    #[test]
+    fn noise_bias_steers_swap_choice_deterministically() {
+        let device = Device::toronto();
+        let logical = ghz_logical(8);
+        let layout = Layout::new(vec![0, 1, 4, 7, 6, 10, 12, 15], 27);
+        let aware = route(&logical, &device, layout.clone(), &SabreConfig::default());
+        let blind = route(&logical, &device, layout, &SabreConfig::noise_blind());
+        // Both are valid routings of the same program.
+        assert_eq!(aware.circuit.measurements().len(), 8);
+        assert_eq!(blind.circuit.measurements().len(), 8);
+    }
+
+    #[test]
+    fn deep_random_interaction_pattern_terminates() {
+        // A stress pattern with long-range 2q gates across the lattice.
+        let device = Device::manhattan();
+        let n = 10;
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (i + j) % 3 == 0 {
+                    c.cx(i, j);
+                }
+            }
+        }
+        c.measure_all();
+        let layout = Layout::new((0..n).map(|i| i * 6).collect(), 65);
+        let routed = route(&c, &device, layout, &SabreConfig::default());
+        assert!(routed.swap_count > 0);
+        for g in routed.circuit.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert!(device.topology().are_adjacent(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the compiler: routing always yields
+//! coupler-conformant circuits that preserve semantics, and layouts behave
+//! like bijections.
+
+use jigsaw_circuit::Circuit;
+use jigsaw_compiler::{compile, CompilerOptions, Layout};
+use jigsaw_device::Device;
+use jigsaw_sim::ideal_pmf;
+use proptest::prelude::*;
+
+/// Random measured circuit with chain + skip interactions (forces routing).
+fn program_strategy(n: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0u8..5, 0usize..8, 1usize..8), 3..25).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (kind, a, off) in ops {
+            let a = a % n;
+            let b = (a + off) % n;
+            match kind {
+                0 => c.h(a),
+                1 => c.rz(a, 0.7),
+                2 => c.x(a),
+                _ if a != b => c.cx(a, b),
+                _ => c.h(a),
+            };
+        }
+        c.measure_all();
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn routing_is_coupler_conformant(c in program_strategy(6)) {
+        let device = Device::toronto();
+        let options = CompilerOptions { max_seeds: 3, ..CompilerOptions::default() };
+        let compiled = compile(&c, &device, &options);
+        for g in compiled.circuit().gates() {
+            if let (a, Some(b)) = g.qubits() {
+                prop_assert!(device.topology().are_adjacent(a, b), "{g}");
+            }
+        }
+        prop_assert!(compiled.eps > 0.0 && compiled.eps <= 1.0);
+    }
+
+    #[test]
+    fn routing_preserves_semantics(c in program_strategy(5)) {
+        let device = Device::toronto();
+        let options = CompilerOptions { max_seeds: 3, ..CompilerOptions::default() };
+        let compiled = compile(&c, &device, &options);
+        let want = ideal_pmf(&c);
+        let got = ideal_pmf(compiled.circuit());
+        for (b, p) in want.iter() {
+            prop_assert!((got.prob(b) - p).abs() < 1e-9, "at {b}");
+        }
+    }
+
+    #[test]
+    fn every_logical_qubit_is_measured_once(c in program_strategy(6)) {
+        let device = Device::paris();
+        let options = CompilerOptions { max_seeds: 3, ..CompilerOptions::default() };
+        let compiled = compile(&c, &device, &options);
+        let mut measured = compiled.circuit().measured_qubits();
+        measured.sort_unstable();
+        measured.dedup();
+        prop_assert_eq!(measured.len(), 6, "each logical qubit read exactly once");
+    }
+
+    #[test]
+    fn layout_swap_is_an_involution(perm_seed in 0u64..1000, a in 0usize..8, b in 0usize..8) {
+        // Build a deterministic permutation layout from the seed.
+        let mut map: Vec<usize> = (0..5).collect();
+        let mut s = perm_seed;
+        for i in (1..map.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            map.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let original = Layout::new(map.clone(), 8);
+        let mut layout = original.clone();
+        layout.swap_physical(a, b);
+        layout.swap_physical(a, b);
+        prop_assert_eq!(layout, original);
+    }
+
+    #[test]
+    fn layout_round_trips(perm_seed in 0u64..1000) {
+        let mut map: Vec<usize> = (0..6).collect();
+        let mut s = perm_seed;
+        for i in (1..map.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            map.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let layout = Layout::new(map, 6);
+        for l in 0..6 {
+            prop_assert_eq!(layout.logical(layout.physical(l)), Some(l));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Scoring helpers bundling the paper's three generic figures of merit
+//! (§5.5): PST, IST and Fidelity.
+
+use jigsaw_pmf::{metrics, BitString, Pmf};
+
+/// A policy's scores on one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scores {
+    /// Probability of a Successful Trial (Equation 1).
+    pub pst: f64,
+    /// Inference Strength (Equation 2).
+    pub ist: f64,
+    /// Fidelity `1 − TVD` against the noiseless distribution (Equation 3).
+    pub fidelity: f64,
+}
+
+impl Scores {
+    /// Scores an output distribution against the noiseless reference and the
+    /// correct-answer set.
+    #[must_use]
+    pub fn of(output: &Pmf, ideal: &Pmf, correct: &[BitString]) -> Self {
+        Self {
+            pst: metrics::pst(output, correct),
+            ist: metrics::ist(output, correct),
+            fidelity: metrics::fidelity(ideal, output),
+        }
+    }
+
+    /// Element-wise ratios versus a baseline (the paper's "relative"
+    /// presentation in Fig. 8 and Tables 3–4). Infinite ISTs are clamped to
+    /// the numerator/denominator convention: `inf/x = inf`, `x/inf = 0`,
+    /// `inf/inf = 1`.
+    #[must_use]
+    pub fn relative_to(&self, baseline: &Scores) -> Scores {
+        fn ratio(a: f64, b: f64) -> f64 {
+            match (a.is_infinite(), b.is_infinite()) {
+                (true, true) => 1.0,
+                (true, false) => f64::INFINITY,
+                (false, true) => 0.0,
+                (false, false) => {
+                    if b == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        a / b
+                    }
+                }
+            }
+        }
+        Scores {
+            pst: ratio(self.pst, baseline.pst),
+            ist: ratio(self.ist, baseline.ist),
+            fidelity: ratio(self.fidelity, baseline.fidelity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn scores_match_individual_metrics() {
+        let mut out = Pmf::new(2);
+        out.set(bs("00"), 0.6);
+        out.set(bs("01"), 0.4);
+        let ideal = Pmf::point_mass(bs("00"));
+        let s = Scores::of(&out, &ideal, &[bs("00")]);
+        assert!((s.pst - 0.6).abs() < 1e-12);
+        assert!((s.ist - 1.5).abs() < 1e-12);
+        assert!((s.fidelity - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_ratios() {
+        let a = Scores { pst: 0.6, ist: 3.0, fidelity: 0.9 };
+        let b = Scores { pst: 0.2, ist: 1.5, fidelity: 0.45 };
+        let r = a.relative_to(&b);
+        assert!((r.pst - 3.0).abs() < 1e-12);
+        assert!((r.ist - 2.0).abs() < 1e-12);
+        assert!((r.fidelity - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_handles_infinities() {
+        let inf = Scores { pst: 0.5, ist: f64::INFINITY, fidelity: 0.5 };
+        let fin = Scores { pst: 0.5, ist: 2.0, fidelity: 0.5 };
+        assert_eq!(inf.relative_to(&fin).ist, f64::INFINITY);
+        assert_eq!(fin.relative_to(&inf).ist, 0.0);
+        assert_eq!(inf.relative_to(&inf).ist, 1.0);
+        let zero = Scores { pst: 0.0, ist: 0.0, fidelity: 0.1 };
+        assert_eq!(fin.relative_to(&zero).ist, f64::INFINITY);
+    }
+}

@@ -1,0 +1,431 @@
+//! The end-to-end JigSaw pipeline (paper §4, Fig. 4) plus the Baseline and
+//! EDM reference flows.
+//!
+//! JigSaw spends half its trial budget on a *global mode* run (all qubits
+//! measured, noise-aware compiled) and the other half on Circuits with
+//! Partial Measurements, equally split. The CPM local-PMFs then update the
+//! global-PMF through Bayesian Reconstruction. JigSaw-M layers CPMs of
+//! several sizes and reconstructs hierarchically, largest size first
+//! (§4.4.2), so global correlation is preserved before the highest-fidelity
+//! small subsets sharpen the answer.
+
+use jigsaw_circuit::Circuit;
+use jigsaw_compiler::cpm::{cpm_reuse_layout, recompile_cpm};
+use jigsaw_compiler::edm::ensemble;
+use jigsaw_compiler::{compile, Compiled, CompilerOptions};
+use jigsaw_device::Device;
+use jigsaw_pmf::{Counts, Pmf};
+use jigsaw_sim::{Executor, RunConfig};
+
+use crate::bayes::{reconstruct, Marginal, ReconstructionConfig};
+use crate::seed;
+use crate::subsets::{generate, SubsetSelection};
+
+/// How the subset-mode trial budget is divided among CPMs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrialAllocation {
+    /// Equal trials per CPM — the paper's default (§5.4).
+    Equal,
+    /// Trials per CPM layer proportional to its outcome-coverage need
+    /// (Appendix A.2, Equation 9): larger subsets have exponentially more
+    /// outcomes and receive proportionally more trials. Useful for JigSaw-M
+    /// under tight budgets, where equal splitting starves the big CPMs.
+    CoverageWeighted {
+        /// Coverage confidence used for the per-size weight (e.g. 0.99).
+        confidence: f64,
+    },
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JigsawConfig {
+    /// Total trial budget (shared with the baseline for fair comparison).
+    pub total_trials: u64,
+    /// CPM subset sizes; `[2]` is default JigSaw, `[2, 3, 4, 5]` JigSaw-M.
+    /// Sizes not smaller than the program are skipped.
+    pub subset_sizes: Vec<usize>,
+    /// How subsets are chosen (sliding window by default).
+    pub selection: SubsetSelection,
+    /// Recompile each CPM with the readout-focused objective (§4.2.2); when
+    /// false, CPMs reuse the global compilation's mapping ("JigSaw w/o
+    /// recompilation" of Fig. 11).
+    pub recompile_cpms: bool,
+    /// Fraction of trials spent in global mode (paper default ½).
+    pub global_fraction: f64,
+    /// Division of the subset-mode budget among CPMs.
+    pub allocation: TrialAllocation,
+    /// Experiment seed; all stage seeds derive from it.
+    pub seed: u64,
+    /// Executor options.
+    pub run: RunConfig,
+    /// Compiler options.
+    pub compiler: CompilerOptions,
+    /// Reconstruction convergence controls.
+    pub reconstruction: ReconstructionConfig,
+}
+
+impl JigsawConfig {
+    /// Default JigSaw: subset size 2, sliding window, recompiled CPMs.
+    #[must_use]
+    pub fn jigsaw(total_trials: u64) -> Self {
+        Self {
+            total_trials,
+            subset_sizes: vec![2],
+            selection: SubsetSelection::SlidingWindow,
+            recompile_cpms: true,
+            global_fraction: 0.5,
+            allocation: TrialAllocation::Equal,
+            seed: 0,
+            run: RunConfig::default(),
+            compiler: CompilerOptions::default(),
+            reconstruction: ReconstructionConfig::default(),
+        }
+    }
+
+    /// Default JigSaw-M: subset sizes 2–5 (paper §4.4).
+    #[must_use]
+    pub fn jigsaw_m(total_trials: u64) -> Self {
+        Self { subset_sizes: vec![2, 3, 4, 5], ..Self::jigsaw(total_trials) }
+    }
+
+    /// Disables CPM recompilation (measurement subsetting only).
+    #[must_use]
+    pub fn without_recompilation(mut self) -> Self {
+        self.recompile_cpms = false;
+        self
+    }
+
+    /// Replaces the experiment seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a JigSaw run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JigsawResult {
+    /// The reconstructed output PMF — JigSaw's answer.
+    pub output: Pmf,
+    /// The global-mode PMF (the prior), for diagnostics.
+    pub global: Pmf,
+    /// All CPM marginals, in reconstruction order (largest subsets first).
+    pub marginals: Vec<Marginal>,
+    /// EPS of the compiled global circuit.
+    pub global_eps: f64,
+    /// Total reconstruction rounds across the size hierarchy.
+    pub rounds: usize,
+    /// Trials actually consumed (== the configured budget).
+    pub trials_used: u64,
+}
+
+/// Runs the JigSaw (or JigSaw-M, depending on `subset_sizes`) pipeline on a
+/// measurement-free program.
+///
+/// # Panics
+///
+/// Panics if the program declares measurements, the budget is too small to
+/// give every stage at least one trial, or no subset size fits the program.
+#[must_use]
+pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> JigsawResult {
+    assert!(
+        program.measurements().is_empty(),
+        "pass the measurement-free program; JigSaw chooses what to measure"
+    );
+    let n = program.n_qubits();
+
+    let mut sizes: Vec<usize> = config
+        .subset_sizes
+        .iter()
+        .copied()
+        .filter(|&s| s >= 1 && s < n)
+        .collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a)); // descending: §4.4.2 ordering
+    sizes.dedup();
+    assert!(!sizes.is_empty(), "no subset size fits a {n}-qubit program");
+
+    // --- Global mode -----------------------------------------------------
+    let global_trials =
+        ((config.total_trials as f64 * config.global_fraction).round() as u64).max(1);
+    let mut global_logical = program.clone();
+    global_logical.measure_all();
+    let global_compiled = compile(&global_logical, device, &config.compiler);
+    let executor = Executor::new(device);
+    let global_counts = executor.run(
+        global_compiled.circuit(),
+        global_trials,
+        &config.run.with_seed(seed::mix(config.seed, 0)),
+    );
+    let global_pmf = global_counts.to_pmf();
+
+    // --- Subset mode ------------------------------------------------------
+    let subset_lists: Vec<(usize, Vec<Vec<usize>>)> = sizes
+        .iter()
+        .map(|&s| (s, generate(n, s, config.selection, seed::mix(config.seed, 1000 + s as u64))))
+        .collect();
+    let cpm_count: usize = subset_lists.iter().map(|(_, subs)| subs.len()).sum();
+    let subset_trials = config.total_trials.saturating_sub(global_trials);
+
+    // Per-CPM budgets. Equal split is the paper's default; the
+    // coverage-weighted split (Appendix A.2's "fine-tuned" option) gives a
+    // size-s CPM budget proportional to its outcome-coverage need.
+    let budgets: Vec<(usize, u64)> = match config.allocation {
+        TrialAllocation::Equal => {
+            let per = (subset_trials / cpm_count.max(1) as u64).max(1);
+            subset_lists.iter().map(|(s, subs)| (*s, per * subs.len() as u64)).collect()
+        }
+        TrialAllocation::CoverageWeighted { confidence } => {
+            let weights: Vec<(usize, f64)> = subset_lists
+                .iter()
+                .map(|(s, subs)| {
+                    (*s, crate::trials::cpm_trials(*s, confidence) as f64 * subs.len() as f64)
+                })
+                .collect();
+            let total_weight: f64 = weights.iter().map(|(_, w)| w).sum();
+            weights
+                .into_iter()
+                .map(|(s, w)| (s, ((subset_trials as f64 * w / total_weight) as u64).max(1)))
+                .collect()
+        }
+    };
+
+    let mut marginals: Vec<Marginal> = Vec::with_capacity(cpm_count);
+    let mut trials_used = global_trials;
+    let mut cpm_index = 0u64;
+    for ((_, subs), &(_, layer_budget)) in subset_lists.iter().zip(&budgets) {
+        let per_cpm = (layer_budget / subs.len() as u64).max(1);
+        for subset in subs {
+            let run_seed = seed::mix(config.seed, 2000 + cpm_index);
+            cpm_index += 1;
+            let counts = if config.recompile_cpms {
+                let compiled = recompile_cpm(program, subset, device, &config.compiler);
+                executor.run(compiled.circuit(), per_cpm, &config.run.with_seed(run_seed))
+            } else {
+                let circuit = cpm_reuse_layout(&global_compiled, subset);
+                executor.run(&circuit, per_cpm, &config.run.with_seed(run_seed))
+            };
+            trials_used += per_cpm;
+            marginals.push(Marginal::new(subset.clone(), counts.to_pmf()));
+        }
+    }
+
+    // --- Reconstruction (hierarchical, largest size first) ----------------
+    let mut current = global_pmf.clone();
+    let mut rounds = 0;
+    for (size, _) in &subset_lists {
+        let layer: Vec<Marginal> =
+            marginals.iter().filter(|m| m.size() == *size).cloned().collect();
+        let r = reconstruct(&current, &layer, &config.reconstruction);
+        current = r.pmf;
+        rounds += r.rounds;
+    }
+
+    JigsawResult {
+        output: current,
+        global: global_pmf,
+        marginals,
+        global_eps: global_compiled.eps,
+        rounds,
+        trials_used,
+    }
+}
+
+/// The baseline flow (§4.1): noise-aware compile, all trials in global mode.
+///
+/// # Panics
+///
+/// Panics if the program declares measurements or `trials == 0`.
+#[must_use]
+pub fn run_baseline(
+    program: &Circuit,
+    device: &Device,
+    trials: u64,
+    seed_value: u64,
+    run: &RunConfig,
+    compiler_options: &CompilerOptions,
+) -> Pmf {
+    assert!(program.measurements().is_empty(), "pass the measurement-free program");
+    let mut logical = program.clone();
+    logical.measure_all();
+    let compiled = compile(&logical, device, compiler_options);
+    Executor::new(device)
+        .run(compiled.circuit(), trials, &run.with_seed(seed::mix(seed_value, 0xBA5E)))
+        .to_pmf()
+}
+
+/// The EDM baseline \[48\]: `mappings` diverse compilations, trials split
+/// equally, histograms merged.
+///
+/// # Panics
+///
+/// Panics if the program declares measurements, `mappings == 0`, or the
+/// budget gives a mapping zero trials.
+#[must_use]
+pub fn run_edm(
+    program: &Circuit,
+    device: &Device,
+    trials: u64,
+    mappings: usize,
+    seed_value: u64,
+    run: &RunConfig,
+    compiler_options: &CompilerOptions,
+) -> Pmf {
+    assert!(program.measurements().is_empty(), "pass the measurement-free program");
+    let mut logical = program.clone();
+    logical.measure_all();
+    let members: Vec<Compiled> = ensemble(&logical, device, mappings, compiler_options);
+    let per_member = (trials / mappings as u64).max(1);
+    let executor = Executor::new(device);
+    let mut merged = Counts::new(logical.n_qubits());
+    for (i, member) in members.iter().enumerate() {
+        let counts = executor.run(
+            member.circuit(),
+            per_member,
+            &run.with_seed(seed::mix(seed_value, 0xED0 + i as u64)),
+        );
+        merged.merge(&counts);
+    }
+    merged.to_pmf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_circuit::bench;
+    use jigsaw_pmf::metrics;
+    use jigsaw_sim::resolve_correct_set;
+
+    fn quick_config(trials: u64) -> JigsawConfig {
+        JigsawConfig {
+            compiler: CompilerOptions { max_seeds: 4, ..CompilerOptions::default() },
+            ..JigsawConfig::jigsaw(trials)
+        }
+    }
+
+    #[test]
+    fn jigsaw_improves_ghz_pst_over_baseline() {
+        let device = Device::toronto();
+        let b = bench::ghz(8);
+        let correct = resolve_correct_set(&b);
+        let trials = 6000;
+
+        let baseline = run_baseline(
+            b.circuit(),
+            &device,
+            trials,
+            7,
+            &RunConfig::default(),
+            &CompilerOptions { max_seeds: 4, ..CompilerOptions::default() },
+        );
+        let jig = run_jigsaw(b.circuit(), &device, &quick_config(trials).with_seed(7));
+
+        let pst_base = metrics::pst(&baseline, &correct);
+        let pst_jig = metrics::pst(&jig.output, &correct);
+        assert!(
+            pst_jig > pst_base,
+            "JigSaw PST {pst_jig} should beat baseline {pst_base}"
+        );
+    }
+
+    #[test]
+    fn jigsaw_uses_the_configured_budget() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let result = run_jigsaw(b.circuit(), &device, &quick_config(4000));
+        // Global half + CPM halves may round down, never up.
+        assert!(result.trials_used <= 4000 + 6);
+        assert!(result.trials_used >= 3000);
+        assert_eq!(result.marginals.len(), 6); // sliding window: n CPMs
+    }
+
+    #[test]
+    fn jigsaw_m_layers_multiple_sizes() {
+        let device = Device::paris();
+        let b = bench::ghz(8);
+        let config = JigsawConfig {
+            compiler: CompilerOptions { max_seeds: 3, ..CompilerOptions::default() },
+            ..JigsawConfig::jigsaw_m(6000)
+        };
+        let result = run_jigsaw(b.circuit(), &device, &config);
+        // Sizes 2..5 × 8 windows = 32 CPMs.
+        assert_eq!(result.marginals.len(), 32);
+        let mut seen: Vec<usize> = result.marginals.iter().map(Marginal::size).collect();
+        seen.dedup();
+        assert_eq!(seen, vec![5, 4, 3, 2], "descending size order");
+    }
+
+    #[test]
+    fn oversized_subsets_are_skipped() {
+        let device = Device::toronto();
+        let b = bench::ghz(4);
+        let config = JigsawConfig {
+            subset_sizes: vec![2, 3, 4, 5],
+            compiler: CompilerOptions { max_seeds: 3, ..CompilerOptions::default() },
+            ..JigsawConfig::jigsaw_m(2000)
+        };
+        let result = run_jigsaw(b.circuit(), &device, &config);
+        assert!(result.marginals.iter().all(|m| m.size() < 4));
+    }
+
+    #[test]
+    fn pipeline_is_seed_deterministic() {
+        let device = Device::toronto();
+        let b = bench::bernstein_vazirani(4, 0b101);
+        let a = run_jigsaw(b.circuit(), &device, &quick_config(1000).with_seed(3));
+        let b2 = run_jigsaw(b.circuit(), &device, &quick_config(1000).with_seed(3));
+        assert_eq!(a.output, b2.output);
+    }
+
+    #[test]
+    fn edm_merges_all_mappings() {
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let pmf = run_edm(
+            b.circuit(),
+            &device,
+            2000,
+            4,
+            1,
+            &RunConfig::default(),
+            &CompilerOptions { max_seeds: 4, ..CompilerOptions::default() },
+        );
+        assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
+        let correct = resolve_correct_set(&b);
+        assert!(metrics::pst(&pmf, &correct) > 0.2);
+    }
+
+    #[test]
+    fn coverage_weighted_allocation_feeds_bigger_cpms() {
+        let device = Device::toronto();
+        let b = bench::ghz(8);
+        let cfg = JigsawConfig {
+            subset_sizes: vec![2, 5],
+            allocation: TrialAllocation::CoverageWeighted { confidence: 0.99 },
+            compiler: CompilerOptions { max_seeds: 3, ..CompilerOptions::default() },
+            ..JigsawConfig::jigsaw_m(8000)
+        };
+        let result = run_jigsaw(b.circuit(), &device, &cfg);
+        // With coverage weighting the size-5 layer gets ~32/4 = 8x the
+        // per-CPM budget of size-2; verify via marginal support richness:
+        // size-5 marginals should resolve more than 2^2 outcomes.
+        let size5_support: usize = result
+            .marginals
+            .iter()
+            .filter(|m| m.size() == 5)
+            .map(|m| m.pmf.support_size())
+            .max()
+            .expect("size-5 layer present");
+        assert!(size5_support > 4, "size-5 marginals resolved {size5_support} outcomes");
+        assert!(result.trials_used <= 8000 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement-free")]
+    fn premeasured_program_rejected() {
+        let device = Device::toronto();
+        let mut c = bench::ghz(3).circuit().clone();
+        c.measure_all();
+        let _ = run_jigsaw(&c, &device, &quick_config(100));
+    }
+}

@@ -1,0 +1,62 @@
+//! JigSaw: measurement subsetting and Bayesian reconstruction for NISQ
+//! fidelity — the primary contribution of Das, Tannu & Qureshi (MICRO 2021),
+//! reproduced in Rust.
+//!
+//! The pipeline runs a program in two modes (paper Fig. 4):
+//!
+//! 1. **Global mode** — all qubits measured for half the trials → the
+//!    global-PMF (full correlation, low fidelity).
+//! 2. **Subset mode** — Circuits with Partial Measurements, each measuring
+//!    a small, optionally recompiled qubit subset → high-fidelity
+//!    local-PMFs.
+//!
+//! [`bayes::reconstruct`] (Algorithm 1) then sharpens the global-PMF with
+//! the local evidence. [`JigsawConfig::jigsaw_m`] enables Multi-Layer
+//! JigSaw: several subset sizes, reconstructed largest-first (§4.4).
+//!
+//! Also here: the [`mbm`] baseline (IBM's matrix-based mitigation,
+//! Fig. 14), the [`scalability`] model behind Table 7, and [`Scores`]
+//! scoring.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use jigsaw_circuit::bench;
+//! use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+//! use jigsaw_device::Device;
+//! use jigsaw_pmf::metrics;
+//! use jigsaw_sim::resolve_correct_set;
+//!
+//! let device = Device::toronto();
+//! let bench = bench::ghz(8);
+//! let correct = resolve_correct_set(&bench);
+//!
+//! let config = JigsawConfig::jigsaw(16_384);
+//! let result = run_jigsaw(bench.circuit(), &device, &config);
+//! let baseline = run_baseline(
+//!     bench.circuit(), &device, 16_384, 0,
+//!     &jigsaw_sim::RunConfig::default(),
+//!     &jigsaw_compiler::CompilerOptions::default(),
+//! );
+//! let gain = metrics::pst(&result.output, &correct) / metrics::pst(&baseline, &correct);
+//! println!("JigSaw improves PST by {gain:.2}x");
+//! ```
+
+pub mod angles;
+pub mod bayes;
+mod evaluate;
+#[allow(clippy::module_inception)]
+mod jigsaw;
+pub mod mbm;
+pub mod scalability;
+pub mod seed;
+pub mod subsets;
+pub mod trials;
+
+pub use bayes::{
+    bayesian_update, reconstruct, reconstruction_round, Marginal, Reconstruction,
+    ReconstructionConfig,
+};
+pub use evaluate::Scores;
+pub use jigsaw::{run_baseline, run_edm, run_jigsaw, JigsawConfig, JigsawResult, TrialAllocation};
+pub use subsets::SubsetSelection;

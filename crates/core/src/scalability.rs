@@ -1,0 +1,173 @@
+//! The analytical scalability model of paper §7 (Equation 5 and the §7.3
+//! operation counts) — the machinery behind Table 7.
+//!
+//! JigSaw stores only observed PMF entries, so both memory and time are
+//! linear in trials and qubits:
+//!
+//! ```text
+//! Memory = {n + 8(2 + N)}·εT  +  Σ_s L_s(s + 8)·N      L_s = min(2^s, δT)
+//! Ops    = 4·ε·S·N·T
+//! ```
+//!
+//! where `n` is program width, `N` the CPM count, `T` trials, `ε`/`δ` the
+//! observed-outcome fractions, `s` the subset sizes and `S` their count.
+
+/// Inputs to the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityInput {
+    /// Program width in qubits.
+    pub n_qubits: usize,
+    /// Observed fraction of the global PMF (`ε`, paper Fig. 13: ≈ 0.05).
+    pub epsilon: f64,
+    /// Observed fraction of each local PMF (`δ`).
+    pub delta: f64,
+    /// Trials per mode (the paper's pessimistic "T each" assumption).
+    pub trials: u64,
+    /// CPM subset sizes (one entry ⇒ JigSaw; several ⇒ JigSaw-M).
+    pub subset_sizes: Vec<usize>,
+    /// Number of CPMs per subset size (`N`; the paper uses `N = n`).
+    pub cpms_per_size: usize,
+}
+
+impl ScalabilityInput {
+    /// Table 7's JigSaw configuration: subset size 5, `N = n` CPMs.
+    #[must_use]
+    pub fn paper_jigsaw(n_qubits: usize, epsilon: f64, trials: u64) -> Self {
+        Self {
+            n_qubits,
+            epsilon,
+            delta: epsilon,
+            trials,
+            subset_sizes: vec![5],
+            cpms_per_size: n_qubits,
+        }
+    }
+
+    /// Table 7's JigSaw-M configuration: subset sizes 5, 10, 15, 20.
+    #[must_use]
+    pub fn paper_jigsaw_m(n_qubits: usize, epsilon: f64, trials: u64) -> Self {
+        Self { subset_sizes: vec![5, 10, 15, 20], ..Self::paper_jigsaw(n_qubits, epsilon, trials) }
+    }
+
+    /// Observed global-PMF entries `εT`.
+    #[must_use]
+    pub fn global_entries(&self) -> f64 {
+        self.epsilon * self.trials as f64
+    }
+
+    /// Local-PMF entries for subset size `s`: `L = min(2^s, δT)`.
+    #[must_use]
+    pub fn local_entries(&self, s: usize) -> f64 {
+        let dense = if s >= 63 { f64::INFINITY } else { (1u64 << s) as f64 };
+        dense.min(self.delta * self.trials as f64)
+    }
+
+    /// Equation 5: total memory in bytes.
+    ///
+    /// Global entries cost `n + 8` bytes each (an n-character outcome plus
+    /// an 8-byte probability); the `N` intermediate PMFs and the output PMF
+    /// cost 8 bytes per entry; each of the `S·N` local PMFs stores
+    /// `L_s (s + 8)` bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> f64 {
+        let n = self.n_qubits as f64;
+        let big_n = self.cpms_per_size as f64;
+        let global = (n + 8.0 * (2.0 + big_n)) * self.global_entries();
+        let locals: f64 = self
+            .subset_sizes
+            .iter()
+            .map(|&s| self.local_entries(s) * (s as f64 + 8.0) * big_n)
+            .sum();
+        global + locals
+    }
+
+    /// §7.3 operation count: `4·ε·S·N·T` (one coefficient pass plus a
+    /// three-operation update per global entry, per CPM, per size).
+    #[must_use]
+    pub fn operations(&self) -> f64 {
+        4.0 * self.global_entries() * (self.subset_sizes.len() * self.cpms_per_size) as f64
+    }
+
+    /// Memory in decimal gigabytes (Table 7's unit: the paper's 0.96 GB for
+    /// n = 100, ε = 1, T = 1M reproduces exactly in decimal GB).
+    #[must_use]
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_bytes() / 1.0e9
+    }
+
+    /// Operations in millions (Table 7's unit).
+    #[must_use]
+    pub fn operations_millions(&self) -> f64 {
+        self.operations() / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_jigsaw_operation_counts() {
+        // Table 7, JigSaw OPs column (in millions).
+        let cases = [
+            (100, 0.05, 32 * 1024, 0.66),
+            (100, 0.05, 1024 * 1024, 21.0),
+            (100, 1.0, 32 * 1024, 13.1),
+            (100, 1.0, 1024 * 1024, 419.0),
+            (500, 0.05, 32 * 1024, 3.28),
+            (500, 0.05, 1024 * 1024, 105.0),
+            (500, 1.0, 32 * 1024, 65.5),
+            (500, 1.0, 1024 * 1024, 2097.0),
+        ];
+        for (n, eps, trials, expect) in cases {
+            let m = ScalabilityInput::paper_jigsaw(n, eps, trials);
+            let got = m.operations_millions();
+            assert!(
+                (got - expect).abs() / expect < 0.02,
+                "n={n} ε={eps} T={trials}: got {got}, table says {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn table7_jigsaw_m_ops_are_4x() {
+        let j = ScalabilityInput::paper_jigsaw(100, 0.05, 32 * 1024);
+        let m = ScalabilityInput::paper_jigsaw_m(100, 0.05, 32 * 1024);
+        assert!((m.operations() / j.operations() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table7_jigsaw_memory_magnitudes() {
+        // Table 7, JigSaw Mem column (GB): 1M trials, ε = 0.05 → 0.05 GB;
+        // ε = 1.0 → 0.96 GB.
+        let a = ScalabilityInput::paper_jigsaw(100, 0.05, 1024 * 1024);
+        assert!((a.memory_gb() - 0.05).abs() < 0.01, "got {}", a.memory_gb());
+        let b = ScalabilityInput::paper_jigsaw(100, 1.0, 1024 * 1024);
+        assert!((b.memory_gb() - 0.96).abs() < 0.05, "got {}", b.memory_gb());
+        let c = ScalabilityInput::paper_jigsaw(500, 1.0, 1024 * 1024);
+        assert!((c.memory_gb() - 4.74).abs() < 0.2, "got {}", c.memory_gb());
+    }
+
+    #[test]
+    fn memory_is_linear_in_trials_and_qubits() {
+        let base = ScalabilityInput::paper_jigsaw(100, 0.05, 32 * 1024);
+        let more_trials = ScalabilityInput::paper_jigsaw(100, 0.05, 64 * 1024);
+        // Local entries may saturate at 2^s, so the global part dominates
+        // the ratio; allow a small tolerance.
+        let ratio = more_trials.memory_bytes() / base.memory_bytes();
+        assert!((ratio - 2.0).abs() < 0.1, "trial scaling ratio {ratio}");
+
+        let wider = ScalabilityInput::paper_jigsaw(200, 0.05, 32 * 1024);
+        assert!(wider.memory_bytes() > base.memory_bytes() * 1.8);
+        assert!(wider.memory_bytes() < base.memory_bytes() * 4.0);
+    }
+
+    #[test]
+    fn local_entries_saturate_at_dense_size() {
+        let m = ScalabilityInput::paper_jigsaw(100, 0.05, 1024 * 1024);
+        // 2^5 = 32 < δT, so size-5 locals are dense.
+        assert_eq!(m.local_entries(5), 32.0);
+        // Size 20: δT = 52428.8 < 2^20.
+        assert!((m.local_entries(20) - 52428.8).abs() < 0.1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Qubit-subset generation for Circuits with Partial Measurements.
+//!
+//! The default is the paper's sliding-window method (§4.2.1): an `n`-qubit
+//! program yields `n` windows of the requested size with wrap-around, e.g.
+//! size 2 over 4 qubits gives (q0,q1), (q1,q2), (q2,q3), (q3,q0). Random
+//! and coverage-constrained selections support the Fig. 9 sensitivity
+//! studies.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How CPM subsets are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubsetSelection {
+    /// The paper's default: `n` wrap-around windows per subset size.
+    SlidingWindow,
+    /// `count` distinct uniformly random subsets (Fig. 9a).
+    Random {
+        /// Number of subsets to draw.
+        count: usize,
+    },
+    /// `n` random subsets constrained so every qubit is measured at least
+    /// once (Fig. 9b).
+    RandomCovering,
+}
+
+/// Generates subsets of `size` qubits out of `n` according to `selection`.
+///
+/// Results are deterministic in `seed` for the random modes; the sliding
+/// window ignores the seed.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or larger than `n`, or if a random selection
+/// requests more distinct subsets than exist.
+#[must_use]
+pub fn generate(
+    n: usize,
+    size: usize,
+    selection: SubsetSelection,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(size >= 1, "subset size must be positive");
+    assert!(size <= n, "subset of {size} qubits out of {n} is impossible");
+    match selection {
+        SubsetSelection::SlidingWindow => sliding_window(n, size),
+        SubsetSelection::Random { count } => random_distinct(n, size, count, seed),
+        SubsetSelection::RandomCovering => random_covering(n, size, seed),
+    }
+}
+
+/// The paper's sliding-window subsets: windows `[i, i+1, …, i+size−1]`
+/// (indices mod `n`) for every start `i`, deduplicated (relevant when
+/// `size = n`).
+#[must_use]
+pub fn sliding_window(n: usize, size: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for start in 0..n {
+        let mut w: Vec<usize> = (0..size).map(|k| (start + k) % n).collect();
+        w.sort_unstable();
+        if !out.contains(&w) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// `count` distinct random subsets of `size` qubits.
+///
+/// # Panics
+///
+/// Panics if `count` exceeds the number of distinct subsets `C(n, size)`.
+#[must_use]
+pub fn random_distinct(n: usize, size: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let total = binomial(n, size);
+    assert!(
+        count as u128 <= total,
+        "asked for {count} subsets but only {total} distinct {size}-of-{n} subsets exist"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(count);
+    while out.len() < count {
+        let mut s = sample_subset(n, size, &mut rng);
+        s.sort_unstable();
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// `n` random subsets such that every qubit appears in at least one.
+#[must_use]
+pub fn random_covering(n: usize, size: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let mut subsets: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut covered = vec![false; n];
+        for _ in 0..n {
+            let mut s = sample_subset(n, size, &mut rng);
+            s.sort_unstable();
+            for &q in &s {
+                covered[q] = true;
+            }
+            subsets.push(s);
+        }
+        if covered.iter().all(|&c| c) {
+            return subsets;
+        }
+        // Extremely unlikely to loop for size ≥ 2; resample for safety.
+    }
+}
+
+fn sample_subset<R: Rng>(n: usize, size: usize, rng: &mut R) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(rng);
+    all.truncate(size);
+    all
+}
+
+/// Binomial coefficient `C(n, k)` as `u128` (saturating enough for subset
+/// counting on ≤256-qubit programs).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num * (n - i) as u128 / (i + 1) as u128;
+    }
+    num
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sliding_window_matches_paper_example() {
+        // §4.2.1: a 4-qubit program yields (q0,q1), (q1,q2), (q2,q3), (q0,q3).
+        let w = sliding_window(4, 2);
+        assert_eq!(w, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]);
+    }
+
+    #[test]
+    fn sliding_window_count_equals_qubits() {
+        for n in [5, 8, 13] {
+            for s in [2, 3, 5] {
+                if s < n {
+                    assert_eq!(sliding_window(n, s).len(), n, "n={n} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_full_size_collapses_to_one() {
+        assert_eq!(sliding_window(5, 5).len(), 1);
+    }
+
+    #[test]
+    fn sliding_window_covers_every_qubit() {
+        let w = sliding_window(9, 3);
+        for q in 0..9 {
+            assert!(w.iter().any(|s| s.contains(&q)), "qubit {q} uncovered");
+        }
+    }
+
+    #[test]
+    fn random_distinct_has_no_duplicates() {
+        let subsets = random_distinct(12, 2, 30, 7);
+        assert_eq!(subsets.len(), 30);
+        for (i, a) in subsets.iter().enumerate() {
+            assert_eq!(a.len(), 2);
+            for b in &subsets[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn random_distinct_can_enumerate_all() {
+        // 12C2 = 66, the Fig. 9a census.
+        assert_eq!(binomial(12, 2), 66);
+        let all = random_distinct(12, 2, 66, 3);
+        assert_eq!(all.len(), 66);
+    }
+
+    #[test]
+    fn random_covering_covers() {
+        for seed in 0..5 {
+            let subsets = random_covering(12, 2, seed);
+            assert_eq!(subsets.len(), 12);
+            for q in 0..12 {
+                assert!(subsets.iter().any(|s| s.contains(&q)), "qubit {q} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = generate(10, 3, SubsetSelection::Random { count: 5 }, 11);
+        let b = generate(10, 3, SubsetSelection::Random { count: 5 }, 11);
+        assert_eq!(a, b);
+        let c = generate(10, 3, SubsetSelection::Random { count: 5 }, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn binomial_known_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(5, 7), 0);
+        assert_eq!(binomial(50, 25), 126_410_606_437_752);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 6 distinct")]
+    fn oversubscribed_random_panics() {
+        let _ = random_distinct(4, 2, 7, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Trial-budget estimation (paper Appendix A.2).
+//!
+//! How many trials does a CPM need before every possible outcome has been
+//! seen at least once with confidence `P`? Assuming a near-uniform worst
+//! case over `N = 2^s` outcomes:
+//!
+//! ```text
+//! t(one outcome)  = −ln(1 − P) · N          (Equation 8)
+//! t(all outcomes) = −ln(1 − P) · N²         (Equation 9)
+//! ```
+//!
+//! For the default subset size 2 (`N = 4`), ≈150 trials suffice at 99.99%
+//! confidence — which is why splitting half the budget across `n` CPMs is
+//! comfortable at realistic trial counts.
+
+/// Probability that a specific outcome among `n_outcomes` equally-likely
+/// ones has appeared at least once after `trials` trials (Equation 6).
+///
+/// # Panics
+///
+/// Panics if `n_outcomes == 0`.
+#[must_use]
+pub fn coverage_probability(n_outcomes: u64, trials: u64) -> f64 {
+    assert!(n_outcomes > 0, "need at least one outcome");
+    let p = 1.0 / n_outcomes as f64;
+    1.0 - (1.0 - p).powi(trials.min(i32::MAX as u64) as i32)
+}
+
+/// Trials needed to see one given outcome at least once with confidence
+/// `confidence` (Equation 8).
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1`.
+#[must_use]
+pub fn trials_for_outcome(n_outcomes: u64, confidence: f64) -> u64 {
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must lie in (0, 1)");
+    (-(1.0 - confidence).ln() * n_outcomes as f64).ceil() as u64
+}
+
+/// Trials needed to see *every* outcome at least once with per-outcome
+/// confidence `confidence` (Equation 9).
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1`.
+#[must_use]
+pub fn trials_for_full_coverage(n_outcomes: u64, confidence: f64) -> u64 {
+    trials_for_outcome(n_outcomes, confidence).saturating_mul(n_outcomes)
+}
+
+/// Trials a size-`s` CPM needs for full outcome coverage at `confidence`
+/// (the quantity Appendix A.2 estimates for the default design).
+///
+/// # Panics
+///
+/// Panics if `s >= 63` or `confidence` is out of range.
+#[must_use]
+pub fn cpm_trials(subset_size: usize, confidence: f64) -> u64 {
+    assert!(subset_size < 63, "subset size {subset_size} overflows the outcome count");
+    trials_for_full_coverage(1u64 << subset_size, confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation6_limits() {
+        assert!(coverage_probability(4, 0) < 1e-12);
+        assert!(coverage_probability(4, 1_000) > 0.999_999);
+        // One trial over N outcomes hits a given one with probability 1/N.
+        assert!((coverage_probability(4, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_estimate_for_default_cpm() {
+        // Appendix A.2: "about 150 trials ... with 99.99% probability" for
+        // subset size 2.
+        let t = cpm_trials(2, 0.9999);
+        assert!((140..=160).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn larger_subsets_need_quadratically_more() {
+        let t2 = cpm_trials(2, 0.999);
+        let t3 = cpm_trials(3, 0.999);
+        // N doubles → N² quadruples.
+        assert!((t3 as f64 / t2 as f64 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn estimated_trials_actually_cover() {
+        let t = trials_for_outcome(16, 0.99);
+        assert!(coverage_probability(16, t) >= 0.99);
+    }
+
+    #[test]
+    fn jigsaw_m_sizes_stay_in_thousands() {
+        // §A.2's closing claim: CPMs of sizes 2–5 need at most a few
+        // thousand trials.
+        for s in 2..=5 {
+            assert!(cpm_trials(s, 0.9999) < 10_000, "size {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn confidence_must_be_fractional() {
+        let _ = trials_for_outcome(4, 1.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! A complete NISQ device model: topology + calibration + crosstalk.
+
+use crate::stats::{percentile_rank, Summary};
+use crate::{Calibration, CrosstalkModel, ReadoutError, Topology};
+
+/// A simulated quantum computer, standing in for the IBMQ machines of the
+/// paper's evaluation (§5.1).
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_device::Device;
+///
+/// let toronto = Device::toronto();
+/// assert_eq!(toronto.n_qubits(), 27);
+/// let stats = toronto.readout_summary();
+/// assert!(stats.median < stats.mean); // long-tailed readout errors
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    name: String,
+    topology: Topology,
+    calibration: Calibration,
+    crosstalk: CrosstalkModel,
+}
+
+impl Device {
+    /// Assembles a device from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration covers a different number of qubits than
+    /// the topology.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        topology: Topology,
+        calibration: Calibration,
+        crosstalk: CrosstalkModel,
+    ) -> Self {
+        assert_eq!(
+            topology.n_qubits(),
+            calibration.n_qubits(),
+            "calibration does not match topology size"
+        );
+        Self { name: name.into(), topology, calibration, crosstalk }
+    }
+
+    /// Device name (e.g. `"IBMQ-Toronto"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.topology.n_qubits()
+    }
+
+    /// The coupling graph.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The calibration snapshot.
+    #[must_use]
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// The measurement-crosstalk model.
+    #[must_use]
+    pub fn crosstalk(&self) -> &CrosstalkModel {
+        &self.crosstalk
+    }
+
+    /// Replaces the crosstalk model (ablation studies).
+    #[must_use]
+    pub fn with_crosstalk(mut self, crosstalk: CrosstalkModel) -> Self {
+        self.crosstalk = crosstalk;
+        self
+    }
+
+    /// Effective readout-error pair for `qubit` when `simultaneous` qubits
+    /// are measured in the same trial (crosstalk-inflated calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is out of range or `simultaneous == 0`.
+    #[must_use]
+    pub fn effective_readout(&self, qubit: usize, simultaneous: usize) -> ReadoutError {
+        let base = self.calibration.readout(qubit);
+        ReadoutError {
+            p1_given_0: self.crosstalk.effective(base.p1_given_0, simultaneous),
+            p0_given_1: self.crosstalk.effective(base.p0_given_1, simultaneous),
+        }
+    }
+
+    /// Summary statistics of state-averaged readout errors (Fig. 3's
+    /// mean/median/min/max box).
+    #[must_use]
+    pub fn readout_summary(&self) -> Summary {
+        Summary::of(&self.calibration.readout_means())
+    }
+
+    /// Fig. 3 percentile bucket (0–3 for `<25`, `25–50`, `50–75`, `>75`) of
+    /// each qubit's readout error.
+    #[must_use]
+    pub fn readout_percentile_buckets(&self) -> Vec<u8> {
+        let means = self.calibration.readout_means();
+        means
+            .iter()
+            .map(|&m| {
+                let r = percentile_rank(&means, m);
+                if r < 25.0 {
+                    0
+                } else if r < 50.0 {
+                    1
+                } else if r < 75.0 {
+                    2
+                } else {
+                    3
+                }
+            })
+            .collect()
+    }
+
+    /// The `k` best qubits by readout quality.
+    #[must_use]
+    pub fn best_readout_qubits(&self, k: usize) -> Vec<usize> {
+        let mut order = self.calibration.qubits_by_readout_quality();
+        order.truncate(k);
+        order
+    }
+
+    /// The minimum, over any *connected* sub-region of `k` qubits grown
+    /// greedily from each seed qubit, of the worst readout error inside the
+    /// region. This quantifies the paper's §3.2 observation: as programs
+    /// grow, the compiler is forced onto ever-worse measurement qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or larger than the device.
+    #[must_use]
+    pub fn best_region_worst_readout(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.n_qubits(), "region size {k} out of range");
+        let means = self.calibration.readout_means();
+        let mut best = f64::INFINITY;
+        for seed in 0..self.n_qubits() {
+            // Greedy region growth: repeatedly absorb the frontier qubit
+            // with the lowest readout error.
+            let mut region = vec![seed];
+            let mut in_region = vec![false; self.n_qubits()];
+            in_region[seed] = true;
+            while region.len() < k {
+                let candidate = region
+                    .iter()
+                    .flat_map(|&q| self.topology.neighbors(q))
+                    .filter(|&&nb| !in_region[nb])
+                    .min_by(|&&a, &&b| means[a].partial_cmp(&means[b]).unwrap());
+                match candidate {
+                    Some(&nb) => {
+                        in_region[nb] = true;
+                        region.push(nb);
+                    }
+                    None => break,
+                }
+            }
+            if region.len() == k {
+                let worst = region.iter().map(|&q| means[q]).fold(0.0f64, f64::max);
+                best = best.min(worst);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CalibrationSpec;
+
+    fn tiny_device() -> Device {
+        let topo = Topology::line(5);
+        let cal = CalibrationSpec::ibm_falcon_like(9).synthesize(&topo);
+        Device::new("tiny", topo, cal, CrosstalkModel::ibm_default())
+    }
+
+    #[test]
+    fn effective_readout_grows_with_simultaneity() {
+        let d = tiny_device();
+        let iso = d.effective_readout(0, 1);
+        let many = d.effective_readout(0, 10);
+        assert!(many.p1_given_0 > iso.p1_given_0);
+        assert!(many.p0_given_1 > iso.p0_given_1);
+        assert_eq!(iso.p1_given_0, d.calibration().readout(0).p1_given_0);
+    }
+
+    #[test]
+    fn percentile_buckets_partition_the_device() {
+        let d = tiny_device();
+        let buckets = d.readout_percentile_buckets();
+        assert_eq!(buckets.len(), 5);
+        assert!(buckets.iter().all(|&b| b <= 3));
+    }
+
+    #[test]
+    fn best_readout_qubits_are_sorted_by_quality() {
+        let d = tiny_device();
+        let best = d.best_readout_qubits(3);
+        assert_eq!(best.len(), 3);
+        let means = d.calibration().readout_means();
+        assert!(means[best[0]] <= means[best[1]]);
+        assert!(means[best[1]] <= means[best[2]]);
+    }
+
+    #[test]
+    fn larger_regions_cannot_have_better_worst_case() {
+        let d = tiny_device();
+        let small = d.best_region_worst_readout(2);
+        let large = d.best_region_worst_readout(5);
+        assert!(large >= small, "growing a region cannot improve its worst qubit");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match topology")]
+    fn mismatched_calibration_rejected() {
+        let topo = Topology::line(4);
+        let cal = CalibrationSpec::ibm_falcon_like(0).synthesize(&Topology::line(5));
+        let _ = Device::new("bad", topo, cal, CrosstalkModel::none());
+    }
+}

@@ -1,0 +1,41 @@
+//! NISQ device models for the JigSaw (MICRO 2021) reproduction.
+//!
+//! The paper evaluates on real IBM hardware; this crate builds the
+//! simulated stand-ins:
+//!
+//! * [`Topology`] — coupling graphs with BFS distances (Falcon-27,
+//!   Hummingbird-65, grids, lines).
+//! * [`Calibration`] / [`CalibrationSpec`] — per-qubit readout error pairs,
+//!   gate error rates and idle decoherence, synthesised on exact log-normal
+//!   quantiles so each preset reproduces its machine's published summary
+//!   statistics (e.g. Toronto's Fig. 3 readout distribution).
+//! * [`CrosstalkModel`] — the §3.1 measurement-crosstalk effect: error
+//!   rates inflate with the number of simultaneous measurements.
+//! * [`Device`] — the assembled machine, with presets
+//!   [`Device::toronto`], [`Device::paris`], [`Device::manhattan`] and
+//!   [`Device::sycamore_like`].
+//!
+//! # Examples
+//!
+//! ```
+//! use jigsaw_device::Device;
+//!
+//! let toronto = Device::toronto();
+//! // Crosstalk: measuring 10 qubits at once is worse than one in isolation.
+//! let iso = toronto.effective_readout(5, 1);
+//! let many = toronto.effective_readout(5, 10);
+//! assert!(many.p1_given_0 > iso.p1_given_0);
+//! ```
+
+mod calibration;
+mod crosstalk;
+#[allow(clippy::module_inception)]
+mod device;
+mod presets;
+pub mod stats;
+mod topology;
+
+pub use calibration::{Calibration, CalibrationSpec, LogNormalSpec, ReadoutError};
+pub use crosstalk::CrosstalkModel;
+pub use device::Device;
+pub use topology::{Topology, UNREACHABLE};

@@ -1,0 +1,178 @@
+//! Small statistics toolkit: summary statistics, percentiles and the
+//! inverse normal CDF used to synthesise calibration data by quantile.
+
+/// Summary statistics of a sample (paper Fig. 3 reports exactly these four
+/// for Toronto's readout errors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, midpoint convention).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self { mean, median: percentile_sorted(&sorted, 50.0), min: sorted[0], max: sorted[sorted.len() - 1] }
+    }
+}
+
+/// Percentile (0–100) of a sample, linear interpolation between order
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, contains NaN, or `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "cannot take a percentile of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    percentile_sorted(&sorted, p)
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile *rank* of `x` within `values` (fraction of the sample strictly
+/// below `x`, as a 0–100 percentage). Used to bucket qubits into the four
+/// Fig. 3 percentile ranges.
+#[must_use]
+pub fn percentile_rank(values: &[f64], x: f64) -> f64 {
+    let below = values.iter().filter(|&&v| v < x).count();
+    100.0 * below as f64 / values.len() as f64
+}
+
+/// Inverse standard-normal CDF `Φ⁻¹(p)` (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Used to lay calibration samples out on exact
+/// log-normal quantiles so synthetic devices hit the paper's published
+/// summary statistics deterministically.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+#[allow(clippy::excessive_precision)]
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inverse CDF needs p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert!((percentile(&v, 50.0) - 5.0).abs() < 1e-12);
+        assert!((percentile(&v, 0.0) - 0.0).abs() < 1e-12);
+        assert!((percentile(&v, 100.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rank_counts_below() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile_rank(&v, 3.0) - 50.0).abs() < 1e-12);
+        assert!((percentile_rank(&v, 0.5) - 0.0).abs() < 1e-12);
+        assert!((percentile_rank(&v, 9.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inv_norm_cdf_known_points() {
+        assert!(inv_norm_cdf(0.5).abs() < 1e-9);
+        assert!((inv_norm_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inv_norm_cdf(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inv_norm_cdf_is_antisymmetric() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((inv_norm_cdf(p) + inv_norm_cdf(1.0 - p)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for device models: distance-metric axioms,
+//! calibration invariants and crosstalk monotonicity.
+
+use jigsaw_device::stats::{inv_norm_cdf, percentile, Summary};
+use jigsaw_device::{CalibrationSpec, CrosstalkModel, Device, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn grid_distances_are_manhattan(r1 in 0usize..5, c1 in 0usize..6, r2 in 0usize..5, c2 in 0usize..6) {
+        let t = Topology::grid(5, 6);
+        let a = r1 * 6 + c1;
+        let b = r2 * 6 + c2;
+        let expected = (r1.abs_diff(r2) + c1.abs_diff(c2)) as u32;
+        prop_assert_eq!(t.distance(a, b), expected);
+    }
+
+    #[test]
+    fn calibration_rates_stay_in_range(seed in 0u64..500) {
+        let topo = Topology::falcon27();
+        let cal = CalibrationSpec::ibm_falcon_like(seed).synthesize(&topo);
+        for q in 0..27 {
+            let r = cal.readout(q);
+            prop_assert!(r.p1_given_0 > 0.0 && r.p1_given_0 <= 0.5);
+            prop_assert!(r.p0_given_1 > 0.0 && r.p0_given_1 <= 0.5);
+            prop_assert!(cal.gate_1q(q) > 0.0 && cal.gate_1q(q) < 0.1);
+            prop_assert!(cal.idle(q) > 0.0 && cal.idle(q) < 0.05);
+        }
+        for &(a, b) in topo.edges() {
+            prop_assert!(cal.gate_2q(a, b) > 0.0 && cal.gate_2q(a, b) < 0.2);
+        }
+    }
+
+    #[test]
+    fn readout_quality_ranking_is_a_permutation(seed in 0u64..200) {
+        let topo = Topology::falcon27();
+        let cal = CalibrationSpec::ibm_falcon_like(seed).synthesize(&topo);
+        let mut order = cal.qubits_by_readout_quality();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..27).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crosstalk_effective_is_monotone_in_m(base in 0.001f64..0.2, m1 in 1usize..30, m2 in 1usize..30) {
+        let ct = CrosstalkModel::ibm_default();
+        let (lo, hi) = (m1.min(m2), m1.max(m2));
+        prop_assert!(ct.effective(base, lo) <= ct.effective(base, hi) + 1e-15);
+        prop_assert!(ct.effective(base, hi) <= 0.5);
+    }
+
+    #[test]
+    fn summary_orders_hold(values in prop::collection::vec(0.0f64..1.0, 1..40)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.median + 1e-12);
+        prop_assert!(s.median <= s.max + 1e-12);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(values in prop::collection::vec(0.0f64..1.0, 2..40), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&values, lo) <= percentile(&values, hi) + 1e-12);
+    }
+
+    #[test]
+    fn inv_norm_cdf_is_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(inv_norm_cdf(lo) <= inv_norm_cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn effective_readout_never_below_base(q in 0usize..27, m in 1usize..30) {
+        let d = Device::toronto();
+        let base = d.calibration().readout(q);
+        let eff = d.effective_readout(q, m);
+        prop_assert!(eff.p1_given_0 >= base.p1_given_0 - 1e-15);
+        prop_assert!(eff.p0_given_1 >= base.p0_given_1 - 1e-15);
+    }
+}

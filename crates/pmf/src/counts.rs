@@ -1,0 +1,275 @@
+//! Raw trial histograms (outcome → number of observations).
+//!
+//! A [`Counts`] is what a NISQ machine (or our simulator) hands back after
+//! running a program for some number of trials. Normalising a histogram
+//! yields a [`Pmf`](crate::Pmf).
+
+use crate::hashing::DetHashMap;
+use crate::{BitString, Pmf};
+
+/// Histogram of measurement outcomes over a fixed number of qubits.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_pmf::{BitString, Counts};
+///
+/// let mut counts = Counts::new(2);
+/// counts.record(BitString::from_u64(0b00, 2));
+/// counts.record(BitString::from_u64(0b11, 2));
+/// counts.record(BitString::from_u64(0b11, 2));
+/// assert_eq!(counts.total(), 3);
+/// let pmf = counts.to_pmf();
+/// assert!((pmf.prob(&BitString::from_u64(0b11, 2)) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    n_bits: usize,
+    map: DetHashMap<BitString, u64>,
+    total: u64,
+}
+
+impl Counts {
+    /// Creates an empty histogram over `n_bits` qubits.
+    #[must_use]
+    pub fn new(n_bits: usize) -> Self {
+        Self { n_bits, map: DetHashMap::default(), total: 0 }
+    }
+
+    /// Number of qubits each outcome spans.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Records one observation of `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width does not match [`Counts::n_bits`].
+    pub fn record(&mut self, outcome: BitString) {
+        self.record_many(outcome, 1);
+    }
+
+    /// Records `n` observations of `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width does not match [`Counts::n_bits`].
+    pub fn record_many(&mut self, outcome: BitString, n: u64) {
+        assert_eq!(
+            outcome.len(),
+            self.n_bits,
+            "outcome width {} does not match histogram width {}",
+            outcome.len(),
+            self.n_bits
+        );
+        *self.map.entry(outcome).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total number of recorded trials.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed (the paper's `ϵT`; see §7.1).
+    #[must_use]
+    pub fn unique_outcomes(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Fraction of trials that produced a *new* outcome: `ϵ = unique / total`
+    /// (paper Fig. 13). Returns 0 when no trials were recorded.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.map.len() as f64 / self.total as f64
+        }
+    }
+
+    /// Count observed for a particular outcome (0 when never seen).
+    #[must_use]
+    pub fn count(&self, outcome: &BitString) -> u64 {
+        self.map.get(outcome).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(outcome, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, u64)> {
+        self.map.iter().map(|(b, &c)| (b, c))
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.n_bits, other.n_bits, "cannot merge histograms of different widths");
+        for (b, c) in other.iter() {
+            *self.map.entry(*b).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Projects the histogram onto a qubit subset, summing trials that agree
+    /// on the subset (classical marginalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any subset index is out of range.
+    #[must_use]
+    pub fn marginal(&self, qubits: &[usize]) -> Self {
+        let mut out = Self::new(qubits.len());
+        for (b, c) in self.iter() {
+            out.record_many(b.project(qubits), c);
+        }
+        out
+    }
+
+    /// Normalises into a [`Pmf`]. Returns the uniform-free empty PMF when no
+    /// trials have been recorded.
+    #[must_use]
+    pub fn to_pmf(&self) -> Pmf {
+        let mut pmf = Pmf::new(self.n_bits);
+        if self.total == 0 {
+            return pmf;
+        }
+        let t = self.total as f64;
+        for (b, c) in self.iter() {
+            pmf.set(*b, c as f64 / t);
+        }
+        pmf
+    }
+
+    /// The single most-observed outcome, if any trials were recorded.
+    /// Ties break toward the numerically smallest outcome so results are
+    /// deterministic.
+    #[must_use]
+    pub fn mode(&self) -> Option<BitString> {
+        self.map
+            .iter()
+            .max_by(|(ba, ca), (bb, cb)| ca.cmp(cb).then_with(|| bb.cmp(ba)))
+            .map(|(b, _)| *b)
+    }
+}
+
+impl FromIterator<BitString> for Counts {
+    /// Builds a histogram from an outcome stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (the width cannot be inferred) or if
+    /// outcomes have inconsistent widths.
+    fn from_iter<I: IntoIterator<Item = BitString>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let first = it.next().expect("cannot infer width from an empty outcome stream");
+        let mut counts = Counts::new(first.len());
+        counts.record(first);
+        for b in it {
+            counts.record(b);
+        }
+        counts
+    }
+}
+
+impl Extend<BitString> for Counts {
+    fn extend<I: IntoIterator<Item = BitString>>(&mut self, iter: I) {
+        for b in iter {
+            self.record(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn record_accumulates_totals() {
+        let mut c = Counts::new(3);
+        c.record(bs("000"));
+        c.record_many(bs("111"), 4);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.count(&bs("111")), 4);
+        assert_eq!(c.count(&bs("101")), 0);
+        assert_eq!(c.unique_outcomes(), 2);
+    }
+
+    #[test]
+    fn epsilon_is_unique_over_total() {
+        let mut c = Counts::new(2);
+        assert_eq!(c.epsilon(), 0.0);
+        c.record_many(bs("00"), 8);
+        c.record_many(bs("11"), 2);
+        assert!((c.epsilon() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Counts::new(2);
+        a.record_many(bs("01"), 3);
+        let mut b = Counts::new(2);
+        b.record_many(bs("01"), 2);
+        b.record(bs("10"));
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.count(&bs("01")), 5);
+    }
+
+    #[test]
+    fn marginal_sums_agreeing_outcomes() {
+        let mut c = Counts::new(3);
+        c.record_many(bs("000"), 1); // Q1Q0 = 00
+        c.record_many(bs("100"), 2); // Q1Q0 = 00
+        c.record_many(bs("011"), 3); // Q1Q0 = 11
+        let m = c.marginal(&[0, 1]);
+        assert_eq!(m.n_bits(), 2);
+        assert_eq!(m.count(&bs("00")), 3);
+        assert_eq!(m.count(&bs("11")), 3);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn to_pmf_normalises() {
+        let mut c = Counts::new(1);
+        c.record_many(bs("0"), 1);
+        c.record_many(bs("1"), 3);
+        let p = c.to_pmf();
+        assert!((p.prob(&bs("1")) - 0.75).abs() < 1e-12);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_breaks_ties_deterministically() {
+        let mut c = Counts::new(2);
+        c.record_many(bs("10"), 2);
+        c.record_many(bs("01"), 2);
+        assert_eq!(c.mode(), Some(bs("01")));
+        c.record(bs("10"));
+        assert_eq!(c.mode(), Some(bs("10")));
+        assert_eq!(Counts::new(2).mode(), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut c: Counts = vec![bs("00"), bs("01"), bs("01")].into_iter().collect();
+        c.extend(vec![bs("11")]);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count(&bs("01")), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn record_rejects_wrong_width() {
+        let mut c = Counts::new(3);
+        c.record(bs("01"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic hashing for PMF internals.
+//!
+//! `std::collections::HashMap`'s default `RandomState` draws a fresh seed
+//! per map, so two maps with identical contents iterate in different orders
+//! — and floating-point accumulation over them differs in the last ulp.
+//! JigSaw promises bit-identical results for identical seeds, so every
+//! histogram/PMF map uses [`DefaultHasher`] with its fixed keys instead.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+/// Deterministic hasher state (fixed-key SipHash via [`DefaultHasher`]).
+pub type DeterministicState = BuildHasherDefault<DefaultHasher>;
+
+/// A `HashMap` with deterministic iteration for a given insertion sequence.
+pub type DetHashMap<K, V> = HashMap<K, V, DeterministicState>;
+
+/// A `HashSet` with deterministic iteration for a given insertion sequence.
+pub type DetHashSet<K> = HashSet<K, DeterministicState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: DetHashMap<u64, f64> = DetHashMap::default();
+            for i in 0..100 {
+                m.insert(i * 37 % 101, i as f64);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

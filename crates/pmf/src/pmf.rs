@@ -1,0 +1,370 @@
+//! Sparse probability mass functions over measurement outcomes.
+//!
+//! JigSaw's reconstruction stores **only observed (non-zero) entries** — the
+//! key scalability property of §7: the number of entries is bounded by the
+//! number of trials, not by `2^n`.
+
+use crate::hashing::DetHashMap;
+use crate::BitString;
+
+/// A sparse PMF over `n_bits`-qubit outcomes.
+///
+/// Entries absent from the map have probability zero. Most constructors keep
+/// the invariant that stored probabilities are non-negative; use
+/// [`Pmf::normalize`] to rescale total mass to 1 after bulk edits.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_pmf::{BitString, Pmf};
+///
+/// let mut pmf = Pmf::new(2);
+/// pmf.set(BitString::from_u64(0b00, 2), 0.3);
+/// pmf.set(BitString::from_u64(0b11, 2), 0.9);
+/// pmf.normalize();
+/// assert!((pmf.prob(&BitString::from_u64(0b11, 2)) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pmf {
+    n_bits: usize,
+    probs: DetHashMap<BitString, f64>,
+}
+
+impl Pmf {
+    /// Creates an empty (all-zero) PMF over `n_bits` qubits.
+    #[must_use]
+    pub fn new(n_bits: usize) -> Self {
+        Self { n_bits, probs: DetHashMap::default() }
+    }
+
+    /// Creates a PMF that puts all mass on a single outcome.
+    #[must_use]
+    pub fn point_mass(outcome: BitString) -> Self {
+        let mut p = Self::new(outcome.len());
+        p.set(outcome, 1.0);
+        p
+    }
+
+    /// Creates the uniform PMF over all `2^n_bits` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits > 20` (the dense enumeration would be excessive; the
+    /// rest of the workspace never needs a wider uniform PMF).
+    #[must_use]
+    pub fn uniform(n_bits: usize) -> Self {
+        assert!(n_bits <= 20, "dense uniform PMF capped at 20 qubits, got {n_bits}");
+        let k = 1usize << n_bits;
+        let p = 1.0 / k as f64;
+        let mut pmf = Self::new(n_bits);
+        for v in 0..k {
+            pmf.set(BitString::from_u64(v as u64, n_bits), p);
+        }
+        pmf
+    }
+
+    /// Number of qubits each outcome spans.
+    #[must_use]
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Probability of `outcome` (zero when absent).
+    #[must_use]
+    pub fn prob(&self, outcome: &BitString) -> f64 {
+        self.probs.get(outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the probability of `outcome`. A value of exactly zero removes the
+    /// entry, keeping the PMF sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width mismatches or `value` is negative/NaN.
+    pub fn set(&mut self, outcome: BitString, value: f64) {
+        assert_eq!(
+            outcome.len(),
+            self.n_bits,
+            "outcome width {} does not match PMF width {}",
+            outcome.len(),
+            self.n_bits
+        );
+        assert!(value >= 0.0, "probabilities must be non-negative, got {value}");
+        if value == 0.0 {
+            self.probs.remove(&outcome);
+        } else {
+            self.probs.insert(outcome, value);
+        }
+    }
+
+    /// Adds `value` to the probability of `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome width mismatches.
+    pub fn add(&mut self, outcome: BitString, value: f64) {
+        let current = self.prob(&outcome);
+        self.set(outcome, (current + value).max(0.0));
+    }
+
+    /// Number of outcomes with non-zero probability.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Sum of all stored probabilities (1.0 for a normalised PMF).
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// Rescales so the total mass is 1. No-op on an all-zero PMF.
+    pub fn normalize(&mut self) {
+        let mass = self.total_mass();
+        if mass > 0.0 {
+            for v in self.probs.values_mut() {
+                *v /= mass;
+            }
+        }
+    }
+
+    /// Returns a normalised copy.
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let mut p = self.clone();
+        p.normalize();
+        p
+    }
+
+    /// Iterates over `(outcome, probability)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, f64)> {
+        self.probs.iter().map(|(b, &p)| (b, p))
+    }
+
+    /// Outcomes sorted by descending probability (ties by outcome value so
+    /// results are deterministic).
+    #[must_use]
+    pub fn sorted_desc(&self) -> Vec<(BitString, f64)> {
+        let mut v: Vec<(BitString, f64)> = self.probs.iter().map(|(b, &p)| (*b, p)).collect();
+        v.sort_by(|(ba, pa), (bb, pb)| pb.partial_cmp(pa).unwrap().then_with(|| ba.cmp(bb)));
+        v
+    }
+
+    /// The `k` most probable outcomes.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(BitString, f64)> {
+        let mut v = self.sorted_desc();
+        v.truncate(k);
+        v
+    }
+
+    /// The single most probable outcome, if the PMF is non-empty.
+    #[must_use]
+    pub fn mode(&self) -> Option<BitString> {
+        self.sorted_desc().first().map(|(b, _)| *b)
+    }
+
+    /// Marginal PMF over a subset of qubits: probabilities of outcomes that
+    /// agree on the subset are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any subset index is out of range.
+    #[must_use]
+    pub fn marginal(&self, qubits: &[usize]) -> Self {
+        let mut out = Self::new(qubits.len());
+        for (b, p) in self.iter() {
+            out.add(b.project(qubits), p);
+        }
+        out
+    }
+
+    /// Adds `scale * other` into this PMF entry-wise (used by the final
+    /// "add each Ppost to P" step of Bayesian Reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn add_scaled(&mut self, other: &Self, scale: f64) {
+        assert_eq!(self.n_bits, other.n_bits, "cannot add PMFs of different widths");
+        for (b, p) in other.iter() {
+            self.add(*b, scale * p);
+        }
+    }
+
+    /// Total probability mass assigned to a set of outcomes (e.g. PST over a
+    /// correct-answer set).
+    #[must_use]
+    pub fn mass_of(&self, outcomes: &[BitString]) -> f64 {
+        outcomes.iter().map(|b| self.prob(b)).sum()
+    }
+
+    /// Draws `n` samples from the PMF using the provided RNG, returning a
+    /// deterministic-given-seed outcome list. The PMF must be normalised (or
+    /// at least have positive mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PMF is empty.
+    pub fn sample<R: rand::Rng>(&self, n: usize, rng: &mut R) -> Vec<BitString> {
+        assert!(self.support_size() > 0, "cannot sample from an empty PMF");
+        // Deterministic ordering so identical seeds give identical samples.
+        let entries = self.sorted_desc();
+        let mass = self.total_mass();
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for (b, p) in &entries {
+            acc += p / mass;
+            cumulative.push((acc, *b));
+        }
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                match cumulative
+                    .binary_search_by(|(c, _)| c.partial_cmp(&u).unwrap())
+                {
+                    Ok(i) => cumulative[(i + 1).min(cumulative.len() - 1)].1,
+                    Err(i) => cumulative[i.min(cumulative.len() - 1)].1,
+                }
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<(BitString, f64)> for Pmf {
+    /// Collects `(outcome, weight)` pairs and normalises.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is empty or widths are inconsistent.
+    fn from_iter<I: IntoIterator<Item = (BitString, f64)>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let (first, w) = it.next().expect("cannot infer width from an empty stream");
+        let mut pmf = Pmf::new(first.len());
+        pmf.set(first, w);
+        for (b, p) in it {
+            pmf.add(b, p);
+        }
+        pmf.normalize();
+        pmf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn set_zero_removes_entry() {
+        let mut p = Pmf::new(2);
+        p.set(bs("01"), 0.5);
+        assert_eq!(p.support_size(), 1);
+        p.set(bs("01"), 0.0);
+        assert_eq!(p.support_size(), 0);
+        assert_eq!(p.prob(&bs("01")), 0.0);
+    }
+
+    #[test]
+    fn normalize_scales_to_unit_mass() {
+        let mut p = Pmf::new(1);
+        p.set(bs("0"), 2.0);
+        p.set(bs("1"), 6.0);
+        p.normalize();
+        assert!((p.prob(&bs("1")) - 0.75).abs() < 1e-12);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_covers_all_outcomes() {
+        let p = Pmf::uniform(3);
+        assert_eq!(p.support_size(), 8);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+        assert!((p.prob(&bs("101")) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_is_deterministic() {
+        let p = Pmf::point_mass(bs("1011"));
+        assert_eq!(p.mode(), Some(bs("1011")));
+        assert_eq!(p.support_size(), 1);
+    }
+
+    #[test]
+    fn marginal_sums_mass() {
+        let mut p = Pmf::new(3);
+        p.set(bs("000"), 0.25);
+        p.set(bs("100"), 0.25);
+        p.set(bs("011"), 0.5);
+        let m = p.marginal(&[0, 1]);
+        assert!((m.prob(&bs("00")) - 0.5).abs() < 1e-12);
+        assert!((m.prob(&bs("11")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_desc_breaks_ties_by_outcome() {
+        let mut p = Pmf::new(2);
+        p.set(bs("10"), 0.4);
+        p.set(bs("01"), 0.4);
+        p.set(bs("00"), 0.2);
+        let order: Vec<String> = p.sorted_desc().iter().map(|(b, _)| b.to_string()).collect();
+        assert_eq!(order, vec!["01", "10", "00"]);
+    }
+
+    #[test]
+    fn add_scaled_merges() {
+        let mut p = Pmf::new(1);
+        p.set(bs("0"), 0.5);
+        let mut q = Pmf::new(1);
+        q.set(bs("0"), 0.2);
+        q.set(bs("1"), 0.8);
+        p.add_scaled(&q, 0.5);
+        assert!((p.prob(&bs("0")) - 0.6).abs() < 1e-12);
+        assert!((p.prob(&bs("1")) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_of_sums_selected_outcomes() {
+        let p = Pmf::uniform(2);
+        assert!((p.mass_of(&[bs("00"), bs("11")]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_matches_distribution_roughly() {
+        let mut p = Pmf::new(1);
+        p.set(bs("0"), 0.2);
+        p.set(bs("1"), 0.8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = p.sample(10_000, &mut rng);
+        let ones = samples.iter().filter(|b| b.bit(0)).count();
+        let frac = ones as f64 / 10_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn sample_is_seed_deterministic() {
+        let p = Pmf::uniform(4);
+        let a = p.sample(100, &mut StdRng::seed_from_u64(1));
+        let b = p.sample(100, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_normalises() {
+        let p: Pmf = vec![(bs("00"), 1.0), (bs("11"), 3.0)].into_iter().collect();
+        assert!((p.prob(&bs("11")) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn set_rejects_negative() {
+        let mut p = Pmf::new(1);
+        p.set(bs("0"), -0.1);
+    }
+}

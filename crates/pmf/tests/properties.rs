@@ -1,0 +1,139 @@
+//! Property-based tests for bit strings, histograms, PMFs and metrics.
+
+use jigsaw_pmf::{metrics, BitString, Counts, Pmf};
+use proptest::prelude::*;
+
+/// Strategy: a bit pattern as `(value, width)` with `1 ≤ width ≤ 24`.
+fn bits() -> impl Strategy<Value = (u64, usize)> {
+    (1usize..=24).prop_flat_map(|w| (0u64..(1u64 << w), Just(w)))
+}
+
+/// Strategy: a random PMF over `w ≤ 6` qubits with `1..=12` entries.
+fn pmf() -> impl Strategy<Value = Pmf> {
+    (1usize..=6).prop_flat_map(|w| {
+        prop::collection::vec((0u64..(1u64 << w), 0.01f64..1.0), 1..=12).prop_map(move |entries| {
+            let mut p = Pmf::new(w);
+            for (v, weight) in entries {
+                p.add(BitString::from_u64(v, w), weight);
+            }
+            p.normalize();
+            p
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitstring_display_parse_roundtrip((v, w) in bits()) {
+        let b = BitString::from_u64(v, w);
+        let s = b.to_string();
+        prop_assert_eq!(s.len(), w);
+        let parsed: BitString = s.parse().unwrap();
+        prop_assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn bitstring_project_identity((v, w) in bits()) {
+        let b = BitString::from_u64(v, w);
+        let all: Vec<usize> = (0..w).collect();
+        prop_assert_eq!(b.project(&all), b);
+    }
+
+    #[test]
+    fn bitstring_project_composes((v, w) in bits()) {
+        // Projecting onto [0..w/2] then [0..w/4] equals projecting directly.
+        let b = BitString::from_u64(v, w.max(4));
+        let half: Vec<usize> = (0..w.max(4) / 2).collect();
+        let quarter: Vec<usize> = (0..w.max(4) / 4).collect();
+        prop_assert_eq!(b.project(&half).project(&quarter), b.project(&quarter));
+    }
+
+    #[test]
+    fn bitstring_count_ones_matches_popcount((v, w) in bits()) {
+        let b = BitString::from_u64(v, w);
+        prop_assert_eq!(b.count_ones(), v.count_ones());
+    }
+
+    #[test]
+    fn hamming_distance_is_metric((v1, w) in bits(), v2 in any::<u64>(), v3 in any::<u64>()) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let a = BitString::from_u64(v1, w);
+        let b = BitString::from_u64(v2 & mask, w);
+        let c = BitString::from_u64(v3 & mask, w);
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert!(a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c));
+    }
+
+    #[test]
+    fn counts_marginal_preserves_total(outcomes in prop::collection::vec(0u64..256, 1..100)) {
+        let mut counts = Counts::new(8);
+        for v in &outcomes {
+            counts.record(BitString::from_u64(*v, 8));
+        }
+        let m = counts.marginal(&[1, 3, 5]);
+        prop_assert_eq!(m.total(), counts.total());
+        prop_assert!(m.unique_outcomes() <= 8);
+    }
+
+    #[test]
+    fn counts_to_pmf_has_unit_mass(outcomes in prop::collection::vec(0u64..64, 1..100)) {
+        let mut counts = Counts::new(6);
+        for v in &outcomes {
+            counts.record(BitString::from_u64(*v, 6));
+        }
+        prop_assert!((counts.to_pmf().total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_marginal_preserves_mass(p in pmf()) {
+        let qubits: Vec<usize> = (0..p.n_bits().min(3)).collect();
+        let m = p.marginal(&qubits);
+        prop_assert!((m.total_mass() - p.total_mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tvd_is_a_bounded_metric(p in pmf(), q_seed in 0u64..1000) {
+        // Build q over the same width as p by perturbing it deterministically.
+        let mut q = Pmf::new(p.n_bits());
+        for (i, (b, mass)) in p.sorted_desc().iter().enumerate() {
+            let tweak = 1.0 + ((q_seed + i as u64) % 7) as f64 / 7.0;
+            q.set(*b, mass * tweak);
+        }
+        q.normalize();
+        let d = metrics::tvd(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        prop_assert!((d - metrics::tvd(&q, &p)).abs() < 1e-12);
+        prop_assert!(metrics::tvd(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_bounded_and_zero_on_self(p in pmf()) {
+        prop_assert!(metrics::hellinger(&p, &p) < 1e-6);
+        let point = Pmf::point_mass(BitString::zeros(p.n_bits()));
+        let h = metrics::hellinger(&p, &point);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+    }
+
+    #[test]
+    fn pst_never_exceeds_total_mass(p in pmf()) {
+        let correct: Vec<BitString> = p.top_k(2).into_iter().map(|(b, _)| b).collect();
+        let s = metrics::pst(&p, &correct);
+        prop_assert!(s <= p.total_mass() + 1e-12);
+        prop_assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn normalized_pmf_sums_to_one(p in pmf()) {
+        prop_assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_outcomes_lie_in_support(p in pmf(), seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for outcome in p.sample(50, &mut rng) {
+            prop_assert!(p.prob(&outcome) > 0.0);
+        }
+    }
+}

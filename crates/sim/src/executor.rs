@@ -1,0 +1,398 @@
+//! The trial executor: runs a compiled (physical) circuit on a device model
+//! and returns the outcome histogram — the stand-in for submitting a job to
+//! an IBMQ machine.
+//!
+//! Three noise channels act, all derived from the device calibration:
+//!
+//! 1. **Gate noise** — stochastic Pauli trajectories ([`NoiseModel`]).
+//! 2. **Idle decoherence** — depth-scaled end-of-circuit Paulis.
+//! 3. **Readout error** — each measured qubit's outcome flips with its
+//!    calibrated asymmetric probability, inflated by measurement crosstalk
+//!    according to how many qubits the trial measures simultaneously
+//!    (paper §3.1) — the effect JigSaw's measurement subsetting attacks.
+//!
+//! Trials are grouped into trajectories that share one sampled error
+//! configuration; the (common) error-free trajectory reuses a cached state,
+//! which keeps large-trial runs cheap.
+
+use jigsaw_circuit::Circuit;
+use jigsaw_device::Device;
+use jigsaw_pmf::{BitString, Counts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::noise::NoiseModel;
+use crate::statevector::{StateVector, MAX_SIM_QUBITS};
+
+/// Execution options. Construct with [`RunConfig::default`] and adjust.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Trials sharing one sampled error configuration. Larger batches are
+    /// faster but coarser; 64 keeps trajectory count high enough that
+    /// trajectory mixing is statistically invisible at evaluation scale.
+    pub batch: u64,
+    /// RNG seed; identical seeds reproduce histograms exactly.
+    pub seed: u64,
+    /// Enable stochastic-Pauli gate errors.
+    pub gate_noise: bool,
+    /// Enable measurement (readout) errors.
+    pub readout_noise: bool,
+    /// Enable depth-scaled idle decoherence.
+    pub decoherence: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { batch: 64, seed: 0, gate_noise: true, readout_noise: true, decoherence: true }
+    }
+}
+
+impl RunConfig {
+    /// A fully noiseless configuration (sampling the ideal distribution).
+    #[must_use]
+    pub fn noiseless() -> Self {
+        Self { gate_noise: false, readout_noise: false, decoherence: false, ..Self::default() }
+    }
+
+    /// Returns the config with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Executes compiled circuits against one device model.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'d> {
+    device: &'d Device,
+}
+
+impl<'d> Executor<'d> {
+    /// Creates an executor for a device.
+    #[must_use]
+    pub fn new(device: &'d Device) -> Self {
+        Self { device }
+    }
+
+    /// Runs `trials` trials of a physical circuit, returning the histogram
+    /// over its classical bits.
+    ///
+    /// The circuit addresses *physical* qubit indices (as produced by the
+    /// compiler); internally only the actively-used qubits are simulated, so
+    /// wide devices cost no more than the program footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no measurements, uses more than
+    /// [`MAX_SIM_QUBITS`] active qubits, is wider than the device, or if
+    /// `trials == 0`.
+    #[must_use]
+    pub fn run(&self, circuit: &Circuit, trials: u64, config: &RunConfig) -> Counts {
+        assert!(trials > 0, "cannot run zero trials");
+        assert!(!circuit.measurements().is_empty(), "circuit measures nothing");
+        assert!(
+            circuit.n_qubits() <= self.device.n_qubits(),
+            "circuit of {} qubits exceeds the {}-qubit device",
+            circuit.n_qubits(),
+            self.device.n_qubits()
+        );
+
+        let (compact, physical) = compact_circuit(circuit);
+        assert!(
+            compact.n_qubits() <= MAX_SIM_QUBITS,
+            "circuit activates {} qubits; simulator caps at {MAX_SIM_QUBITS}",
+            compact.n_qubits()
+        );
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let model = NoiseModel::for_circuit(
+            &compact,
+            self.device,
+            &physical,
+            config.gate_noise,
+            config.decoherence,
+        );
+
+        // Effective readout error per measurement, crosstalk-inflated by the
+        // number of simultaneous measurements in this circuit.
+        let simultaneous = compact.measurements().len();
+        let readout: Vec<(usize, usize, f64, f64)> = compact
+            .measurements()
+            .iter()
+            .map(|m| {
+                if config.readout_noise {
+                    let e = self.device.effective_readout(physical[m.qubit], simultaneous);
+                    (m.qubit, m.clbit, e.p1_given_0, e.p0_given_1)
+                } else {
+                    (m.qubit, m.clbit, 0.0, 0.0)
+                }
+            })
+            .collect();
+
+        let n_clbits = compact.n_clbits();
+        let mut counts = Counts::new(n_clbits);
+        let mut cached_ideal: Option<Vec<f64>> = None;
+
+        let mut remaining = trials;
+        while remaining > 0 {
+            let k = remaining.min(config.batch.max(1));
+            remaining -= k;
+
+            let plan = model.sample_plan(&mut rng);
+            let cdf_owned;
+            let cdf: &[f64] = if plan.is_empty() {
+                cached_ideal.get_or_insert_with(|| {
+                    let mut sv = StateVector::new(compact.n_qubits());
+                    sv.apply_all(compact.gates());
+                    sv.cumulative()
+                })
+            } else {
+                let mut sv = StateVector::new(compact.n_qubits());
+                for (i, g) in compact.gates().iter().enumerate() {
+                    sv.apply(*g);
+                    for ev in plan.gate_events.iter().filter(|ev| ev.after_gate == i) {
+                        sv.apply(ev.pauli.gate(ev.qubit));
+                    }
+                }
+                for &(q, pauli) in &plan.end_events {
+                    sv.apply(pauli.gate(q));
+                }
+                cdf_owned = sv.cumulative();
+                &cdf_owned
+            };
+
+            for _ in 0..k {
+                let raw = sample_index(cdf, &mut rng);
+                let mut out = BitString::zeros(n_clbits);
+                for &(q, clbit, e01, e10) in &readout {
+                    let mut bit = (raw >> q) & 1 == 1;
+                    let flip_p = if bit { e10 } else { e01 };
+                    if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
+                        bit = !bit;
+                    }
+                    if bit {
+                        out.set_bit(clbit, true);
+                    }
+                }
+                counts.record(out);
+            }
+        }
+        counts
+    }
+}
+
+/// Draws one basis-state index from a cumulative distribution.
+fn sample_index<R: Rng>(cdf: &[f64], rng: &mut R) -> usize {
+    let total = *cdf.last().expect("non-empty cdf");
+    let u: f64 = rng.gen::<f64>() * total;
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        Ok(i) => (i + 1).min(cdf.len() - 1),
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+/// Relabels a physical circuit onto its active qubits only.
+///
+/// Returns the compacted circuit plus, for each compact index, the physical
+/// qubit it stands for. Device-wide circuits cost only their footprint this
+/// way — both the executor and the ideal simulator rely on it.
+pub(crate) fn compact_circuit(circuit: &Circuit) -> (Circuit, Vec<usize>) {
+    let mut used: Vec<usize> = Vec::new();
+    let mut mark = vec![false; circuit.n_qubits()];
+    let touch = |q: usize, used: &mut Vec<usize>, mark: &mut Vec<bool>| {
+        if !mark[q] {
+            mark[q] = true;
+            used.push(q);
+        }
+    };
+    for g in circuit.gates() {
+        let (a, b) = g.qubits();
+        touch(a, &mut used, &mut mark);
+        if let Some(b) = b {
+            touch(b, &mut used, &mut mark);
+        }
+    }
+    for m in circuit.measurements() {
+        touch(m.qubit, &mut used, &mut mark);
+    }
+    used.sort_unstable();
+    let mut to_compact = vec![usize::MAX; circuit.n_qubits()];
+    for (k, &p) in used.iter().enumerate() {
+        to_compact[p] = k;
+    }
+
+    let mut compact = Circuit::new(used.len());
+    for g in circuit.gates() {
+        compact.push(g.remapped(|q| to_compact[q]));
+    }
+    for m in circuit.measurements() {
+        compact.measure(to_compact[m.qubit], m.clbit);
+    }
+    (compact, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_pmf::metrics;
+
+    /// A 20-qubit simple path through the Falcon-27 lattice (every
+    /// consecutive pair is a real coupler).
+    const FALCON_PATH: [usize; 20] =
+        [0, 1, 2, 3, 5, 8, 11, 14, 16, 19, 22, 25, 24, 23, 21, 18, 15, 12, 10, 7];
+
+    fn ghz_on_line(n: usize, offset: usize) -> Circuit {
+        // GHZ over n consecutive physical qubits of the Falcon path.
+        let path = &FALCON_PATH[offset..offset + n];
+        let mut c = Circuit::new(27);
+        c.h(path[0]);
+        for w in path.windows(2) {
+            c.cx(w[0], w[1]);
+        }
+        for (i, &q) in path.iter().enumerate() {
+            c.measure(q, i);
+        }
+        c
+    }
+
+    #[test]
+    fn noiseless_ghz_is_perfectly_correlated() {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let c = ghz_on_line(3, 0);
+        let counts = exec.run(&c, 2000, &RunConfig::noiseless());
+        assert_eq!(counts.total(), 2000);
+        let p = counts.to_pmf();
+        let correct = [BitString::zeros(3), BitString::ones(3)];
+        assert!((metrics::pst(&p, &correct) - 1.0).abs() < 1e-12);
+        let zero_frac = p.prob(&BitString::zeros(3));
+        assert!((zero_frac - 0.5).abs() < 0.05, "zero fraction {zero_frac}");
+    }
+
+    #[test]
+    fn noisy_run_degrades_pst() {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let c = ghz_on_line(5, 0);
+        let noisy = exec.run(&c, 4000, &RunConfig::default());
+        let p = noisy.to_pmf();
+        let correct = [BitString::zeros(5), BitString::ones(5)];
+        let pst = metrics::pst(&p, &correct);
+        assert!(pst < 0.98, "noise should bite, pst = {pst}");
+        assert!(pst > 0.3, "noise should not obliterate a 5-qubit GHZ, pst = {pst}");
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let c = ghz_on_line(4, 2);
+        let cfg = RunConfig::default().with_seed(99);
+        let a = exec.run(&c, 1000, &cfg);
+        let b = exec.run(&c, 1000, &cfg);
+        assert_eq!(a, b);
+        let c2 = exec.run(&c, 1000, &RunConfig::default().with_seed(100));
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn fewer_measurements_mean_higher_marginal_fidelity() {
+        // The paper's core observation: a 2-qubit subset measurement is more
+        // reliable than the same marginal extracted from a full measurement.
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+
+        // Full measurement of a 10-qubit GHZ.
+        let full = ghz_on_line(10, 0);
+        let full_counts = exec.run(&full, 8000, &RunConfig::default());
+        let full_marginal = full_counts.to_pmf().marginal(&[0, 1]);
+
+        // Same circuit measuring only the first two qubits.
+        let mut subset = Circuit::new(27);
+        let path = &FALCON_PATH[..10];
+        subset.h(path[0]);
+        for w in path.windows(2) {
+            subset.cx(w[0], w[1]);
+        }
+        subset.measure(path[0], 0).measure(path[1], 1);
+        let sub_counts = exec.run(&subset, 8000, &RunConfig::default());
+        let sub_pmf = sub_counts.to_pmf();
+
+        let ideal: jigsaw_pmf::Pmf = [("00", 0.5), ("11", 0.5)]
+            .iter()
+            .map(|(s, p)| (s.parse::<BitString>().unwrap(), *p))
+            .collect();
+        let f_full = metrics::fidelity(&ideal, &full_marginal);
+        let f_sub = metrics::fidelity(&ideal, &sub_pmf);
+        assert!(
+            f_sub > f_full,
+            "subset fidelity {f_sub} should beat full-measurement marginal {f_full}"
+        );
+    }
+
+    #[test]
+    fn readout_noise_alone_flips_deterministic_outcomes() {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let mut c = Circuit::new(27);
+        c.x(0).measure(0, 0);
+        let cfg = RunConfig { gate_noise: false, decoherence: false, ..RunConfig::default() };
+        let counts = exec.run(&c, 20_000, &cfg);
+        let p1 = counts.to_pmf().prob(&"1".parse().unwrap());
+        let expected = 1.0 - device.calibration().readout(0).p0_given_1;
+        assert!((p1 - expected).abs() < 0.01, "p1 = {p1}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn compaction_keeps_device_qubits_out_of_the_simulation() {
+        // A 2-qubit program on a 65-qubit device must not allocate 2^65.
+        let device = Device::manhattan();
+        let exec = Executor::new(&device);
+        let mut c = Circuit::new(65);
+        c.h(40).cx(40, 39).measure(40, 0).measure(39, 1);
+        let counts = exec.run(&c, 500, &RunConfig::noiseless());
+        assert_eq!(counts.total(), 500);
+        let p = counts.to_pmf();
+        assert!(p.prob(&"00".parse().unwrap()) > 0.3);
+        assert!(p.prob(&"11".parse().unwrap()) > 0.3);
+    }
+
+    #[test]
+    fn crosstalk_scales_with_simultaneous_measurements() {
+        // Measure the same physical qubit alone vs alongside nine others;
+        // the lone readout must be more accurate.
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let cfg = RunConfig { gate_noise: false, decoherence: false, ..RunConfig::default() };
+
+        let mut alone = Circuit::new(27);
+        alone.x(0).measure(0, 0);
+        let p_alone = exec.run(&alone, 30_000, &cfg).to_pmf().marginal(&[0]);
+
+        let mut crowd = Circuit::new(27);
+        crowd.x(0);
+        crowd.measure(0, 0);
+        for (i, q) in (1..10).enumerate() {
+            crowd.measure(q, i + 1);
+        }
+        let p_crowd = exec.run(&crowd, 30_000, &cfg).to_pmf().marginal(&[0]);
+
+        let one = "1".parse().unwrap();
+        assert!(
+            p_alone.prob(&one) > p_crowd.prob(&one) + 0.01,
+            "isolated {} vs crowded {}",
+            p_alone.prob(&one),
+            p_crowd.prob(&one)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "measures nothing")]
+    fn measurement_free_circuit_rejected() {
+        let device = Device::toronto();
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let _ = Executor::new(&device).run(&c, 10, &RunConfig::default());
+    }
+}

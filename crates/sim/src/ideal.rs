@@ -1,0 +1,171 @@
+//! Noiseless reference simulation: exact output distributions and
+//! correct-answer resolution.
+
+use jigsaw_circuit::bench::{Benchmark, CorrectSet};
+use jigsaw_circuit::Circuit;
+use jigsaw_pmf::{BitString, Pmf};
+
+use crate::statevector::StateVector;
+
+/// Probabilities below this threshold are dropped from ideal PMFs (they are
+/// unreachable at any realistic trial count and would bloat the sparse
+/// representation).
+const PROB_CUTOFF: f64 = 1e-12;
+
+/// Simulates a circuit exactly and returns the final state.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the simulator cap.
+#[must_use]
+pub fn ideal_state(circuit: &Circuit) -> StateVector {
+    let mut sv = StateVector::new(circuit.n_qubits());
+    sv.apply_all(circuit.gates());
+    sv
+}
+
+/// Exact output PMF of a circuit.
+///
+/// If the circuit declares measurements, the PMF is over its classical bits
+/// (marginalising unmeasured qubits) and the circuit may be device-wide —
+/// only actively-used qubits are simulated. Otherwise the PMF is over all
+/// qubits and the width must fit the simulator cap.
+///
+/// # Panics
+///
+/// Panics if the circuit's *active* width exceeds the simulator cap.
+#[must_use]
+pub fn ideal_pmf(circuit: &Circuit) -> Pmf {
+    if circuit.measurements().is_empty() {
+        let sv = ideal_state(circuit);
+        let n = circuit.n_qubits();
+        let mut pmf = Pmf::new(n);
+        for (idx, p) in sv.probabilities().into_iter().enumerate() {
+            if p > PROB_CUTOFF {
+                pmf.add(BitString::from_u64(idx as u64, n), p);
+            }
+        }
+        pmf.normalize();
+        return pmf;
+    }
+
+    let (compact, _) = crate::executor::compact_circuit(circuit);
+    let sv = ideal_state_gates_only(&compact);
+    let n_clbits = compact.n_clbits();
+    let mut pmf = Pmf::new(n_clbits);
+    for (idx, p) in sv.probabilities().into_iter().enumerate() {
+        if p > PROB_CUTOFF {
+            let mut out = BitString::zeros(n_clbits);
+            for m in compact.measurements() {
+                if (idx >> m.qubit) & 1 == 1 {
+                    out.set_bit(m.clbit, true);
+                }
+            }
+            pmf.add(out, p);
+        }
+    }
+    pmf.normalize();
+    pmf
+}
+
+fn ideal_state_gates_only(circuit: &Circuit) -> StateVector {
+    let mut sv = StateVector::new(circuit.n_qubits());
+    sv.apply_all(circuit.gates());
+    sv
+}
+
+/// Resolves a benchmark's correct-answer set.
+///
+/// [`CorrectSet::Known`] answers are returned as-is;
+/// [`CorrectSet::DominantIdeal`] runs the noiseless simulator and returns
+/// every outcome whose ideal probability is at least `threshold` times the
+/// maximum.
+///
+/// # Panics
+///
+/// Panics if the benchmark circuit is wider than the simulator cap.
+#[must_use]
+pub fn resolve_correct_set(benchmark: &Benchmark) -> Vec<BitString> {
+    match benchmark.correct() {
+        CorrectSet::Known(answers) => answers.clone(),
+        CorrectSet::DominantIdeal { threshold } => {
+            let pmf = ideal_pmf(benchmark.circuit());
+            let max = pmf.sorted_desc().first().map_or(0.0, |(_, p)| *p);
+            let mut dominant: Vec<BitString> = pmf
+                .iter()
+                .filter(|(_, p)| *p >= threshold * max)
+                .map(|(b, _)| *b)
+                .collect();
+            dominant.sort();
+            dominant
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_circuit::bench;
+
+    #[test]
+    fn ghz_ideal_pmf_is_the_cat_state() {
+        let b = bench::ghz(6);
+        let pmf = ideal_pmf(b.circuit());
+        assert_eq!(pmf.support_size(), 2);
+        assert!((pmf.prob(&BitString::zeros(6)) - 0.5).abs() < 1e-10);
+        assert!((pmf.prob(&BitString::ones(6)) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bv_ideal_pmf_is_deterministic() {
+        let b = bench::bernstein_vazirani(5, 0b1011);
+        let pmf = ideal_pmf(b.circuit());
+        assert_eq!(pmf.support_size(), 1);
+        let answers = resolve_correct_set(&b);
+        assert!((pmf.prob(&answers[0]) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn graycode_ideal_pmf_matches_decoded_word() {
+        let b = bench::graycode(8);
+        let pmf = ideal_pmf(b.circuit());
+        assert_eq!(pmf.support_size(), 1);
+        let answers = resolve_correct_set(&b);
+        assert_eq!(pmf.mode(), Some(answers[0]));
+    }
+
+    #[test]
+    fn measured_subset_pmf_is_the_marginal() {
+        let b = bench::ghz(5);
+        let mut c = b.circuit().clone();
+        c.measure_subset(&[0, 4]);
+        let pmf = ideal_pmf(&c);
+        assert_eq!(pmf.n_bits(), 2);
+        assert!((pmf.prob(&"00".parse().unwrap()) - 0.5).abs() < 1e-10);
+        assert!((pmf.prob(&"11".parse().unwrap()) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dominant_ideal_resolution_for_ising() {
+        let b = bench::ising(4, 3);
+        let correct = resolve_correct_set(&b);
+        assert!(!correct.is_empty());
+        // Every resolved answer must clear the threshold.
+        let pmf = ideal_pmf(b.circuit());
+        let max = pmf.sorted_desc()[0].1;
+        for ans in &correct {
+            assert!(pmf.prob(ans) >= 0.5 * max - 1e-12);
+        }
+    }
+
+    #[test]
+    fn qaoa_ideal_ar_beats_random_guessing() {
+        let b = bench::qaoa_maxcut(8, 2);
+        let (graph, _) = b.qaoa().expect("qaoa instance");
+        let pmf = ideal_pmf(b.circuit());
+        let ar = graph.approximation_ratio(&pmf);
+        // Uniform guessing achieves AR 0.5 on a path graph; QAOA must do
+        // noticeably better even with ramp angles.
+        assert!(ar > 0.6, "ideal AR = {ar}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the simulator: unitarity, gate algebra and
+//! sampling consistency on random circuits.
+
+use jigsaw_circuit::{Circuit, Gate};
+use jigsaw_pmf::BitString;
+use jigsaw_sim::{ideal_pmf, StateVector};
+use proptest::prelude::*;
+
+/// Strategy: a random circuit over `n` qubits (parameter-free and rotation
+/// gates plus CX/CZ/SWAP on random operand pairs).
+fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0u8..10, 0..n, 1..n, -3.0f64..3.0), 1..=max_gates).prop_map(
+        move |ops| {
+            let mut c = Circuit::new(n);
+            for (kind, a, off, angle) in ops {
+                let b = (a + off) % n;
+                match kind {
+                    0 => c.h(a),
+                    1 => c.x(a),
+                    2 => c.push(Gate::S(a)),
+                    3 => c.push(Gate::T(a)),
+                    4 => c.rx(a, angle),
+                    5 => c.ry(a, angle),
+                    6 => c.rz(a, angle),
+                    7 if a != b => c.cx(a, b),
+                    8 if a != b => c.cz(a, b),
+                    9 if a != b => c.swap(a, b),
+                    _ => c.h(a),
+                };
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_preserve_norm(c in circuit_strategy(5, 30)) {
+        let mut sv = StateVector::new(5);
+        sv.apply_all(c.gates());
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_pmf_is_normalised(c in circuit_strategy(5, 25)) {
+        let mut measured = c.clone();
+        measured.measure_all();
+        let pmf = ideal_pmf(&measured);
+        prop_assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_measurement_is_the_marginal(c in circuit_strategy(5, 25)) {
+        let mut full = c.clone();
+        full.measure_all();
+        let full_pmf = ideal_pmf(&full);
+
+        let mut partial = c.clone();
+        partial.measure_subset(&[1, 3]);
+        let partial_pmf = ideal_pmf(&partial);
+
+        let marginal = full_pmf.marginal(&[1, 3]);
+        for (b, p) in marginal.iter() {
+            prop_assert!((partial_pmf.prob(b) - p).abs() < 1e-9, "at {b}");
+        }
+    }
+
+    #[test]
+    fn pauli_gates_are_involutions(c in circuit_strategy(4, 15), q in 0usize..4) {
+        let mut reference = StateVector::new(4);
+        reference.apply_all(c.gates());
+        for pauli in [Gate::X(q), Gate::Y(q), Gate::Z(q)] {
+            let mut sv = reference.clone();
+            sv.apply(pauli);
+            sv.apply(pauli);
+            for idx in 0..16 {
+                let delta = (sv.amplitude(idx) - reference.amplitude(idx)).norm_sqr();
+                prop_assert!(delta < 1e-18, "{pauli} not involutive at {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn hzh_equals_x(v in 0u64..16) {
+        // Conjugating Z by H gives X — checked on arbitrary basis states.
+        let prep = BitString::from_u64(v, 4);
+        let mut a = StateVector::new(4);
+        let mut b = StateVector::new(4);
+        for i in 0..4 {
+            if prep.bit(i) {
+                a.apply(Gate::X(i));
+                b.apply(Gate::X(i));
+            }
+        }
+        a.apply(Gate::H(2));
+        a.apply(Gate::Z(2));
+        a.apply(Gate::H(2));
+        b.apply(Gate::X(2));
+        for idx in 0..16 {
+            prop_assert!((a.amplitude(idx) - b.amplitude(idx)).norm_sqr() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn cx_matches_classical_xor(v in 0u64..16) {
+        let prep = BitString::from_u64(v, 4);
+        let mut sv = StateVector::new(4);
+        for i in 0..4 {
+            if prep.bit(i) {
+                sv.apply(Gate::X(i));
+            }
+        }
+        sv.apply(Gate::Cx(1, 3));
+        let expected = v ^ (((v >> 1) & 1) << 3);
+        prop_assert!((sv.probability(expected as usize) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_exact_probabilities(c in circuit_strategy(4, 20), seed in 0u64..50) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut sv = StateVector::new(4);
+        sv.apply_all(c.gates());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = sv.sample(2000, &mut rng);
+        // Each sampled outcome must have non-negligible exact probability.
+        for s in &samples {
+            prop_assert!(sv.probability(s.to_u64() as usize) > 1e-12);
+        }
+        // The most frequent sample must be among the higher-probability states.
+        let mut counts = std::collections::HashMap::new();
+        for s in samples {
+            *counts.entry(s).or_insert(0u32) += 1;
+        }
+        let (mode, _) = counts.iter().max_by_key(|(_, c)| **c).expect("non-empty");
+        let p_mode = sv.probability(mode.to_u64() as usize);
+        let p_max = (0..16).map(|i| sv.probability(i)).fold(0.0f64, f64::max);
+        prop_assert!(p_mode > p_max / 4.0, "sampled mode has probability {p_mode} vs max {p_max}");
+    }
+}

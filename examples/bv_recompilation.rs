@@ -1,0 +1,66 @@
+//! CPM recompilation under the microscope: per-qubit readout accuracy of a
+//! BV-6 program, baseline global measurement versus recompiled 2-qubit
+//! CPMs (the paper's Fig. 10 mechanism).
+//!
+//! ```text
+//! cargo run --release --example bv_recompilation
+//! ```
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::cpm::recompile_cpm;
+use jigsaw_repro::compiler::{compile, CompilerOptions};
+use jigsaw_repro::core::subsets::sliding_window;
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::Counts;
+use jigsaw_repro::sim::{resolve_correct_set, Executor, RunConfig};
+
+fn bit_accuracy(counts: &Counts, clbit: usize, expected: bool) -> f64 {
+    let hit: u64 = counts.iter().filter(|(b, _)| b.bit(clbit) == expected).map(|(_, c)| c).sum();
+    hit as f64 / counts.total() as f64
+}
+
+fn main() {
+    let device = Device::toronto();
+    let b = bench::bernstein_vazirani(6, 0b10110);
+    let answer = resolve_correct_set(&b)[0];
+    let trials = 16_384;
+    let options = CompilerOptions::default();
+    let executor = Executor::new(&device);
+
+    // Baseline: all six qubits measured together.
+    let mut global = b.circuit().clone();
+    global.measure_all();
+    let compiled = compile(&global, &device, &options);
+    let base_counts =
+        executor.run(compiled.circuit(), trials, &RunConfig::default().with_seed(1));
+
+    println!("BV-6 on {}: secret 10110, answer {answer}", device.name());
+    println!("Global mapping measures physical qubits {:?}", compiled.circuit().measured_qubits());
+    println!();
+    println!("{:>6}  {:>9}  {:>11}  {:>11}  {:>6}", "qubit", "baseline", "CPM qubits", "CPM accuracy", "gain");
+
+    for subset in sliding_window(6, 2) {
+        let cpm = recompile_cpm(b.circuit(), &subset, &device, &options);
+        let counts = executor.run(
+            cpm.circuit(),
+            trials / 6,
+            &RunConfig::default().with_seed(1 + subset[0] as u64),
+        );
+        let physical = cpm.circuit().measured_qubits();
+        for (k, &q) in subset.iter().enumerate() {
+            let base = bit_accuracy(&base_counts, q, answer.bit(q));
+            let local = bit_accuracy(&counts, k, answer.bit(q));
+            println!(
+                "{:>6}  {:>9.4}  {:>11}  {:>11.4}  {:>5.2}x",
+                format!("q{q}"),
+                base,
+                format!("Q{}", physical[k]),
+                local,
+                local / base
+            );
+        }
+    }
+    println!();
+    println!("Each CPM lands its two measurements on strong physical qubits and");
+    println!("dodges the crosstalk of six simultaneous readouts.");
+}

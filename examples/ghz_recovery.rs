@@ -1,0 +1,46 @@
+//! GHZ scaling study: how JigSaw and JigSaw-M keep cat states inferable as
+//! programs grow — the paper's motivating scenario, where measurement error
+//! accumulates across every measured qubit.
+//!
+//! ```text
+//! cargo run --release --example ghz_recovery
+//! ```
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::CompilerOptions;
+use jigsaw_repro::core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::metrics;
+use jigsaw_repro::sim::{resolve_correct_set, RunConfig};
+
+fn main() {
+    let device = Device::toronto();
+    let trials = 8_192;
+    let compiler = CompilerOptions { max_seeds: 6, ..CompilerOptions::default() };
+
+    println!("GHZ scaling on {} ({trials} trials per policy)", device.name());
+    println!();
+    println!("{:>5}  {:>10} {:>10} {:>10}  {:>8} {:>8}", "size", "baseline", "JigSaw", "JigSaw-M", "gain", "gain-M");
+
+    for n in [4usize, 6, 8, 10, 12, 14] {
+        let b = bench::ghz(n);
+        let correct = resolve_correct_set(&b);
+
+        let baseline = run_baseline(b.circuit(), &device, trials, 7, &RunConfig::default(), &compiler);
+        let jig_cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(7);
+        let jig = run_jigsaw(b.circuit(), &device, &jig_cfg);
+        let jm_cfg = JigsawConfig { subset_sizes: vec![2, 3, 4, 5], ..jig_cfg.clone() };
+        let jm = run_jigsaw(b.circuit(), &device, &jm_cfg);
+
+        let p_base = metrics::pst(&baseline, &correct);
+        let p_jig = metrics::pst(&jig.output, &correct);
+        let p_jm = metrics::pst(&jm.output, &correct);
+        println!(
+            "{n:>5}  {p_base:>10.4} {p_jig:>10.4} {p_jm:>10.4}  {:>7.2}x {:>7.2}x",
+            p_jig / p_base,
+            p_jm / p_base
+        );
+    }
+    println!();
+    println!("Expected: baseline PST collapses with size; JigSaw's gain widens.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: mitigate measurement errors on a GHZ-8 program with JigSaw.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::CompilerOptions;
+use jigsaw_repro::core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::metrics;
+use jigsaw_repro::sim::{resolve_correct_set, RunConfig};
+
+fn main() {
+    // 1. A NISQ machine model: the 27-qubit Toronto stand-in, with spatially
+    //    varying readout errors and measurement crosstalk.
+    let device = Device::toronto();
+
+    // 2. A program: GHZ-8 (correct answers: all-zeros and all-ones).
+    let bench = bench::ghz(8);
+    let correct = resolve_correct_set(&bench);
+    let trials = 16_384;
+
+    // 3. Baseline: noise-aware compile, every trial measures all qubits.
+    let baseline = run_baseline(
+        bench.circuit(),
+        &device,
+        trials,
+        2021,
+        &RunConfig::default(),
+        &CompilerOptions::default(),
+    );
+
+    // 4. JigSaw: half the trials global, half on 2-qubit CPMs, fused by
+    //    Bayesian reconstruction.
+    let config = JigsawConfig::jigsaw(trials).with_seed(2021);
+    let result = run_jigsaw(bench.circuit(), &device, &config);
+
+    let pst_base = metrics::pst(&baseline, &correct);
+    let pst_jig = metrics::pst(&result.output, &correct);
+    println!("GHZ-8 on {} ({} trials each):", device.name(), trials);
+    println!("  baseline PST: {pst_base:.4}");
+    println!("  JigSaw  PST: {pst_jig:.4}  ({:.2}x)", pst_jig / pst_base);
+    println!("  global-mode EPS: {:.4}", result.global_eps);
+    println!("  CPMs used: {}, reconstruction rounds: {}", result.marginals.len(), result.rounds);
+
+    // 5. Top outcomes after reconstruction.
+    println!("\nTop outcomes (JigSaw output):");
+    for (outcome, p) in result.output.top_k(4) {
+        let marker = if correct.contains(&outcome) { " <- correct" } else { "" };
+        println!("  {outcome}  {p:.4}{marker}");
+    }
+}

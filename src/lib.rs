@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the JigSaw reproduction workspace.
+pub use jigsaw_circuit as circuit;
+pub use jigsaw_compiler as compiler;
+pub use jigsaw_core as core;
+pub use jigsaw_device as device;
+pub use jigsaw_pmf as pmf;
+pub use jigsaw_sim as sim;

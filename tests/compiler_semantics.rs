@@ -1,0 +1,104 @@
+//! Integration tests: compilation must preserve program semantics and
+//! respect device topology for every benchmark family on every device.
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::cpm::{cpm_circuit, recompile_cpm};
+use jigsaw_repro::compiler::{compile, CompilerOptions};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::sim::ideal_pmf;
+
+fn quick() -> CompilerOptions {
+    CompilerOptions { max_seeds: 4, ..CompilerOptions::default() }
+}
+
+#[test]
+fn compiled_circuits_preserve_ideal_distributions() {
+    for device in Device::paper_fleet() {
+        for b in bench::small_suite() {
+            let mut logical = b.circuit().clone();
+            logical.measure_all();
+            let compiled = compile(&logical, &device, &quick());
+            let want = ideal_pmf(&logical);
+            let got = ideal_pmf(compiled.circuit());
+            for (outcome, p) in want.iter() {
+                assert!(
+                    (got.prob(outcome) - p).abs() < 1e-9,
+                    "{} on {}: {outcome} {} vs {}",
+                    b.name(),
+                    device.name(),
+                    got.prob(outcome),
+                    p
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_circuits_are_topology_conformant() {
+    for device in Device::paper_fleet() {
+        for b in bench::small_suite() {
+            let mut logical = b.circuit().clone();
+            logical.measure_all();
+            let compiled = compile(&logical, &device, &quick());
+            for g in compiled.circuit().gates() {
+                if let (a, Some(bq)) = g.qubits() {
+                    assert!(
+                        device.topology().are_adjacent(a, bq),
+                        "{} on {}: {g} not on a coupler",
+                        b.name(),
+                        device.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recompiled_cpms_preserve_marginals_for_all_window_subsets() {
+    let device = Device::toronto();
+    let b = bench::qaoa_maxcut(6, 1);
+    for subset in jigsaw_repro::core::subsets::sliding_window(6, 2) {
+        let logical_cpm = cpm_circuit(b.circuit(), &subset);
+        let compiled = recompile_cpm(b.circuit(), &subset, &device, &quick());
+        let want = ideal_pmf(&logical_cpm);
+        let got = ideal_pmf(compiled.circuit());
+        for (outcome, p) in want.iter() {
+            assert!(
+                (got.prob(outcome) - p).abs() < 1e-9,
+                "subset {subset:?}: {outcome}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eps_orders_sensible_mappings_first() {
+    // A mapping on the best-readout region must score at least as high a
+    // readout EPS as one on the worst.
+    let device = Device::toronto();
+    let order = device.calibration().qubits_by_readout_quality();
+    let mut best = jigsaw_repro::circuit::Circuit::new(27);
+    best.measure(order[0], 0).measure(order[1], 1);
+    let mut worst = jigsaw_repro::circuit::Circuit::new(27);
+    worst.measure(order[25], 0).measure(order[26], 1);
+    assert!(
+        jigsaw_repro::compiler::readout_eps(&best, &device)
+            > jigsaw_repro::compiler::readout_eps(&worst, &device)
+    );
+}
+
+#[test]
+fn full_suite_compiles_on_manhattan() {
+    // The 65-qubit machine must host the whole paper suite, including
+    // Graycode-18 (the paper's largest program).
+    let device = Device::manhattan();
+    for b in bench::paper_suite() {
+        let mut logical = b.circuit().clone();
+        logical.measure_all();
+        let compiled = compile(&logical, &device, &quick());
+        assert!(compiled.eps > 0.0, "{}", b.name());
+        assert_eq!(compiled.circuit().measurements().len(), b.n_qubits(), "{}", b.name());
+    }
+}

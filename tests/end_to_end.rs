@@ -1,0 +1,128 @@
+//! End-to-end integration tests: the full JigSaw stack (benchmarks →
+//! compiler → simulator → reconstruction) across devices.
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::CompilerOptions;
+use jigsaw_repro::core::{run_baseline, run_edm, run_jigsaw, JigsawConfig};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::metrics;
+use jigsaw_repro::sim::{resolve_correct_set, RunConfig};
+
+fn quick_compiler() -> CompilerOptions {
+    CompilerOptions { max_seeds: 4, ..CompilerOptions::default() }
+}
+
+fn jigsaw_config(trials: u64, seed: u64) -> JigsawConfig {
+    JigsawConfig { compiler: quick_compiler(), ..JigsawConfig::jigsaw(trials) }.with_seed(seed)
+}
+
+#[test]
+fn jigsaw_beats_baseline_on_ghz_across_the_fleet() {
+    for device in Device::paper_fleet() {
+        let b = bench::ghz(8);
+        let correct = resolve_correct_set(&b);
+        let trials = 4096;
+        let baseline = run_baseline(
+            b.circuit(),
+            &device,
+            trials,
+            11,
+            &RunConfig::default(),
+            &quick_compiler(),
+        );
+        let jig = run_jigsaw(b.circuit(), &device, &jigsaw_config(trials, 11));
+        let p_base = metrics::pst(&baseline, &correct);
+        let p_jig = metrics::pst(&jig.output, &correct);
+        assert!(
+            p_jig > p_base,
+            "{}: JigSaw {p_jig} should beat baseline {p_base}",
+            device.name()
+        );
+    }
+}
+
+#[test]
+fn jigsaw_improves_fidelity_not_just_pst() {
+    let device = Device::toronto();
+    let b = bench::ghz(10);
+    let trials = 4096;
+    let mut ideal_circuit = b.circuit().clone();
+    ideal_circuit.measure_all();
+    let ideal = jigsaw_repro::sim::ideal_pmf(&ideal_circuit);
+
+    let baseline =
+        run_baseline(b.circuit(), &device, trials, 5, &RunConfig::default(), &quick_compiler());
+    let jig = run_jigsaw(b.circuit(), &device, &jigsaw_config(trials, 5));
+    let f_base = metrics::fidelity(&ideal, &baseline);
+    let f_jig = metrics::fidelity(&ideal, &jig.output);
+    assert!(f_jig > f_base, "fidelity {f_jig} should beat baseline {f_base}");
+}
+
+#[test]
+fn jigsaw_m_handles_every_benchmark_family() {
+    let device = Device::toronto();
+    for b in bench::small_suite() {
+        let cfg = JigsawConfig {
+            subset_sizes: vec![2, 3, 4, 5],
+            compiler: quick_compiler(),
+            ..JigsawConfig::jigsaw(2048)
+        }
+        .with_seed(9);
+        let result = run_jigsaw(b.circuit(), &device, &cfg);
+        assert!((result.output.total_mass() - 1.0).abs() < 1e-9, "{}", b.name());
+        assert!(!result.marginals.is_empty(), "{}", b.name());
+    }
+}
+
+#[test]
+fn equal_budget_accounting_holds() {
+    // §5.4: JigSaw uses the same total trials as the baseline — global half
+    // plus CPM halves must never exceed the budget.
+    let device = Device::paris();
+    let b = bench::ghz(7);
+    let result = run_jigsaw(b.circuit(), &device, &jigsaw_config(5000, 1));
+    assert!(result.trials_used <= 5000 + 7, "used {}", result.trials_used);
+}
+
+#[test]
+fn edm_runs_and_normalises() {
+    let device = Device::manhattan();
+    let b = bench::bernstein_vazirani(5, 0b1100);
+    let pmf = run_edm(
+        b.circuit(),
+        &device,
+        2048,
+        4,
+        3,
+        &RunConfig::default(),
+        &quick_compiler(),
+    );
+    assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn deterministic_outputs_for_equal_seeds() {
+    let device = Device::toronto();
+    let b = bench::qaoa_maxcut(6, 1);
+    let a = run_jigsaw(b.circuit(), &device, &jigsaw_config(1024, 42));
+    let c = run_jigsaw(b.circuit(), &device, &jigsaw_config(1024, 42));
+    assert_eq!(a.output, c.output);
+    let d = run_jigsaw(b.circuit(), &device, &jigsaw_config(1024, 43));
+    assert_ne!(a.output, d.output);
+}
+
+#[test]
+fn deterministic_program_survives_the_full_stack() {
+    // Graycode is deterministic: under a noiseless config the whole stack
+    // (compile → route → simulate → reconstruct) must return a point mass.
+    let device = Device::toronto();
+    let b = bench::graycode(8);
+    let correct = resolve_correct_set(&b);
+    let cfg = JigsawConfig {
+        run: RunConfig::noiseless(),
+        compiler: quick_compiler(),
+        ..JigsawConfig::jigsaw(1024)
+    };
+    let result = run_jigsaw(b.circuit(), &device, &cfg);
+    assert!((metrics::pst(&result.output, &correct) - 1.0).abs() < 1e-9);
+}

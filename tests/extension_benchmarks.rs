@@ -1,0 +1,84 @@
+//! Integration tests for the extension benchmarks (QFT adder, W state,
+//! random circuits): their declared correct sets must match the ideal
+//! simulator, and they must survive the full JigSaw stack.
+
+use jigsaw_repro::circuit::bench::{self, CorrectSet};
+use jigsaw_repro::compiler::CompilerOptions;
+use jigsaw_repro::core::{run_jigsaw, JigsawConfig};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::metrics;
+use jigsaw_repro::sim::{ideal_pmf, resolve_correct_set};
+
+#[test]
+fn qft_adder_computes_sums_exactly() {
+    for (n, a, b) in [(3usize, 1u64, 2u64), (4, 5, 9), (4, 15, 1), (5, 11, 22)] {
+        let bench = bench::qft_adder(n, a, b);
+        let pmf = ideal_pmf(bench.circuit());
+        let expected = (a + b) & ((1u64 << n) - 1);
+        let mode = pmf.mode().expect("non-empty");
+        assert_eq!(mode.to_u64(), expected, "{a}+{b} mod 2^{n}");
+        assert!(pmf.prob(&mode) > 0.999, "adder output not deterministic: {}", pmf.prob(&mode));
+    }
+}
+
+#[test]
+fn w_state_is_the_uniform_one_hot_superposition() {
+    for n in [2usize, 3, 5, 7] {
+        let bench = bench::w_state(n);
+        let pmf = ideal_pmf(bench.circuit());
+        let correct = resolve_correct_set(&bench);
+        assert_eq!(correct.len(), n);
+        let expected = 1.0 / n as f64;
+        for outcome in &correct {
+            let p = pmf.prob(outcome);
+            assert!(
+                (p - expected).abs() < 1e-9,
+                "W-{n}: outcome {outcome} has probability {p}, expected {expected}"
+            );
+        }
+        assert!((metrics::pst(&pmf, &correct) - 1.0).abs() < 1e-9, "W-{n} leaks mass");
+    }
+}
+
+#[test]
+fn random_circuit_dominant_set_resolves() {
+    let bench = bench::random_circuit(6, 6, 11);
+    match bench.correct() {
+        CorrectSet::DominantIdeal { .. } => {}
+        other => panic!("unexpected correct set {other:?}"),
+    }
+    let correct = resolve_correct_set(&bench);
+    assert!(!correct.is_empty());
+    let pmf = ideal_pmf(bench.circuit());
+    let max = pmf.sorted_desc()[0].1;
+    for outcome in &correct {
+        assert!(pmf.prob(outcome) >= 0.5 * max - 1e-12);
+    }
+}
+
+#[test]
+fn jigsaw_runs_on_extension_benchmarks() {
+    let device = Device::toronto();
+    let compiler = CompilerOptions { max_seeds: 3, ..CompilerOptions::default() };
+    for bench in [bench::qft_adder(4, 5, 9), bench::w_state(6), bench::random_circuit(6, 4, 2)] {
+        let cfg =
+            JigsawConfig { compiler, ..JigsawConfig::jigsaw(2048) }.with_seed(4);
+        let result = run_jigsaw(bench.circuit(), &device, &cfg);
+        assert!((result.output.total_mass() - 1.0).abs() < 1e-9, "{}", bench.name());
+        let correct = resolve_correct_set(&bench);
+        let pst = metrics::pst(&result.output, &correct);
+        assert!(pst > 0.0, "{}: reconstructed PST is zero", bench.name());
+    }
+}
+
+#[test]
+fn qasm_round_trips_extension_benchmarks() {
+    use jigsaw_repro::circuit::qasm;
+    for bench in [bench::qft_adder(4, 3, 8), bench::w_state(5), bench::random_circuit(5, 5, 1)] {
+        let mut c = bench.circuit().clone();
+        c.measure_all();
+        let text = qasm::to_qasm(&c);
+        let back = qasm::from_qasm(&text).unwrap_or_else(|_| panic!("{}", bench.name()));
+        assert_eq!(back, c, "{}", bench.name());
+    }
+}

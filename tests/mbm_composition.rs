@@ -1,0 +1,92 @@
+//! Integration tests for the Fig. 14 scenario: IBM-style tensored MBM,
+//! JigSaw, and their composition.
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::{compile, CompilerOptions};
+use jigsaw_repro::core::mbm::TensoredMbm;
+use jigsaw_repro::core::{reconstruct, Marginal, ReconstructionConfig};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::metrics;
+use jigsaw_repro::sim::{resolve_correct_set, Executor, RunConfig};
+
+#[test]
+fn mbm_improves_a_readout_dominated_run() {
+    // GHZ with gate noise off isolates the measurement channel, which MBM
+    // is designed to invert.
+    let device = Device::toronto();
+    let b = bench::ghz(6);
+    let correct = resolve_correct_set(&b);
+    let mut logical = b.circuit().clone();
+    logical.measure_all();
+    let compiled = compile(&logical, &device, &CompilerOptions::default());
+    let cfg = RunConfig { gate_noise: false, decoherence: false, ..RunConfig::default() };
+    let counts = Executor::new(&device).run(compiled.circuit(), 20_000, &cfg);
+    let noisy = counts.to_pmf();
+
+    let mbm = TensoredMbm::calibrate(&device, &compiled.circuit().measured_qubits(), 40_000, 9);
+    let mitigated = mbm.mitigate(&noisy);
+
+    let before = metrics::pst(&noisy, &correct);
+    let after = metrics::pst(&mitigated, &correct);
+    assert!(after > before, "MBM should help: {before} -> {after}");
+}
+
+#[test]
+fn jigsaw_composes_with_mbm() {
+    // Mitigating the global PMF before reconstruction must not hurt, and
+    // typically helps (the Fig. 14 composition).
+    let device = Device::toronto();
+    let b = bench::ghz(6);
+    let correct = resolve_correct_set(&b);
+    let trials = 8_000u64;
+    let executor = Executor::new(&device);
+    let compiler = CompilerOptions { max_seeds: 4, ..CompilerOptions::default() };
+
+    let mut logical = b.circuit().clone();
+    logical.measure_all();
+    let compiled = compile(&logical, &device, &compiler);
+    let global =
+        executor.run(compiled.circuit(), trials / 2, &RunConfig::default().with_seed(1)).to_pmf();
+
+    let windows = jigsaw_repro::core::subsets::sliding_window(6, 2);
+    let per_cpm = trials / 2 / windows.len() as u64;
+    let marginals: Vec<Marginal> = windows
+        .iter()
+        .enumerate()
+        .map(|(i, subset)| {
+            let cpm = jigsaw_repro::compiler::cpm::recompile_cpm(
+                b.circuit(),
+                subset,
+                &device,
+                &compiler,
+            );
+            let counts =
+                executor.run(cpm.circuit(), per_cpm, &RunConfig::default().with_seed(2 + i as u64));
+            Marginal::new(subset.clone(), counts.to_pmf())
+        })
+        .collect();
+
+    let rc = ReconstructionConfig::default();
+    let plain = reconstruct(&global, &marginals, &rc).pmf;
+
+    let mbm = TensoredMbm::calibrate(&device, &compiled.circuit().measured_qubits(), 40_000, 5);
+    let composed = reconstruct(&mbm.mitigate(&global), &marginals, &rc).pmf;
+
+    let pst_plain = metrics::pst(&plain, &correct);
+    let pst_composed = metrics::pst(&composed, &correct);
+    assert!(
+        pst_composed >= pst_plain * 0.95,
+        "composition should not hurt: {pst_plain} vs {pst_composed}"
+    );
+}
+
+#[test]
+fn facade_reexports_are_wired() {
+    // The jigsaw-repro facade exposes every sub-crate.
+    let _ = jigsaw_repro::device::Device::toronto();
+    let _ = jigsaw_repro::circuit::bench::ghz(3);
+    let _ = jigsaw_repro::pmf::Pmf::new(2);
+    let _ = jigsaw_repro::core::JigsawConfig::jigsaw(100);
+    let _ = jigsaw_repro::compiler::CompilerOptions::default();
+    let _ = jigsaw_repro::sim::RunConfig::default();
+}
