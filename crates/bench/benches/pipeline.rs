@@ -30,6 +30,25 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("jigsaw_m", |b| {
         b.iter(|| run_jigsaw(bench.circuit(), &device, &jm));
     });
+
+    // The rayon fan-out off (threads=1) vs on (threads=0, all cores). Both
+    // produce bit-identical histograms for the shared seed; the sanity
+    // check below guards that before any timing is trusted.
+    let mut serial = jm.clone();
+    serial.run = serial.run.with_threads(1);
+    let mut parallel = jm.clone();
+    parallel.run = parallel.run.with_threads(0);
+    assert_eq!(
+        run_jigsaw(bench.circuit(), &device, &serial).output,
+        run_jigsaw(bench.circuit(), &device, &parallel).output,
+        "serial and rayon-parallel runs must agree for a fixed seed"
+    );
+    group.bench_function("jigsaw_m_serial", |b| {
+        b.iter(|| run_jigsaw(bench.circuit(), &device, &serial));
+    });
+    group.bench_function("jigsaw_m_parallel", |b| {
+        b.iter(|| run_jigsaw(bench.circuit(), &device, &parallel));
+    });
     group.finish();
 }
 

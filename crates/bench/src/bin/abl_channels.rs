@@ -67,9 +67,6 @@ fn main() {
             format!("{:.2}x", p_jig / p_base),
         ]);
     }
-    println!(
-        "{}",
-        table::render(&["Channels", "Baseline PST", "JigSaw PST", "Gain"], &rows)
-    );
+    println!("{}", table::render(&["Channels", "Baseline PST", "JigSaw PST", "Gain"], &rows));
     println!("Expected shape: gains are largest when the measurement channel dominates.");
 }

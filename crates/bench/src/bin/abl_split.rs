@@ -24,7 +24,10 @@ fn main() {
     let device = Device::toronto();
     let compiler = harness_compiler();
 
-    println!("Ablation — global/subset trial split (trials {trials}, seed {seed}, {})", device.name());
+    println!(
+        "Ablation — global/subset trial split (trials {trials}, seed {seed}, {})",
+        device.name()
+    );
     println!();
 
     let mut rows = Vec::new();
@@ -42,11 +45,7 @@ fn main() {
             .with_seed(seed);
             let result = run_jigsaw(bench.circuit(), &device, &cfg);
             let rel = metrics::pst(&result.output, &correct) / base_pst;
-            rows.push(vec![
-                bench.name().to_string(),
-                format!("{fraction:.3}"),
-                table::num(rel),
-            ]);
+            rows.push(vec![bench.name().to_string(), format!("{fraction:.3}"), table::num(rel)]);
         }
     }
     println!("{}", table::render(&["Benchmark", "Global fraction", "Relative PST"], &rows));

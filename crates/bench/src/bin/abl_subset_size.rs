@@ -26,29 +26,23 @@ fn main() {
     let correct = resolve_correct_set(&bench);
     let compiler = harness_compiler();
 
-    let baseline = run_baseline(
-        bench.circuit(),
-        &device,
-        trials,
-        seed,
-        &RunConfig::default(),
-        &compiler,
-    );
+    let baseline =
+        run_baseline(bench.circuit(), &device, trials, seed, &RunConfig::default(), &compiler);
     let base_pst = metrics::pst(&baseline, &correct);
 
-    println!("Ablation — CPM subset size, GHZ-12 on {} (trials {trials}, seed {seed})", device.name());
+    println!(
+        "Ablation — CPM subset size, GHZ-12 on {} (trials {trials}, seed {seed})",
+        device.name()
+    );
     println!("Baseline PST: {base_pst:.4}");
     println!();
 
     let mut rows = Vec::new();
     for size in 2..=6usize {
         eprintln!("[abl_subset_size] s = {size} ...");
-        let cfg = JigsawConfig {
-            subset_sizes: vec![size],
-            compiler,
-            ..JigsawConfig::jigsaw(trials)
-        }
-        .with_seed(seed);
+        let cfg =
+            JigsawConfig { subset_sizes: vec![size], compiler, ..JigsawConfig::jigsaw(trials) }
+                .with_seed(seed);
         let result = run_jigsaw(bench.circuit(), &device, &cfg);
         let rel = metrics::pst(&result.output, &correct) / base_pst;
 
@@ -72,10 +66,7 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(
-            &["Subset size s", "CPMs", "Mean local fidelity", "Relative PST"],
-            &rows
-        )
+        table::render(&["Subset size s", "CPMs", "Mean local fidelity", "Relative PST"], &rows)
     );
     println!("Expected shape: local fidelity falls as s grows (more measurements),");
     println!("while captured correlation rises — the JigSaw-M trade-off.");

@@ -60,9 +60,6 @@ fn main() {
             table::num(geometric_mean(&rel.1)),
         ]);
         println!("{}", device.name());
-        println!(
-            "{}",
-            table::render(&["Benchmark", "Base PST", "JigSaw", "JigSaw-M"], &rows)
-        );
+        println!("{}", table::render(&["Benchmark", "Base PST", "JigSaw", "JigSaw-M"], &rows));
     }
 }

@@ -13,8 +13,8 @@ use jigsaw_bench::cli::Args;
 use jigsaw_bench::harness::harness_compiler;
 use jigsaw_bench::table;
 use jigsaw_circuit::bench::bernstein_vazirani;
-use jigsaw_compiler::cpm::recompile_cpm;
 use jigsaw_compiler::compile;
+use jigsaw_compiler::cpm::recompile_cpm;
 use jigsaw_core::seed;
 use jigsaw_core::subsets::sliding_window;
 use jigsaw_device::Device;
@@ -46,11 +46,8 @@ fn main() {
     let mut global_logical = bench.circuit().clone();
     global_logical.measure_all();
     let global = compile(&global_logical, &device, &compiler);
-    let global_counts = executor.run(
-        global.circuit(),
-        trials,
-        &RunConfig::default().with_seed(experiment_seed),
-    );
+    let global_counts =
+        executor.run(global.circuit(), trials, &RunConfig::default().with_seed(experiment_seed));
 
     // CPMs: sliding window of size 2, recompiled; each qubit's accuracy is
     // read from the CPM that measures it (first window containing it).
@@ -88,9 +85,6 @@ fn main() {
             format!("{:.2}x", cpm / base),
         ]);
     }
-    println!(
-        "{}",
-        table::render(&["Program qubit", "Baseline", "CPM (size 2)", "Gain"], &rows)
-    );
+    println!("{}", table::render(&["Program qubit", "Baseline", "CPM (size 2)", "Gain"], &rows));
     println!("Expected shape: CPM accuracy beats baseline on every qubit (paper: up to 3.25x).");
 }

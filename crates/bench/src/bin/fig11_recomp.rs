@@ -22,12 +22,8 @@ fn main() {
     println!("Figure 11 — Mean relative PST per machine (trials {trials}, seed {seed})");
     println!();
 
-    let policies = [
-        Policy::Edm,
-        Policy::JigsawWithoutRecompilation,
-        Policy::Jigsaw,
-        Policy::JigsawM,
-    ];
+    let policies =
+        [Policy::Edm, Policy::JigsawWithoutRecompilation, Policy::Jigsaw, Policy::JigsawM];
     let mut rows = Vec::new();
     for device in Device::paper_fleet() {
         let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
@@ -46,9 +42,6 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(
-            &["Machine", "EDM", "JigSaw w/o recomp", "JigSaw", "JigSaw-M"],
-            &rows
-        )
+        table::render(&["Machine", "EDM", "JigSaw w/o recomp", "JigSaw", "JigSaw-M"], &rows)
     );
 }

@@ -36,7 +36,10 @@ fn main() {
         points.push(next);
     }
 
-    println!("Figure 13 — Global-PMF entries and epsilon vs trials on {} (seed {seed})", device.name());
+    println!(
+        "Figure 13 — Global-PMF entries and epsilon vs trials on {} (seed {seed})",
+        device.name()
+    );
     println!();
 
     let mut headers: Vec<String> = vec!["Trials".into()];

@@ -78,12 +78,6 @@ fn main() {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        table::render(
-            &["N (measured)", "|0>", "|1>", "|+>", "U3(pi/3,pi/5,0)"],
-            &rows
-        )
-    );
+    println!("{}", table::render(&["N (measured)", "|0>", "|1>", "|+>", "U3(pi/3,pi/5,0)"], &rows));
     println!("Expected shape: fidelity decreases as N grows (measurement crosstalk).");
 }

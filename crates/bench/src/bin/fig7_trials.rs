@@ -21,14 +21,8 @@ fn main() {
     let device = Device::paris();
     let compiler = harness_compiler();
 
-    let benches = vec![
-        ghz(12),
-        ghz(14),
-        ghz(16),
-        qaoa_maxcut(10, 1),
-        qaoa_maxcut(10, 2),
-        qaoa_maxcut(10, 4),
-    ];
+    let benches =
+        vec![ghz(12), ghz(14), ghz(16), qaoa_maxcut(10, 1), qaoa_maxcut(10, 2), qaoa_maxcut(10, 4)];
 
     let mut points = vec![8 * 1024u64];
     while *points.last().expect("non-empty") * 4 <= max_trials {

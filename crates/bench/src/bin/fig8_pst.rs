@@ -53,10 +53,7 @@ fn main() {
         println!("{} ({} qubits)", device.name(), device.n_qubits());
         println!(
             "{}",
-            table::render(
-                &["Benchmark", "Base PST", "EDM", "JigSaw", "JigSaw-M"],
-                &rows
-            )
+            table::render(&["Benchmark", "Base PST", "EDM", "JigSaw", "JigSaw-M"], &rows)
         );
     }
 }

@@ -14,13 +14,13 @@ use jigsaw_bench::harness::harness_compiler;
 use jigsaw_bench::table;
 use jigsaw_circuit::bench::qaoa_maxcut;
 use jigsaw_compiler::compile;
-use jigsaw_core::{reconstruct, seed, Marginal, ReconstructionConfig};
 use jigsaw_core::subsets::random_distinct;
+use jigsaw_core::{reconstruct, seed, Marginal, ReconstructionConfig};
 use jigsaw_device::Device;
 use jigsaw_pmf::metrics;
 use jigsaw_sim::{resolve_correct_set, Executor, RunConfig};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
@@ -52,12 +52,8 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, subset)| {
-            let compiled = jigsaw_compiler::cpm::recompile_cpm(
-                bench.circuit(),
-                subset,
-                &device,
-                &compiler,
-            );
+            let compiled =
+                jigsaw_compiler::cpm::recompile_cpm(bench.circuit(), subset, &device, &compiler);
             let counts = executor.run(
                 compiled.circuit(),
                 per_cpm,

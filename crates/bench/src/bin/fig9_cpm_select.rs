@@ -63,11 +63,8 @@ fn main() {
     // Reference: the sliding-window selection.
     let window_gain = {
         let windows = sliding_window(12, 2);
-        let chosen: Vec<Marginal> = marginals
-            .iter()
-            .filter(|m| windows.contains(&m.qubits))
-            .cloned()
-            .collect();
+        let chosen: Vec<Marginal> =
+            marginals.iter().filter(|m| windows.contains(&m.qubits)).cloned().collect();
         let out = reconstruct(&global_pmf, &chosen, &ReconstructionConfig::default());
         metrics::pst(&out.pmf, &correct) / base_pst
     };

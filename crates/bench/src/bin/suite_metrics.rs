@@ -71,10 +71,9 @@ fn main() {
     }
 
     // ---- Tables 3 & 4: relative IST / Fidelity summaries -------------------
-    for (title, pick) in [
-        ("Table 3 — Relative IST", 0usize),
-        ("Table 4 — Relative Fidelity", 1usize),
-    ] {
+    for (title, pick) in
+        [("Table 3 — Relative IST", 0usize), ("Table 4 — Relative Fidelity", 1usize)]
+    {
         println!("== {title} ==");
         println!();
         let mut rows = Vec::new();
@@ -105,8 +104,16 @@ fn main() {
             "{}",
             table::render(
                 &[
-                    "Machine", "EDM min", "EDM max", "EDM avg", "JigSaw min", "JigSaw max",
-                    "JigSaw avg", "JigSaw-M min", "JigSaw-M max", "JigSaw-M avg",
+                    "Machine",
+                    "EDM min",
+                    "EDM max",
+                    "EDM avg",
+                    "JigSaw min",
+                    "JigSaw max",
+                    "JigSaw avg",
+                    "JigSaw-M min",
+                    "JigSaw-M max",
+                    "JigSaw-M avg",
                 ],
                 &rows
             )
@@ -119,12 +126,9 @@ fn main() {
     let mut rows = Vec::new();
     for (device, evals) in fleet.iter().zip(&evaluations) {
         let mut row = vec![device.name().to_string()];
-        for policy in [
-            Policy::Edm,
-            Policy::JigsawWithoutRecompilation,
-            Policy::Jigsaw,
-            Policy::JigsawM,
-        ] {
+        for policy in
+            [Policy::Edm, Policy::JigsawWithoutRecompilation, Policy::Jigsaw, Policy::JigsawM]
+        {
             let values: Vec<f64> =
                 evals.iter().map(|e| e.relative(policy).expect("ran").pst).collect();
             row.push(table::num(geometric_mean(&values)));
@@ -133,9 +137,6 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(
-            &["Machine", "EDM", "JigSaw w/o recomp", "JigSaw", "JigSaw-M"],
-            &rows
-        )
+        table::render(&["Machine", "EDM", "JigSaw w/o recomp", "JigSaw", "JigSaw-M"], &rows)
     );
 }

@@ -48,7 +48,10 @@ fn main() {
     let iso = Summary::of(&isolated);
     let sim = Summary::of(&simultaneous);
 
-    println!("Table 1 — Measurement error on {} ({n} qubits, {trials} trials/qubit, seed {seed})", device.name());
+    println!(
+        "Table 1 — Measurement error on {} ({n} qubits, {trials} trials/qubit, seed {seed})",
+        device.name()
+    );
     println!();
     let pct = |x: f64| format!("{:.2}", 100.0 * x);
     println!(

@@ -27,7 +27,8 @@ fn main() {
         for bench in &suite {
             eprintln!("[tab3] {} / {} ...", device.name(), bench.name());
             let e = evaluate(bench, &device, trials, seed, PolicySet::fig8());
-            for (k, policy) in [Policy::Edm, Policy::Jigsaw, Policy::JigsawM].into_iter().enumerate()
+            for (k, policy) in
+                [Policy::Edm, Policy::Jigsaw, Policy::JigsawM].into_iter().enumerate()
             {
                 let ist = e.relative(policy).expect("policy ran").ist;
                 if ist.is_finite() {
@@ -49,8 +50,16 @@ fn main() {
         "{}",
         table::render(
             &[
-                "Machine", "EDM min", "EDM max", "EDM avg", "JigSaw min", "JigSaw max",
-                "JigSaw avg", "JigSaw-M min", "JigSaw-M max", "JigSaw-M avg",
+                "Machine",
+                "EDM min",
+                "EDM max",
+                "EDM avg",
+                "JigSaw min",
+                "JigSaw max",
+                "JigSaw avg",
+                "JigSaw-M min",
+                "JigSaw-M max",
+                "JigSaw-M avg",
             ],
             &rows
         )

@@ -28,7 +28,8 @@ fn main() {
         for bench in &suite {
             eprintln!("[tab4] {} / {} ...", device.name(), bench.name());
             let e = evaluate(bench, &device, trials, seed, PolicySet::fig8());
-            for (k, policy) in [Policy::Edm, Policy::Jigsaw, Policy::JigsawM].into_iter().enumerate()
+            for (k, policy) in
+                [Policy::Edm, Policy::Jigsaw, Policy::JigsawM].into_iter().enumerate()
             {
                 per_policy[k].push(e.relative(policy).expect("policy ran").fidelity);
             }
@@ -47,8 +48,16 @@ fn main() {
         "{}",
         table::render(
             &[
-                "Machine", "EDM min", "EDM max", "EDM avg", "JigSaw min", "JigSaw max",
-                "JigSaw avg", "JigSaw-M min", "JigSaw-M max", "JigSaw-M avg",
+                "Machine",
+                "EDM min",
+                "EDM max",
+                "EDM avg",
+                "JigSaw min",
+                "JigSaw max",
+                "JigSaw avg",
+                "JigSaw-M min",
+                "JigSaw-M max",
+                "JigSaw-M avg",
             ],
             &rows
         )

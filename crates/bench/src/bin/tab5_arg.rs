@@ -36,7 +36,9 @@ fn main() {
         ]
     };
 
-    println!("Table 5 — Approximation Ratio Gap, % (lower is better; trials {trials}, seed {seed})");
+    println!(
+        "Table 5 — Approximation Ratio Gap, % (lower is better; trials {trials}, seed {seed})"
+    );
     println!();
 
     let mut rows = Vec::new();
@@ -60,9 +62,6 @@ fn main() {
     }
     println!(
         "{}",
-        table::render(
-            &["Machine", "Workload", "Baseline", "EDM", "JigSaw", "JigSaw-M"],
-            &rows
-        )
+        table::render(&["Machine", "Workload", "Baseline", "EDM", "JigSaw", "JigSaw-M"], &rows)
     );
 }

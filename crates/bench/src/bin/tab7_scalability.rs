@@ -30,7 +30,12 @@ fn synthetic_global(n_bits: usize, entries: usize, rng: &mut StdRng) -> Pmf {
     p
 }
 
-fn synthetic_marginals(n_bits: usize, count: usize, size: usize, rng: &mut StdRng) -> Vec<Marginal> {
+fn synthetic_marginals(
+    n_bits: usize,
+    count: usize,
+    size: usize,
+    rng: &mut StdRng,
+) -> Vec<Marginal> {
     (0..count)
         .map(|_| {
             let mut qubits: Vec<usize> = (0..n_bits).collect();
@@ -74,8 +79,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["Qubits", "eps=delta", "Trials", "JigSaw Mem GB", "JigSaw OPs M",
-              "JigSaw-M Mem GB", "JigSaw-M OPs M"],
+            &[
+                "Qubits",
+                "eps=delta",
+                "Trials",
+                "JigSaw Mem GB",
+                "JigSaw OPs M",
+                "JigSaw-M Mem GB",
+                "JigSaw-M OPs M"
+            ],
             &rows
         )
     );

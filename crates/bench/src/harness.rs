@@ -128,16 +128,13 @@ pub fn evaluate(
     let baseline = (baseline_pmf.clone(), score(&baseline_pmf));
 
     let edm = policies.edm.then(|| {
-        let pmf = run_edm(bench.circuit(), device, trials, PAPER_ENSEMBLE_SIZE, seed, &run, &compiler);
+        let pmf =
+            run_edm(bench.circuit(), device, trials, PAPER_ENSEMBLE_SIZE, seed, &run, &compiler);
         let s = score(&pmf);
         (pmf, s)
     });
 
-    let jigsaw_cfg = JigsawConfig {
-        compiler,
-        run,
-        ..JigsawConfig::jigsaw(trials)
-    };
+    let jigsaw_cfg = JigsawConfig { compiler, run, ..JigsawConfig::jigsaw(trials) };
 
     let jigsaw_without_recompilation = policies.jigsaw_without_recompilation.then(|| {
         let cfg = jigsaw_cfg.clone().without_recompilation().with_seed(seed);
@@ -154,11 +151,8 @@ pub fn evaluate(
     });
 
     let jigsaw_m = policies.jigsaw_m.then(|| {
-        let cfg = JigsawConfig {
-            subset_sizes: vec![2, 3, 4, 5],
-            ..jigsaw_cfg.clone()
-        }
-        .with_seed(seed);
+        let cfg =
+            JigsawConfig { subset_sizes: vec![2, 3, 4, 5], ..jigsaw_cfg.clone() }.with_seed(seed);
         let result = run_jigsaw(bench.circuit(), device, &cfg);
         let s = score(&result.output);
         (result.output, s)

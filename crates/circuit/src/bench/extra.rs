@@ -51,11 +51,7 @@ pub fn qft_adder(n: usize, a: u64, b: u64) -> Benchmark {
     }
 
     let sum = (a + b) & ((1u64 << n) - 1);
-    Benchmark::new(
-        format!("QFTAdd-{n}"),
-        c,
-        CorrectSet::Known(vec![BitString::from_u64(sum, n)]),
-    )
+    Benchmark::new(format!("QFTAdd-{n}"), c, CorrectSet::Known(vec![BitString::from_u64(sum, n)]))
 }
 
 /// Gate list of the textbook QFT without the final bit reversal: after it,
@@ -141,11 +137,7 @@ pub fn random_circuit(n: usize, depth: usize, seed: u64) -> Benchmark {
             q += 2;
         }
     }
-    Benchmark::new(
-        format!("Random-{n}x{depth}"),
-        c,
-        CorrectSet::DominantIdeal { threshold: 0.5 },
-    )
+    Benchmark::new(format!("Random-{n}x{depth}"), c, CorrectSet::DominantIdeal { threshold: 0.5 })
 }
 
 #[cfg(test)]

@@ -86,9 +86,17 @@ impl Circuit {
     /// addresses the same qubit twice.
     pub fn push(&mut self, gate: Gate) -> &mut Self {
         let (a, b) = gate.qubits();
-        assert!(a < self.n_qubits, "gate {gate} addresses qubit {a} on a {}-qubit circuit", self.n_qubits);
+        assert!(
+            a < self.n_qubits,
+            "gate {gate} addresses qubit {a} on a {}-qubit circuit",
+            self.n_qubits
+        );
         if let Some(b) = b {
-            assert!(b < self.n_qubits, "gate {gate} addresses qubit {b} on a {}-qubit circuit", self.n_qubits);
+            assert!(
+                b < self.n_qubits,
+                "gate {gate} addresses qubit {b} on a {}-qubit circuit",
+                self.n_qubits
+            );
             assert_ne!(a, b, "two-qubit gate {gate} addresses the same qubit twice");
         }
         self.gates.push(gate);
@@ -248,10 +256,18 @@ impl Circuit {
     /// or maps outside the device.
     #[must_use]
     pub fn remapped(&self, layout: &[usize], device_qubits: usize) -> Self {
-        assert!(layout.len() >= self.n_qubits, "layout covers {} of {} qubits", layout.len(), self.n_qubits);
+        assert!(
+            layout.len() >= self.n_qubits,
+            "layout covers {} of {} qubits",
+            layout.len(),
+            self.n_qubits
+        );
         let mut seen = vec![false; device_qubits];
         for &p in &layout[..self.n_qubits] {
-            assert!(p < device_qubits, "layout maps to physical qubit {p} outside the {device_qubits}-qubit device");
+            assert!(
+                p < device_qubits,
+                "layout maps to physical qubit {p} outside the {device_qubits}-qubit device"
+            );
             assert!(!seen[p], "layout maps two logical qubits to physical qubit {p}");
             seen[p] = true;
         }
@@ -271,7 +287,10 @@ impl Circuit {
     ///
     /// Panics if widths differ.
     pub fn extend_gates(&mut self, other: &Circuit) -> &mut Self {
-        assert_eq!(self.n_qubits, other.n_qubits, "cannot concatenate circuits of different widths");
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "cannot concatenate circuits of different widths"
+        );
         self.gates.extend_from_slice(&other.gates);
         self
     }

@@ -111,10 +111,7 @@ impl Graph {
     #[must_use]
     pub fn cut_value(&self, assignment: &BitString) -> u64 {
         assert_eq!(assignment.len(), self.n_vertices, "assignment width mismatch");
-        self.edges
-            .iter()
-            .filter(|&&(u, v)| assignment.bit(u) != assignment.bit(v))
-            .count() as u64
+        self.edges.iter().filter(|&&(u, v)| assignment.bit(u) != assignment.bit(v)).count() as u64
     }
 
     /// Brute-force MaxCut: the optimum value and every optimal assignment.

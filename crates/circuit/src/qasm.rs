@@ -81,9 +81,8 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         {
             continue;
         }
-        let stmt = line.strip_suffix(';').ok_or(ParseQasmError::MissingSemicolon {
-            line: line_no + 1,
-        })?;
+        let stmt =
+            line.strip_suffix(';').ok_or(ParseQasmError::MissingSemicolon { line: line_no + 1 })?;
 
         if let Some(rest) = stmt.strip_prefix("qreg") {
             let n = bracket_index(rest.trim(), line_no + 1)?;
@@ -94,9 +93,8 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
         let c = circuit.as_mut().ok_or(ParseQasmError::MissingQreg)?;
 
         if let Some(rest) = stmt.strip_prefix("measure") {
-            let (lhs, rhs) = rest.split_once("->").ok_or(ParseQasmError::Malformed {
-                line: line_no + 1,
-            })?;
+            let (lhs, rhs) =
+                rest.split_once("->").ok_or(ParseQasmError::Malformed { line: line_no + 1 })?;
             let qubit = bracket_index(lhs.trim(), line_no + 1)?;
             let clbit = bracket_index(rhs.trim(), line_no + 1)?;
             if qubit >= c.n_qubits() {
@@ -111,19 +109,17 @@ pub fn from_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
             stmt.split_once(' ').ok_or(ParseQasmError::Malformed { line: line_no + 1 })?;
         let (name, angles) = match head.split_once('(') {
             Some((name, args)) => {
-                let args = args.strip_suffix(')').ok_or(ParseQasmError::Malformed {
-                    line: line_no + 1,
-                })?;
+                let args = args
+                    .strip_suffix(')')
+                    .ok_or(ParseQasmError::Malformed { line: line_no + 1 })?;
                 let parsed: Result<Vec<f64>, _> =
                     args.split(',').map(|a| parse_angle(a.trim(), line_no + 1)).collect();
                 (name, parsed?)
             }
             None => (head, Vec::new()),
         };
-        let operands: Result<Vec<usize>, _> = operands_text
-            .split(',')
-            .map(|o| bracket_index(o.trim(), line_no + 1))
-            .collect();
+        let operands: Result<Vec<usize>, _> =
+            operands_text.split(',').map(|o| bracket_index(o.trim(), line_no + 1)).collect();
         let operands = operands?;
         let bad = || ParseQasmError::Malformed { line: line_no + 1 };
         let gate = match (name, operands.as_slice(), angles.as_slice()) {

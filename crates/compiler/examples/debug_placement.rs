@@ -1,0 +1,56 @@
+//! Diagnostic: per-seed EPS of path-embedding vs region-growth placements
+//! (GHZ-10 on Toronto), plus the chain locality of a grown region. Not
+//! part of the evaluation; useful when tuning
+//! [`jigsaw_compiler::placement`] heuristics.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-compiler --example debug_placement
+//! ```
+
+use jigsaw_compiler::placement::{
+    layout_from_seed, path_layout_from_seed, spread_seeds, PlacementConfig,
+};
+use jigsaw_compiler::sabre::{route, SabreConfig};
+use jigsaw_compiler::{compile, eps, CompilerOptions};
+use jigsaw_device::Device;
+
+fn main() {
+    let device = Device::toronto();
+    let mut logical = jigsaw_circuit::bench::ghz(10).circuit().clone();
+    logical.measure_all();
+    let cfg = PlacementConfig::default();
+
+    for seed in spread_seeds(&device, 10) {
+        let path = path_layout_from_seed(&logical, &device, seed, &cfg, &[]);
+        let region = layout_from_seed(&logical, &device, seed, &cfg, &[]);
+        let fmt = |layout: Option<jigsaw_compiler::Layout>| -> String {
+            layout.map_or_else(
+                || "none".to_owned(),
+                |l| {
+                    let routed = route(&logical, &device, l, &SabreConfig::default());
+                    format!("eps {:.4} swaps {}", eps(&routed.circuit, &device), routed.swap_count)
+                },
+            )
+        };
+        println!("seed {seed:2}: path [{}]  region [{}]", fmt(path), fmt(region));
+    }
+
+    let compiled = compile(&logical, &device, &CompilerOptions::default());
+    println!("winner: eps {:.4} swaps {}", compiled.eps, compiled.routed.swap_count);
+
+    let mut ghz6 = jigsaw_circuit::bench::ghz(6).circuit().clone();
+    ghz6.measure_all();
+    let layout = layout_from_seed(&ghz6, &device, 12, &cfg, &[]).expect("fits");
+    println!("ghz6 seed12 region: {:?}", layout.occupied());
+    for l in 0..6 {
+        print!("l{l}->p{} ", layout.physical(l));
+    }
+    println!();
+    for l in 0..5 {
+        println!(
+            "dist({l},{}) = {}",
+            l + 1,
+            device.topology().distance(layout.physical(l), layout.physical(l + 1))
+        );
+    }
+}

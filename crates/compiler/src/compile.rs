@@ -96,7 +96,19 @@ pub fn compile_with_avoidance(
         logical
     };
 
-    let mut best: Option<Compiled> = None;
+    // Candidates are selected by EPS, discounted per qubit shared with an
+    // avoided allocation: without the discount a diverse *search* can still
+    // be overruled at selection time by a high-EPS placement sitting right
+    // on top of an earlier ensemble member.
+    let selection_score = |score: f64, layout: &crate::Layout| -> f64 {
+        let overlap: usize = avoid
+            .iter()
+            .map(|used| layout.occupied().iter().filter(|q| used.contains(q)).count())
+            .sum();
+        score * (-options.placement.diversity_penalty * overlap as f64).exp()
+    };
+
+    let mut best: Option<(f64, Compiled)> = None;
     for seed in spread_seeds(device, options.max_seeds) {
         // Chain-shaped programs (most of Table 2) additionally get a
         // swap-free path embedding candidate; EPS decides the winner.
@@ -107,12 +119,14 @@ pub fn compile_with_avoidance(
         for layout in candidates.into_iter().flatten() {
             let routed = route(logical, device, layout, &options.sabre);
             let score = eps(&routed.circuit, device);
-            if best.as_ref().is_none_or(|b| score > b.eps) {
-                best = Some(Compiled { routed, eps: score });
+            let ranking = selection_score(score, &routed.initial_layout);
+            if best.as_ref().is_none_or(|(b, _)| ranking > *b) {
+                best = Some((ranking, Compiled { routed, eps: score }));
             }
         }
     }
-    best.expect("no feasible placement found (disconnected device region?)")
+    best.map(|(_, compiled)| compiled)
+        .expect("no feasible placement found (disconnected device region?)")
 }
 
 /// Compiles with default avoidance (none). See [`compile_with_avoidance`].
@@ -157,11 +171,8 @@ mod tests {
         let device = Device::toronto();
         let logical = measured(&bench::ghz(4));
         let compiled = compile(&logical, &device, &CompilerOptions::default());
-        let worst = *device
-            .calibration()
-            .qubits_by_readout_quality()
-            .last()
-            .expect("non-empty device");
+        let worst =
+            *device.calibration().qubits_by_readout_quality().last().expect("non-empty device");
         assert!(
             !compiled.circuit().measured_qubits().contains(&worst),
             "compiler placed a measurement on the worst qubit"
@@ -173,10 +184,7 @@ mod tests {
         let device = Device::toronto();
         let logical = measured(&bench::ghz(10));
         let compiled = compile(&logical, &device, &CompilerOptions::default());
-        assert_eq!(
-            compiled.routed.swap_count, 0,
-            "a 10-qubit chain embeds along a Falcon path"
-        );
+        assert_eq!(compiled.routed.swap_count, 0, "a 10-qubit chain embeds along a Falcon path");
     }
 
     #[test]

@@ -51,10 +51,8 @@ pub fn recompile_cpm(
     options: &CompilerOptions,
 ) -> Compiled {
     let cpm = cpm_circuit(program, subset);
-    let focused = CompilerOptions {
-        placement: jigsaw_compiler_placement_readout(options),
-        ..*options
-    };
+    let focused =
+        CompilerOptions { placement: jigsaw_compiler_placement_readout(options), ..*options };
     compile(&cpm, device, &focused)
 }
 
@@ -138,10 +136,7 @@ mod tests {
         let cpm = cpm_reuse_layout(&global, &[1, 3]);
         assert_eq!(
             cpm.measured_qubits(),
-            vec![
-                global.routed.final_layout.physical(1),
-                global.routed.final_layout.physical(3)
-            ]
+            vec![global.routed.final_layout.physical(1), global.routed.final_layout.physical(3)]
         );
         assert_eq!(cpm.gates().len(), global.circuit().gates().len());
     }
@@ -159,8 +154,7 @@ mod tests {
         let global = compile(&global_logical, &device, &CompilerOptions::default());
         let exec = Executor::new(&device);
         let cfg = RunConfig::default();
-        let global_marginal =
-            exec.run(global.circuit(), 6000, &cfg).to_pmf().marginal(&[0, 1]);
+        let global_marginal = exec.run(global.circuit(), 6000, &cfg).to_pmf().marginal(&[0, 1]);
 
         let cpm = recompile_cpm(b.circuit(), &subset, &device, &CompilerOptions::default());
         let local = exec.run(cpm.circuit(), 6000, &cfg.with_seed(1)).to_pmf();

@@ -21,7 +21,12 @@ use crate::placement::PlacementConfig;
 ///
 /// Panics if `k == 0` or the program is wider than the device.
 #[must_use]
-pub fn ensemble(logical: &Circuit, device: &Device, k: usize, options: &CompilerOptions) -> Vec<Compiled> {
+pub fn ensemble(
+    logical: &Circuit,
+    device: &Device,
+    k: usize,
+    options: &CompilerOptions,
+) -> Vec<Compiled> {
     assert!(k >= 1, "an ensemble needs at least one mapping");
     let diverse = CompilerOptions {
         placement: PlacementConfig { diversity_penalty: 2.0, ..options.placement },

@@ -22,11 +22,21 @@ pub struct PlacementConfig {
     /// Penalty per previously-used region containing the candidate qubit
     /// (diversity for EDM).
     pub diversity_penalty: f64,
+    /// Weight of a candidate qubit's mean distance to the region grown so
+    /// far. Keeps regions compact instead of chasing isolated good qubits
+    /// down long arms, which matters for chain-shaped programs whose
+    /// neighbours must stay close after assignment.
+    pub compactness_weight: f64,
 }
 
 impl Default for PlacementConfig {
     fn default() -> Self {
-        Self { readout_weight: 1.0, gate_weight: 1.0, diversity_penalty: 0.0 }
+        Self {
+            readout_weight: 1.0,
+            gate_weight: 1.0,
+            diversity_penalty: 0.0,
+            compactness_weight: 0.02,
+        }
     }
 }
 
@@ -56,9 +66,12 @@ pub fn layout_from_seed(
             .map(|&r| cal.gate_2q(r, q))
             .fold(f64::INFINITY, f64::min);
         let overlap = avoid.iter().filter(|used| used.contains(&q)).count() as f64;
+        let spread = region.iter().map(|&r| f64::from(topo.distance(r, q))).sum::<f64>()
+            / region.len() as f64;
         config.readout_weight * readout
             + config.gate_weight * if best_link.is_finite() { best_link } else { 0.0 }
             + config.diversity_penalty * overlap
+            + config.compactness_weight * spread
     };
 
     // Region growth: absorb the cheapest frontier qubit until n are held.
@@ -86,6 +99,12 @@ pub fn layout_from_seed(
 
 /// Assigns logical qubits to the qubits of a connected region, placing
 /// heavily-interacting logical qubits close together.
+///
+/// Runs a small portfolio of greedy sweeps — hub-first (best for star-like
+/// interaction graphs) and leaf-first (best for chains, which otherwise
+/// strand their last qubit on a far branch of a tree-shaped region) — then
+/// refines the cheapest with pairwise swaps. The total interaction-weighted
+/// distance decides.
 fn assign_in_region(circuit: &Circuit, device: &Device, region: &[usize]) -> Layout {
     let n = circuit.n_qubits();
     let topo = device.topology();
@@ -102,49 +121,97 @@ fn assign_in_region(circuit: &Circuit, device: &Device, region: &[usize]) -> Lay
         }
     }
 
-    let mut assignment: Vec<Option<usize>> = vec![None; n]; // logical -> physical
-    let mut free: Vec<usize> = region.to_vec();
+    let region_degree = |q: usize| region.iter().filter(|&&r| topo.are_adjacent(r, q)).count();
+    let total_cost = |map: &[usize]| -> f64 {
+        let mut cost = 0.0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                cost += f64::from(weight[a][b] * topo.distance(map[a], map[b]));
+            }
+        }
+        cost
+    };
 
-    // Most-interacting logical goes to the region's most-connected qubit.
-    let first_logical =
-        (0..n).max_by_key(|&l| (degree[l], std::cmp::Reverse(l))).expect("n >= 1");
-    let first_physical_idx = (0..free.len())
-        .max_by_key(|&i| {
-            let q = free[i];
-            (region.iter().filter(|&&r| topo.are_adjacent(r, q)).count(), std::cmp::Reverse(q))
-        })
+    let greedy = |first_logical: usize, first_physical: usize| -> Vec<usize> {
+        let mut assignment: Vec<Option<usize>> = vec![None; n]; // logical -> physical
+        let mut free: Vec<usize> = region.to_vec();
+        let first_idx = free.iter().position(|&q| q == first_physical).expect("in region");
+        assignment[first_logical] = Some(free.swap_remove(first_idx));
+
+        // Repeatedly place the unassigned logical most connected to the
+        // placed set, on the free qubit minimising weighted distance to its
+        // partners.
+        for _ in 1..n {
+            let next_logical = (0..n)
+                .filter(|&l| assignment[l].is_none())
+                .max_by_key(|&l| {
+                    let attached: u32 =
+                        (0..n).filter(|&o| assignment[o].is_some()).map(|o| weight[l][o]).sum();
+                    (attached, degree[l], std::cmp::Reverse(l))
+                })
+                .expect("unassigned logical remains");
+            let best_idx = (0..free.len())
+                .min_by(|&i, &j| {
+                    let cost = |q: usize| -> f64 {
+                        (0..n)
+                            .filter_map(|o| assignment[o].map(|p| (o, p)))
+                            .map(|(o, p)| f64::from(weight[next_logical][o] * topo.distance(q, p)))
+                            .sum()
+                    };
+                    cost(free[i])
+                        .partial_cmp(&cost(free[j]))
+                        .expect("finite")
+                        .then(free[i].cmp(&free[j]))
+                })
+                .expect("free qubit remains");
+            assignment[next_logical] = Some(free.swap_remove(best_idx));
+        }
+        assignment.into_iter().map(|p| p.expect("all placed")).collect()
+    };
+
+    // Portfolio of starting points: most-interacting logical on the region
+    // hub, and (when the program has leaves) a leaf logical on a region leaf.
+    let hub_logical = (0..n).max_by_key(|&l| (degree[l], std::cmp::Reverse(l))).expect("n >= 1");
+    let hub_physical = region
+        .iter()
+        .copied()
+        .max_by_key(|&q| (region_degree(q), std::cmp::Reverse(q)))
         .expect("region non-empty");
-    assignment[first_logical] = Some(free.swap_remove(first_physical_idx));
+    let leaf_logical = (0..n).min_by_key(|&l| (degree[l], l)).expect("n >= 1");
+    let leaf_physical =
+        region.iter().copied().min_by_key(|&q| (region_degree(q), q)).expect("region non-empty");
 
-    // Repeatedly place the unassigned logical most connected to the placed
-    // set, on the free qubit minimising weighted distance to its partners.
-    for _ in 1..n {
-        let next_logical = (0..n)
-            .filter(|&l| assignment[l].is_none())
-            .max_by_key(|&l| {
-                let attached: u32 =
-                    (0..n).filter(|&o| assignment[o].is_some()).map(|o| weight[l][o]).sum();
-                (attached, degree[l], std::cmp::Reverse(l))
-            })
-            .expect("unassigned logical remains");
-        let best_idx = (0..free.len())
-            .min_by(|&i, &j| {
-                let cost = |q: usize| -> f64 {
-                    (0..n)
-                        .filter_map(|o| assignment[o].map(|p| (o, p)))
-                        .map(|(o, p)| f64::from(weight[next_logical][o] * topo.distance(q, p)))
-                        .sum()
-                };
-                cost(free[i])
-                    .partial_cmp(&cost(free[j]))
-                    .expect("finite")
-                    .then(free[i].cmp(&free[j]))
-            })
-            .expect("free qubit remains");
-        assignment[next_logical] = Some(free.swap_remove(best_idx));
+    let mut starts = vec![(hub_logical, hub_physical)];
+    if (leaf_logical, leaf_physical) != (hub_logical, hub_physical) {
+        starts.push((leaf_logical, leaf_physical));
+    }
+    let mut map = starts
+        .into_iter()
+        .map(|(l, q)| greedy(l, q))
+        .min_by(|a, b| total_cost(a).partial_cmp(&total_cost(b)).expect("finite"))
+        .expect("at least one start");
+
+    // Pairwise-swap refinement until no exchange lowers the total cost.
+    let mut best = total_cost(&map);
+    loop {
+        let mut improved = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                map.swap(a, b);
+                let cost = total_cost(&map);
+                if cost + 1e-12 < best {
+                    best = cost;
+                    improved = true;
+                } else {
+                    map.swap(a, b);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
     }
 
-    let map: Vec<usize> = assignment.into_iter().map(|p| p.expect("all placed")).collect();
     Layout::new(map, device.n_qubits())
 }
 
@@ -186,8 +253,14 @@ pub fn interaction_path(circuit: &Circuit) -> Option<Vec<usize>> {
 }
 
 /// Finds a low-cost simple path of `len` physical qubits starting at `seed`
-/// (depth-first, cheapest neighbour first, with backtracking), and lays the
-/// logical path order onto it.
+/// (branch-and-bound over simple paths, cheapest extension first), and lays
+/// the logical path order onto it.
+///
+/// Unlike a greedy walk, the search keeps the best *complete* path found so
+/// far and prunes any partial path whose accumulated cost already exceeds
+/// it, so one locally cheap step into a high-error corridor cannot doom the
+/// embedding. A step budget bounds the worst case; on heavy-hex lattices
+/// (degree ≤ 3) the search is cheap.
 #[must_use]
 pub fn path_layout_from_seed(
     circuit: &Circuit,
@@ -201,65 +274,75 @@ pub fn path_layout_from_seed(
     let topo = device.topology();
     let cal = device.calibration();
 
-    let cost = |q: usize| -> f64 {
+    let node_cost = |q: usize| -> f64 {
         let overlap = avoid.iter().filter(|used| used.contains(&q)).count() as f64;
         config.readout_weight * cal.readout(q).mean() + config.diversity_penalty * overlap
     };
 
-    // DFS with backtracking, visiting cheapest extensions first. The step
-    // budget keeps worst-case devices cheap; heavy-hex lattices resolve in
-    // far fewer steps.
-    let mut path = vec![seed];
-    let mut on_path = vec![false; topo.n_qubits()];
-    on_path[seed] = true;
-    let mut choice_stack: Vec<Vec<usize>> = Vec::new();
-    let mut budget = 50_000usize;
-    while path.len() < n && budget > 0 {
-        budget -= 1;
-        let cur = *path.last().expect("non-empty");
-        let mut options: Vec<usize> = topo
-            .neighbors(cur)
-            .iter()
-            .copied()
-            .filter(|&nb| !on_path[nb])
-            .collect();
-        options.sort_by(|&x, &y| {
-            let edge = |q: usize| config.gate_weight * cal.gate_2q(cur, q);
-            (cost(x) + edge(x))
-                .partial_cmp(&(cost(y) + edge(y)))
-                .expect("finite")
-                .then(x.cmp(&y))
-        });
-        options.reverse(); // pop() takes the cheapest
-        if let Some(next) = options.pop() {
-            choice_stack.push(options);
-            on_path[next] = true;
-            path.push(next);
-        } else {
-            // Dead end: backtrack.
-            loop {
-                let dead = path.pop()?;
-                on_path[dead] = false;
-                if path.is_empty() {
-                    return None;
+    struct Search<'a, C: Fn(usize) -> f64> {
+        topo: &'a jigsaw_device::Topology,
+        cal: &'a jigsaw_device::Calibration,
+        gate_weight: f64,
+        node_cost: C,
+        n: usize,
+        best: Option<(f64, Vec<usize>)>,
+        budget: usize,
+    }
+
+    impl<C: Fn(usize) -> f64> Search<'_, C> {
+        fn extend(&mut self, path: &mut Vec<usize>, on_path: &mut [bool], cost_so_far: f64) {
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            if path.len() == self.n {
+                if self.best.as_ref().is_none_or(|(c, _)| cost_so_far < *c) {
+                    self.best = Some((cost_so_far, path.clone()));
                 }
-                let remaining = choice_stack.last_mut()?;
-                if let Some(next) = remaining.pop() {
-                    on_path[next] = true;
-                    path.push(next);
-                    break;
+                return;
+            }
+            let cur = *path.last().expect("non-empty");
+            let mut options: Vec<(f64, usize)> = self
+                .topo
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .filter(|&nb| !on_path[nb])
+                .map(|nb| ((self.node_cost)(nb) + self.gate_weight * self.cal.gate_2q(cur, nb), nb))
+                .collect();
+            options.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+            for (step_cost, nb) in options {
+                let total = cost_so_far + step_cost;
+                if self.best.as_ref().is_some_and(|(c, _)| total >= *c) {
+                    continue; // bound: cannot beat the best complete path
                 }
-                choice_stack.pop();
+                on_path[nb] = true;
+                path.push(nb);
+                self.extend(path, on_path, total);
+                path.pop();
+                on_path[nb] = false;
             }
         }
     }
-    if path.len() < n {
-        return None;
-    }
+
+    let mut search = Search {
+        topo,
+        cal,
+        gate_weight: config.gate_weight,
+        node_cost,
+        n,
+        best: None,
+        budget: 50_000,
+    };
+    let mut on_path = vec![false; topo.n_qubits()];
+    on_path[seed] = true;
+    let mut path = vec![seed];
+    search.extend(&mut path, &mut on_path, (search.node_cost)(seed));
+    let (_, best_path) = search.best?;
 
     let mut map = vec![usize::MAX; n];
     for (k, &logical) in logical_order.iter().enumerate() {
-        map[logical] = path[k];
+        map[logical] = best_path[k];
     }
     Some(Layout::new(map, topo.n_qubits()))
 }
@@ -346,11 +429,7 @@ mod tests {
         // should shrink.
         let second =
             layout_from_seed(&c, &device, 20, &penalised, &[first.occupied()]).expect("fits");
-        let overlap = second
-            .occupied()
-            .iter()
-            .filter(|q| first.occupied().contains(q))
-            .count();
+        let overlap = second.occupied().iter().filter(|q| first.occupied().contains(q)).count();
         assert!(overlap <= 2, "overlap {overlap} too high");
     }
 
@@ -385,9 +464,7 @@ mod tests {
             .expect("12-qubit path exists on Falcon");
         // Every interacting pair must be adjacent — zero swaps needed.
         for l in 0..11 {
-            assert!(device
-                .topology()
-                .are_adjacent(layout.physical(l), layout.physical(l + 1)));
+            assert!(device.topology().are_adjacent(layout.physical(l), layout.physical(l + 1)));
         }
     }
 

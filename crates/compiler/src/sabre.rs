@@ -31,7 +31,12 @@ pub struct SabreConfig {
 
 impl Default for SabreConfig {
     fn default() -> Self {
-        Self { extended_set_size: 20, extended_weight: 0.5, decay_increment: 0.001, noise_bias: 10.0 }
+        Self {
+            extended_set_size: 20,
+            extended_weight: 0.5,
+            decay_increment: 0.001,
+            noise_bias: 10.0,
+        }
     }
 }
 
@@ -95,8 +100,7 @@ pub fn route(logical: &Circuit, device: &Device, initial: Layout, config: &Sabre
         }
     }
 
-    let mut front: BTreeSet<usize> =
-        (0..n_gates).filter(|&i| pred_count[i] == 0).collect();
+    let mut front: BTreeSet<usize> = (0..n_gates).filter(|&i| pred_count[i] == 0).collect();
     let mut executed = vec![false; n_gates];
     let mut mapping = initial.clone();
     let mut out = Circuit::new(device.n_qubits());
@@ -187,10 +191,7 @@ pub fn route(logical: &Circuit, device: &Device, initial: Layout, config: &Sabre
             let ext_cost: f64 = if extended.is_empty() {
                 0.0
             } else {
-                extended
-                    .iter()
-                    .map(|&(a, b)| f64::from(topo.distance(pos(a), pos(b))))
-                    .sum::<f64>()
+                extended.iter().map(|&(a, b)| f64::from(topo.distance(pos(a), pos(b)))).sum::<f64>()
                     / extended.len() as f64
             };
             let noise = if config.noise_bias > 0.0 {
@@ -307,8 +308,7 @@ mod tests {
         let logical = ghz_logical(6);
         let layout = Layout::new(vec![0, 1, 2, 3, 5, 8], 27);
         let routed = route(&logical, &device, layout, &SabreConfig::default());
-        let counts =
-            Executor::new(&device).run(&routed.circuit, 500, &RunConfig::noiseless());
+        let counts = Executor::new(&device).run(&routed.circuit, 500, &RunConfig::noiseless());
         let pmf = counts.to_pmf();
         let z = pmf.prob(&jigsaw_pmf::BitString::zeros(6));
         let o = pmf.prob(&jigsaw_pmf::BitString::ones(6));

@@ -126,7 +126,11 @@ pub fn reconstruction_round(p: &Pmf, marginals: &[Marginal]) -> Pmf {
 /// between successive outputs drops below tolerance (§4.3's termination
 /// rule) or the round cap is reached.
 #[must_use]
-pub fn reconstruct(p: &Pmf, marginals: &[Marginal], config: &ReconstructionConfig) -> Reconstruction {
+pub fn reconstruct(
+    p: &Pmf,
+    marginals: &[Marginal],
+    config: &ReconstructionConfig,
+) -> Reconstruction {
     let mut current = p.clone();
     if marginals.is_empty() {
         return Reconstruction { pmf: current, rounds: 0, converged: true };

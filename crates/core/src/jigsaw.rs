@@ -135,12 +135,8 @@ pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> 
     );
     let n = program.n_qubits();
 
-    let mut sizes: Vec<usize> = config
-        .subset_sizes
-        .iter()
-        .copied()
-        .filter(|&s| s >= 1 && s < n)
-        .collect();
+    let mut sizes: Vec<usize> =
+        config.subset_sizes.iter().copied().filter(|&s| s >= 1 && s < n).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a)); // descending: §4.4.2 ordering
     sizes.dedup();
     assert!(!sizes.is_empty(), "no subset size fits a {n}-qubit program");
@@ -190,25 +186,37 @@ pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> 
         }
     };
 
-    let mut marginals: Vec<Marginal> = Vec::with_capacity(cpm_count);
-    let mut trials_used = global_trials;
+    // Collect every CPM's work order up front, then fan out: each CPM
+    // compiles and executes independently of the others, so the subset mode
+    // is embarrassingly parallel. Seeds are pinned to the CPM index and
+    // results keep work-list order, so any thread count reproduces the
+    // serial histograms bit-for-bit.
+    let mut work: Vec<(Vec<usize>, u64, u64)> = Vec::with_capacity(cpm_count);
     let mut cpm_index = 0u64;
     for ((_, subs), &(_, layer_budget)) in subset_lists.iter().zip(&budgets) {
         let per_cpm = (layer_budget / subs.len() as u64).max(1);
         for subset in subs {
-            let run_seed = seed::mix(config.seed, 2000 + cpm_index);
+            work.push((subset.clone(), per_cpm, seed::mix(config.seed, 2000 + cpm_index)));
             cpm_index += 1;
-            let counts = if config.recompile_cpms {
-                let compiled = recompile_cpm(program, subset, device, &config.compiler);
-                executor.run(compiled.circuit(), per_cpm, &config.run.with_seed(run_seed))
-            } else {
-                let circuit = cpm_reuse_layout(&global_compiled, subset);
-                executor.run(&circuit, per_cpm, &config.run.with_seed(run_seed))
-            };
-            trials_used += per_cpm;
-            marginals.push(Marginal::new(subset.clone(), counts.to_pmf()));
         }
     }
+    let trials_used = global_trials + work.iter().map(|(_, per_cpm, _)| per_cpm).sum::<u64>();
+
+    let run_cpm = |(subset, per_cpm, run_seed): (Vec<usize>, u64, u64)| -> Marginal {
+        // Inner executor runs stay serial here: the fan-out already uses
+        // the worker team, and nested teams would oversubscribe cores.
+        let cpm_run = config.run.with_seed(run_seed).with_threads(1);
+        let counts = if config.recompile_cpms {
+            let compiled = recompile_cpm(program, &subset, device, &config.compiler);
+            executor.run(compiled.circuit(), per_cpm, &cpm_run)
+        } else {
+            let circuit = cpm_reuse_layout(&global_compiled, &subset);
+            executor.run(&circuit, per_cpm, &cpm_run)
+        };
+        Marginal::new(subset, counts.to_pmf())
+    };
+
+    let marginals: Vec<Marginal> = jigsaw_sim::parallel::fan_out(work, config.run.threads, run_cpm);
 
     // --- Reconstruction (hierarchical, largest size first) ----------------
     let mut current = global_pmf.clone();
@@ -322,10 +330,7 @@ mod tests {
 
         let pst_base = metrics::pst(&baseline, &correct);
         let pst_jig = metrics::pst(&jig.output, &correct);
-        assert!(
-            pst_jig > pst_base,
-            "JigSaw PST {pst_jig} should beat baseline {pst_base}"
-        );
+        assert!(pst_jig > pst_base, "JigSaw PST {pst_jig} should beat baseline {pst_base}");
     }
 
     #[test]

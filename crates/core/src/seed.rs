@@ -1,41 +1,4 @@
-//! Deterministic seed derivation.
-//!
-//! Every stochastic stage of the pipeline (global run, each CPM, each EDM
-//! member) gets its own RNG stream derived from the experiment seed, so
-//! runs reproduce exactly and stages stay independent.
+//! Deterministic seed derivation — re-exported from [`jigsaw_sim::seed`],
+//! where the executor's batch streams derive from the same finaliser.
 
-/// Derives an independent seed from `(seed, salt)` via SplitMix64 — the
-/// standard 64-bit finaliser, giving well-separated streams for adjacent
-/// salts.
-#[must_use]
-pub fn mix(seed: u64, salt: u64) -> u64 {
-    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn mixing_is_deterministic() {
-        assert_eq!(mix(42, 7), mix(42, 7));
-    }
-
-    #[test]
-    fn adjacent_salts_diverge() {
-        let a = mix(0, 0);
-        let b = mix(0, 1);
-        assert_ne!(a, b);
-        // Avalanche: roughly half the bits should differ.
-        let differing = (a ^ b).count_ones();
-        assert!(differing > 16, "only {differing} bits differ");
-    }
-
-    #[test]
-    fn different_seeds_diverge() {
-        assert_ne!(mix(1, 0), mix(2, 0));
-    }
-}
+pub use jigsaw_sim::seed::mix;

@@ -35,12 +35,7 @@ pub enum SubsetSelection {
 /// Panics if `size` is zero or larger than `n`, or if a random selection
 /// requests more distinct subsets than exist.
 #[must_use]
-pub fn generate(
-    n: usize,
-    size: usize,
-    selection: SubsetSelection,
-    seed: u64,
-) -> Vec<Vec<usize>> {
+pub fn generate(n: usize, size: usize, selection: SubsetSelection, seed: u64) -> Vec<Vec<usize>> {
     assert!(size >= 1, "subset size must be positive");
     assert!(size <= n, "subset of {size} qubits out of {n} is impossible");
     match selection {

@@ -27,7 +27,12 @@ impl Summary {
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        Self { mean, median: percentile_sorted(&sorted, 50.0), min: sorted[0], max: sorted[sorted.len() - 1] }
+        Self {
+            mean,
+            median: percentile_sorted(&sorted, 50.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        }
     }
 }
 

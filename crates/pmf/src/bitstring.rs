@@ -75,10 +75,7 @@ impl BitString {
     pub fn from_u64(value: u64, len: usize) -> Self {
         let mut b = Self::zeros(len);
         if len < 64 {
-            assert!(
-                value < (1u64 << len),
-                "value {value:#x} does not fit in {len} bits"
-            );
+            assert!(value < (1u64 << len), "value {value:#x} does not fit in {len} bits");
         }
         b.words[0] = value;
         b
@@ -239,11 +236,7 @@ impl BitString {
     #[must_use]
     pub fn hamming_distance(&self, other: &Self) -> u32 {
         assert_eq!(self.len, other.len, "hamming distance requires equal widths");
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 }
 
@@ -357,10 +350,7 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert_eq!("".parse::<BitString>(), Err(ParseBitStringError::Empty));
-        assert_eq!(
-            "01x".parse::<BitString>(),
-            Err(ParseBitStringError::BadChar { ch: 'x' })
-        );
+        assert_eq!("01x".parse::<BitString>(), Err(ParseBitStringError::BadChar { ch: 'x' }));
         let long = "0".repeat(MAX_BITS + 1);
         assert_eq!(
             long.parse::<BitString>(),

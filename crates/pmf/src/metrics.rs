@@ -62,10 +62,7 @@ pub fn hellinger(p: &Pmf, q: &Pmf) -> f64 {
 pub fn kl_divergence(p: &Pmf, q: &Pmf) -> f64 {
     assert_eq!(p.n_bits(), q.n_bits(), "KL divergence requires PMFs of equal width");
     const FLOOR: f64 = 1e-12;
-    p.iter()
-        .filter(|(_, pp)| *pp > 0.0)
-        .map(|(b, pp)| pp * (pp / q.prob(b).max(FLOOR)).ln())
-        .sum()
+    p.iter().filter(|(_, pp)| *pp > 0.0).map(|(b, pp)| pp * (pp / q.prob(b).max(FLOOR)).ln()).sum()
 }
 
 /// Probability of a Successful Trial (paper Equation 1): the total output
@@ -88,10 +85,7 @@ pub fn pst(output: &Pmf, correct: &[BitString]) -> f64 {
 #[must_use]
 pub fn ist(output: &Pmf, correct: &[BitString]) -> f64 {
     let correct_set: DetHashSet<&BitString> = correct.iter().collect();
-    let best_correct = correct
-        .iter()
-        .map(|b| output.prob(b))
-        .fold(0.0f64, f64::max);
+    let best_correct = correct.iter().map(|b| output.prob(b)).fold(0.0f64, f64::max);
     let best_incorrect = output
         .iter()
         .filter(|(b, _)| !correct_set.contains(b))

@@ -221,9 +221,7 @@ impl Pmf {
         (0..n)
             .map(|_| {
                 let u: f64 = rng.gen();
-                match cumulative
-                    .binary_search_by(|(c, _)| c.partial_cmp(&u).unwrap())
-                {
+                match cumulative.binary_search_by(|(c, _)| c.partial_cmp(&u).unwrap()) {
                     Ok(i) => cumulative[(i + 1).min(cumulative.len() - 1)].1,
                     Err(i) => cumulative[i.min(cumulative.len() - 1)].1,
                 }

@@ -14,6 +14,11 @@
 //! Trials are grouped into trajectories that share one sampled error
 //! configuration; the (common) error-free trajectory reuses a cached state,
 //! which keeps large-trial runs cheap.
+//!
+//! Each batch draws from its own RNG stream, derived from
+//! [`RunConfig::seed`] and the batch index, so batches are independent and
+//! can run on a thread team ([`RunConfig::threads`]) while staying
+//! bit-identical to a serial run of the same seed.
 
 use jigsaw_circuit::Circuit;
 use jigsaw_device::Device;
@@ -21,7 +26,7 @@ use jigsaw_pmf::{BitString, Counts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::noise::NoiseModel;
+use crate::noise::{NoiseModel, NoisePlan};
 use crate::statevector::{StateVector, MAX_SIM_QUBITS};
 
 /// Execution options. Construct with [`RunConfig::default`] and adjust.
@@ -39,11 +44,23 @@ pub struct RunConfig {
     pub readout_noise: bool,
     /// Enable depth-scaled idle decoherence.
     pub decoherence: bool,
+    /// Worker threads for the batch fan-out: `0` uses all available cores,
+    /// `1` runs serially. Because every batch owns a seed-derived RNG stream
+    /// and results merge in batch order, the histogram is identical for any
+    /// setting — the knob only trades wall-clock for cores.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self { batch: 64, seed: 0, gate_noise: true, readout_noise: true, decoherence: true }
+        Self {
+            batch: 64,
+            seed: 0,
+            gate_noise: true,
+            readout_noise: true,
+            decoherence: true,
+            threads: 0,
+        }
     }
 }
 
@@ -59,6 +76,24 @@ impl RunConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Returns the config with a different worker-thread setting
+    /// (`0` = all cores, `1` = serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count this config resolves to on this machine.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -105,7 +140,6 @@ impl<'d> Executor<'d> {
             compact.n_qubits()
         );
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let model = NoiseModel::for_circuit(
             &compact,
             self.device,
@@ -131,22 +165,37 @@ impl<'d> Executor<'d> {
             .collect();
 
         let n_clbits = compact.n_clbits();
-        let mut counts = Counts::new(n_clbits);
-        let mut cached_ideal: Option<Vec<f64>> = None;
 
+        // Carve the trial budget into batches, each owning a seed-derived
+        // RNG stream. The noise plan is drawn first from that stream (so a
+        // batch is self-contained), and the outcome/readout draws continue
+        // on it.
+        let batch_size = config.batch.max(1);
+        let mut batches: Vec<(NoisePlan, StdRng, u64)> = Vec::new();
         let mut remaining = trials;
+        let mut index = 0u64;
         while remaining > 0 {
-            let k = remaining.min(config.batch.max(1));
+            let k = remaining.min(batch_size);
             remaining -= k;
-
+            let mut rng = StdRng::seed_from_u64(crate::seed::mix(config.seed, index));
+            index += 1;
             let plan = model.sample_plan(&mut rng);
+            batches.push((plan, rng, k));
+        }
+
+        // The error-free trajectory is common; share one ideal CDF across
+        // every batch that needs it instead of resimulating per batch.
+        let ideal_cdf: Option<Vec<f64>> =
+            batches.iter().any(|(plan, _, _)| plan.is_empty()).then(|| {
+                let mut sv = StateVector::new(compact.n_qubits());
+                sv.apply_all(compact.gates());
+                sv.cumulative()
+            });
+
+        let run_batch = |(plan, mut rng, k): (NoisePlan, StdRng, u64)| -> Counts {
             let cdf_owned;
             let cdf: &[f64] = if plan.is_empty() {
-                cached_ideal.get_or_insert_with(|| {
-                    let mut sv = StateVector::new(compact.n_qubits());
-                    sv.apply_all(compact.gates());
-                    sv.cumulative()
-                })
+                ideal_cdf.as_deref().expect("ideal CDF precomputed")
             } else {
                 let mut sv = StateVector::new(compact.n_qubits());
                 for (i, g) in compact.gates().iter().enumerate() {
@@ -162,6 +211,7 @@ impl<'d> Executor<'d> {
                 &cdf_owned
             };
 
+            let mut counts = Counts::new(n_clbits);
             for _ in 0..k {
                 let raw = sample_index(cdf, &mut rng);
                 let mut out = BitString::zeros(n_clbits);
@@ -177,6 +227,18 @@ impl<'d> Executor<'d> {
                 }
                 counts.record(out);
             }
+            counts
+        };
+
+        // Fan the batches out on the configured worker team and merge in
+        // batch order. parallel and serial runs produce identical
+        // histograms because every batch's randomness is pinned to its
+        // index, not to execution order.
+        let per_batch: Vec<Counts> = crate::parallel::fan_out(batches, config.threads, run_batch);
+
+        let mut counts = Counts::new(n_clbits);
+        for batch in &per_batch {
+            counts.merge(batch);
         }
         counts
     }
@@ -294,6 +356,31 @@ mod tests {
         assert_eq!(a, b);
         let c2 = exec.run(&c, 1000, &RunConfig::default().with_seed(100));
         assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_produce_identical_histograms() {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let c = ghz_on_line(8, 0);
+        let serial = exec.run(&c, 5000, &RunConfig::default().with_seed(7).with_threads(1));
+        for threads in [0, 2, 4] {
+            let parallel =
+                exec.run(&c, 5000, &RunConfig::default().with_seed(7).with_threads(threads));
+            assert_eq!(serial, parallel, "threads={threads} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_leak_into_seed_sensitivity() {
+        // Changing the seed must still change the histogram under the
+        // parallel path, i.e. parallelism must not collapse the streams.
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let c = ghz_on_line(6, 1);
+        let a = exec.run(&c, 2000, &RunConfig::default().with_seed(1).with_threads(4));
+        let b = exec.run(&c, 2000, &RunConfig::default().with_seed(2).with_threads(4));
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -91,11 +91,8 @@ pub fn resolve_correct_set(benchmark: &Benchmark) -> Vec<BitString> {
         CorrectSet::DominantIdeal { threshold } => {
             let pmf = ideal_pmf(benchmark.circuit());
             let max = pmf.sorted_desc().first().map_or(0.0, |(_, p)| *p);
-            let mut dominant: Vec<BitString> = pmf
-                .iter()
-                .filter(|(_, p)| *p >= threshold * max)
-                .map(|(b, _)| *b)
-                .collect();
+            let mut dominant: Vec<BitString> =
+                pmf.iter().filter(|(_, p)| *p >= threshold * max).map(|(b, _)| *b).collect();
             dominant.sort();
             dominant
         }

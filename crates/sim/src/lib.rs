@@ -31,6 +31,8 @@ mod complex;
 mod executor;
 mod ideal;
 mod noise;
+pub mod parallel;
+pub mod seed;
 mod statevector;
 
 pub use complex::{c, Complex};

@@ -129,15 +129,16 @@ impl NoiseModel {
         }
 
         let depth = circuit.depth() as i32;
-        let idle_probs = (0..circuit.n_qubits())
-            .map(|q| {
-                if decoherence {
-                    1.0 - (1.0 - cal.idle(physical[q])).powi(depth)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
+        let idle_probs =
+            (0..circuit.n_qubits())
+                .map(|q| {
+                    if decoherence {
+                        1.0 - (1.0 - cal.idle(physical[q])).powi(depth)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
 
         Self { gate_probs, gate_qubits, idle_probs }
     }
@@ -186,7 +187,11 @@ impl NoiseModel {
                                         2 => Pauli::Y,
                                         _ => Pauli::Z,
                                     };
-                                    plan.gate_events.push(NoiseEvent { after_gate: i, qubit: q, pauli });
+                                    plan.gate_events.push(NoiseEvent {
+                                        after_gate: i,
+                                        qubit: q,
+                                        pauli,
+                                    });
                                 }
                             }
                             break;
@@ -262,7 +267,8 @@ mod tests {
         let mut swap = Circuit::new(2);
         swap.swap(0, 1);
         let e_cx = NoiseModel::for_circuit(&cx, &device, &[0, 1], true, false).expected_events();
-        let e_swap = NoiseModel::for_circuit(&swap, &device, &[0, 1], true, false).expected_events();
+        let e_swap =
+            NoiseModel::for_circuit(&swap, &device, &[0, 1], true, false).expected_events();
         assert!(e_swap > 2.9 * e_cx && e_swap < 3.0 * e_cx + 1e-9);
     }
 

@@ -1,0 +1,39 @@
+//! Order-preserving parallel fan-out shared by the executor's trajectory
+//! batches and `jigsaw_core`'s CPM subset mode.
+
+/// Applies `f` to every item on a rayon worker team and returns the results
+/// in input order.
+///
+/// `threads` follows [`crate::RunConfig::threads`]: `0` uses all available
+/// cores, `1` runs serially inline, `n` uses exactly `n` workers. Because
+/// results keep input order and `f` receives no shared mutable state, the
+/// output is identical for every setting.
+pub fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(|| rayon::parallel_map(items, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_matches_serial_at_every_thread_setting() {
+        let square = |x: u64| x * x;
+        let expected: Vec<u64> = (0..100).map(square).collect();
+        for threads in [0, 1, 2, 7] {
+            assert_eq!(fan_out((0..100).collect(), threads, square), expected);
+        }
+    }
+}

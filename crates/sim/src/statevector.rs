@@ -202,12 +202,14 @@ pub fn matrix_1q(gate: &Gate) -> [[Complex; 2]; 2] {
         Gate::Z(_) => [[Complex::ONE, Complex::ZERO], [Complex::ZERO, c(-1.0, 0.0)]],
         Gate::S(_) => [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]],
         Gate::Sdg(_) => [[Complex::ONE, Complex::ZERO], [Complex::ZERO, c(0.0, -1.0)]],
-        Gate::T(_) => {
-            [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::from_angle(std::f64::consts::FRAC_PI_4)]]
-        }
-        Gate::Tdg(_) => {
-            [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::from_angle(-std::f64::consts::FRAC_PI_4)]]
-        }
+        Gate::T(_) => [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::from_angle(std::f64::consts::FRAC_PI_4)],
+        ],
+        Gate::Tdg(_) => [
+            [Complex::ONE, Complex::ZERO],
+            [Complex::ZERO, Complex::from_angle(-std::f64::consts::FRAC_PI_4)],
+        ],
         Gate::Sx(_) => [[c(0.5, 0.5), c(0.5, -0.5)], [c(0.5, -0.5), c(0.5, 0.5)]],
         Gate::Rx(_, t) => {
             let (s, co) = ((t / 2.0).sin(), (t / 2.0).cos());
@@ -312,7 +314,8 @@ mod tests {
     fn rotation_gates_are_unitary() {
         let mut sv = StateVector::new(1);
         sv.apply(Gate::H(0));
-        for g in [Gate::Rx(0, 0.7), Gate::Ry(0, 1.3), Gate::Rz(0, 2.1), Gate::U3(0, 0.5, 1.0, 1.5)] {
+        for g in [Gate::Rx(0, 0.7), Gate::Ry(0, 1.3), Gate::Rz(0, 2.1), Gate::U3(0, 0.5, 1.0, 1.5)]
+        {
             sv.apply(g);
             assert_close(sv.norm(), 1.0);
         }

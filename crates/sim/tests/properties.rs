@@ -9,28 +9,26 @@ use proptest::prelude::*;
 /// Strategy: a random circuit over `n` qubits (parameter-free and rotation
 /// gates plus CX/CZ/SWAP on random operand pairs).
 fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec((0u8..10, 0..n, 1..n, -3.0f64..3.0), 1..=max_gates).prop_map(
-        move |ops| {
-            let mut c = Circuit::new(n);
-            for (kind, a, off, angle) in ops {
-                let b = (a + off) % n;
-                match kind {
-                    0 => c.h(a),
-                    1 => c.x(a),
-                    2 => c.push(Gate::S(a)),
-                    3 => c.push(Gate::T(a)),
-                    4 => c.rx(a, angle),
-                    5 => c.ry(a, angle),
-                    6 => c.rz(a, angle),
-                    7 if a != b => c.cx(a, b),
-                    8 if a != b => c.cz(a, b),
-                    9 if a != b => c.swap(a, b),
-                    _ => c.h(a),
-                };
-            }
-            c
-        },
-    )
+    prop::collection::vec((0u8..10, 0..n, 1..n, -3.0f64..3.0), 1..=max_gates).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (kind, a, off, angle) in ops {
+            let b = (a + off) % n;
+            match kind {
+                0 => c.h(a),
+                1 => c.x(a),
+                2 => c.push(Gate::S(a)),
+                3 => c.push(Gate::T(a)),
+                4 => c.rx(a, angle),
+                5 => c.ry(a, angle),
+                6 => c.rz(a, angle),
+                7 if a != b => c.cx(a, b),
+                8 if a != b => c.cz(a, b),
+                9 if a != b => c.swap(a, b),
+                _ => c.h(a),
+            };
+        }
+        c
+    })
 }
 
 proptest! {

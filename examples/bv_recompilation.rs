@@ -31,13 +31,15 @@ fn main() {
     let mut global = b.circuit().clone();
     global.measure_all();
     let compiled = compile(&global, &device, &options);
-    let base_counts =
-        executor.run(compiled.circuit(), trials, &RunConfig::default().with_seed(1));
+    let base_counts = executor.run(compiled.circuit(), trials, &RunConfig::default().with_seed(1));
 
     println!("BV-6 on {}: secret 10110, answer {answer}", device.name());
     println!("Global mapping measures physical qubits {:?}", compiled.circuit().measured_qubits());
     println!();
-    println!("{:>6}  {:>9}  {:>11}  {:>11}  {:>6}", "qubit", "baseline", "CPM qubits", "CPM accuracy", "gain");
+    println!(
+        "{:>6}  {:>9}  {:>11}  {:>11}  {:>6}",
+        "qubit", "baseline", "CPM qubits", "CPM accuracy", "gain"
+    );
 
     for subset in sliding_window(6, 2) {
         let cpm = recompile_cpm(b.circuit(), &subset, &device, &options);

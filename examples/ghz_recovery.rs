@@ -20,13 +20,17 @@ fn main() {
 
     println!("GHZ scaling on {} ({trials} trials per policy)", device.name());
     println!();
-    println!("{:>5}  {:>10} {:>10} {:>10}  {:>8} {:>8}", "size", "baseline", "JigSaw", "JigSaw-M", "gain", "gain-M");
+    println!(
+        "{:>5}  {:>10} {:>10} {:>10}  {:>8} {:>8}",
+        "size", "baseline", "JigSaw", "JigSaw-M", "gain", "gain-M"
+    );
 
     for n in [4usize, 6, 8, 10, 12, 14] {
         let b = bench::ghz(n);
         let correct = resolve_correct_set(&b);
 
-        let baseline = run_baseline(b.circuit(), &device, trials, 7, &RunConfig::default(), &compiler);
+        let baseline =
+            run_baseline(b.circuit(), &device, trials, 7, &RunConfig::default(), &compiler);
         let jig_cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(7);
         let jig = run_jigsaw(b.circuit(), &device, &jig_cfg);
         let jm_cfg = JigsawConfig { subset_sizes: vec![2, 3, 4, 5], ..jig_cfg.clone() };

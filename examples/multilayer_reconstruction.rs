@@ -27,7 +27,11 @@ fn main() {
     let mut printable = bench.circuit().clone();
     printable.measure_all();
     let qasm_text = qasm::to_qasm(&printable);
-    println!("{} as OpenQASM ({} lines), first three statements:", bench.name(), qasm_text.lines().count());
+    println!(
+        "{} as OpenQASM ({} lines), first three statements:",
+        bench.name(),
+        qasm_text.lines().count()
+    );
     for line in qasm_text.lines().skip(2).take(3) {
         println!("  {line}");
     }
@@ -35,9 +39,8 @@ fn main() {
 
     // Global mode.
     let global = compile(&printable, &device, &compiler);
-    let global_pmf = executor
-        .run(global.circuit(), trials / 2, &RunConfig::default().with_seed(1))
-        .to_pmf();
+    let global_pmf =
+        executor.run(global.circuit(), trials / 2, &RunConfig::default().with_seed(1)).to_pmf();
 
     let mut ideal_circuit = bench.circuit().clone();
     ideal_circuit.measure_all();

@@ -27,12 +27,18 @@ fn main() {
     let ar_ideal = graph.approximation_ratio(&ideal);
     let correct = resolve_correct_set(&b);
 
-    println!("{} on {}: {} vertices, {} edges, p = {}", b.name(), device.name(), graph.n_vertices(), graph.n_edges(), angles.layers());
+    println!(
+        "{} on {}: {} vertices, {} edges, p = {}",
+        b.name(),
+        device.name(),
+        graph.n_vertices(),
+        graph.n_edges(),
+        angles.layers()
+    );
     println!("Noise-free approximation ratio with ramp angles: {ar_ideal:.4}");
     println!();
 
-    let baseline =
-        run_baseline(b.circuit(), &device, trials, 3, &RunConfig::default(), &compiler);
+    let baseline = run_baseline(b.circuit(), &device, trials, 3, &RunConfig::default(), &compiler);
     let jig = run_jigsaw(
         b.circuit(),
         &device,
@@ -41,19 +47,12 @@ fn main() {
     let jm = run_jigsaw(
         b.circuit(),
         &device,
-        &JigsawConfig {
-            subset_sizes: vec![2, 3, 4, 5],
-            compiler,
-            ..JigsawConfig::jigsaw(trials)
-        }
-        .with_seed(3),
+        &JigsawConfig { subset_sizes: vec![2, 3, 4, 5], compiler, ..JigsawConfig::jigsaw(trials) }
+            .with_seed(3),
     );
 
-    for (name, pmf) in [
-        ("Baseline", &baseline),
-        ("JigSaw", &jig.output),
-        ("JigSaw-M", &jm.output),
-    ] {
+    for (name, pmf) in [("Baseline", &baseline), ("JigSaw", &jig.output), ("JigSaw-M", &jm.output)]
+    {
         let ar = graph.approximation_ratio(pmf);
         let arg = approximation_ratio_gap(ar_ideal, ar);
         let pst = metrics::pst(pmf, &correct);

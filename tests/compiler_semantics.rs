@@ -65,10 +65,7 @@ fn recompiled_cpms_preserve_marginals_for_all_window_subsets() {
         let want = ideal_pmf(&logical_cpm);
         let got = ideal_pmf(compiled.circuit());
         for (outcome, p) in want.iter() {
-            assert!(
-                (got.prob(outcome) - p).abs() < 1e-9,
-                "subset {subset:?}: {outcome}"
-            );
+            assert!((got.prob(outcome) - p).abs() < 1e-9, "subset {subset:?}: {outcome}");
         }
     }
 }

@@ -33,11 +33,7 @@ fn jigsaw_beats_baseline_on_ghz_across_the_fleet() {
         let jig = run_jigsaw(b.circuit(), &device, &jigsaw_config(trials, 11));
         let p_base = metrics::pst(&baseline, &correct);
         let p_jig = metrics::pst(&jig.output, &correct);
-        assert!(
-            p_jig > p_base,
-            "{}: JigSaw {p_jig} should beat baseline {p_base}",
-            device.name()
-        );
+        assert!(p_jig > p_base, "{}: JigSaw {p_jig} should beat baseline {p_base}", device.name());
     }
 }
 
@@ -88,15 +84,7 @@ fn equal_budget_accounting_holds() {
 fn edm_runs_and_normalises() {
     let device = Device::manhattan();
     let b = bench::bernstein_vazirani(5, 0b1100);
-    let pmf = run_edm(
-        b.circuit(),
-        &device,
-        2048,
-        4,
-        3,
-        &RunConfig::default(),
-        &quick_compiler(),
-    );
+    let pmf = run_edm(b.circuit(), &device, 2048, 4, 3, &RunConfig::default(), &quick_compiler());
     assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
 }
 

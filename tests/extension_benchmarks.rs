@@ -61,8 +61,7 @@ fn jigsaw_runs_on_extension_benchmarks() {
     let device = Device::toronto();
     let compiler = CompilerOptions { max_seeds: 3, ..CompilerOptions::default() };
     for bench in [bench::qft_adder(4, 5, 9), bench::w_state(6), bench::random_circuit(6, 4, 2)] {
-        let cfg =
-            JigsawConfig { compiler, ..JigsawConfig::jigsaw(2048) }.with_seed(4);
+        let cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(2048) }.with_seed(4);
         let result = run_jigsaw(bench.circuit(), &device, &cfg);
         assert!((result.output.total_mass() - 1.0).abs() < 1e-9, "{}", bench.name());
         let correct = resolve_correct_set(&bench);

@@ -54,12 +54,8 @@ fn jigsaw_composes_with_mbm() {
         .iter()
         .enumerate()
         .map(|(i, subset)| {
-            let cpm = jigsaw_repro::compiler::cpm::recompile_cpm(
-                b.circuit(),
-                subset,
-                &device,
-                &compiler,
-            );
+            let cpm =
+                jigsaw_repro::compiler::cpm::recompile_cpm(b.circuit(), subset, &device, &compiler);
             let counts =
                 executor.run(cpm.circuit(), per_cpm, &RunConfig::default().with_seed(2 + i as u64));
             Marginal::new(subset.clone(), counts.to_pmf())

@@ -1,0 +1,318 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the strategy-combinator subset the workspace's property tests use:
+//! ranges and tuples as strategies, [`Just`], [`any`], `prop_map` /
+//! `prop_flat_map`, [`collection::vec`], [`ProptestConfig::with_cases`] and
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Semantics are simplified relative to upstream: cases are generated from
+//! a deterministic per-test RNG (seeded from the test name, overridable via
+//! `PROPTEST_CASES` for the case count) and there is **no shrinking** — a
+//! failing case panics with the ordinary assertion message.
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     // (inside a test module this would also carry `#[test]`)
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SampleUniform, SeedableRng, Standard};
+
+pub mod collection;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// The `prop::` path alias used by `prop::collection::vec(..)`.
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        Self { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one property, seeded from its name so
+/// every test keeps its own reproducible stream.
+#[must_use]
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values; the combinators mirror proptest's.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<W, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> W,
+    {
+        Map { base: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a second-stage strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: Strategy, W, F: Fn(B::Value) -> W> Strategy for Map<B, F> {
+    type Value = W;
+
+    fn generate(&self, rng: &mut StdRng) -> W {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: Strategy, S: Strategy, F: Fn(B::Value) -> S> Strategy for FlatMap<B, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything goes" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                <$t as Standard>::sample_standard(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_standard!(u32, u64, bool, f64);
+
+macro_rules! impl_arbitrary_cast {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                <u64 as Standard>::sample_standard(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_cast!(u8, u16, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// A strategy generating arbitrary values of `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: SampleUniform + Clone> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher behind [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner_rng = $crate::test_rng(stringify!($name));
+            for _ in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut runner_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking; plain panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn flat_map_respects_dependent_bounds() {
+        let strat = (1usize..=24).prop_flat_map(|w| (0u64..(1u64 << w), Just(w)));
+        let mut rng = crate::test_rng("flat_map_respects_dependent_bounds");
+        for _ in 0..200 {
+            let (v, w) = strat.generate(&mut rng);
+            assert!((1..=24).contains(&w));
+            assert!(v < (1u64 << w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let strat = prop::collection::vec(0.0f64..1.0, 3..=7);
+        let mut rng = crate::test_rng("vec_strategy_respects_size_range");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..=7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_tuple_patterns((a, b) in (0u8..10, 0u8..10), c in any::<u64>()) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(c, c);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the rayon API subset the workspace uses on top of `std::thread::scope`:
+//!
+//! * [`prelude`] — `into_par_iter()` / `par_iter()` returning a parallel
+//!   iterator with `map` and `collect`.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — caps the worker count
+//!   for everything run inside the closure.
+//! * [`current_num_threads`] — the effective worker count.
+//!
+//! Work is distributed dynamically (a shared index queue, one `std` thread
+//! per worker) and results are returned **in input order**, so parallel and
+//! serial execution of a pure function produce identical output — the
+//! property the executor's seeded-reproducibility tests rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let squares: Vec<u64> = (0u64..100).collect::<Vec<_>>()
+//!     .into_par_iter()
+//!     .map(|x| x * x)
+//!     .collect();
+//! assert_eq!(squares[9], 81);
+//! ```
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+pub mod iter;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`];
+    /// 0 means "no override" (use all available cores).
+    static THREAD_CAP: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Returns the number of workers a parallel operation started here would
+/// use: an installed [`ThreadPool`] cap if one is active, otherwise the
+/// machine's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let cap = THREAD_CAP.with(Cell::get);
+    if cap == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        // An explicit worker count wins even beyond the core count,
+        // matching upstream rayon's ThreadPoolBuilder::num_threads.
+        cap
+    }
+}
+
+/// Builds a [`ThreadPool`] with a fixed worker count.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (all cores) worker count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; 0 means all available cores.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finalizes the pool. Never fails in this stand-in; the `Result`
+    /// mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A worker-count scope. Unlike upstream rayon there are no persistent
+/// worker threads; `install` simply caps how many scoped threads parallel
+/// operations inside the closure may spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker cap active on the current thread.
+    /// The previous cap is restored even if `op` panics.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_CAP.with(|cap| cap.set(self.0));
+            }
+        }
+        let _restore = Restore(THREAD_CAP.with(|cap| cap.replace(self.num_threads)));
+        op()
+    }
+}
+
+/// Applies `f` to every item on a dynamically balanced scoped-thread team,
+/// returning results in input order. This is the engine behind
+/// [`iter::ParallelIterator::collect`]; it is public because
+/// `jigsaw_sim::parallel::fan_out` (the workspace's shared fan-out helper)
+/// calls it directly.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue poisoned").next();
+                        match next {
+                            Some((i, item)) => out.push((i, f(item))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..1000).collect(), |x: u32| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_caps_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 1));
+        assert_ne!(THREAD_CAP.with(std::cell::Cell::get), 1, "cap must be restored");
+    }
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let v: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = v.iter().map(|x| x * x).collect();
+        let parallel: Vec<u64> = v.par_iter().map(|x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+}
