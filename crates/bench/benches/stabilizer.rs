@@ -1,0 +1,77 @@
+//! Criterion bench: the stabilizer-tableau fast path versus the dense
+//! state vector on the same Clifford workload (GHZ-20, the widest GHZ the
+//! dense backend can still take), plus tableau-only widths the dense
+//! backend cannot reach.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_circuit::{Circuit, Gate};
+use jigsaw_device::Device;
+use jigsaw_sim::{BackendChoice, Executor, RunConfig, StabilizerTableau, StateVector};
+
+/// A 20-qubit simple path through the Falcon-27 lattice.
+const FALCON_PATH: [usize; 20] =
+    [0, 1, 2, 3, 5, 8, 11, 14, 16, 19, 22, 25, 24, 23, 21, 18, 15, 12, 10, 7];
+
+fn ghz_on_path(n: usize) -> Circuit {
+    let path = &FALCON_PATH[..n];
+    let mut c = Circuit::new(27);
+    c.h(path[0]);
+    for w in path.windows(2) {
+        c.cx(w[0], w[1]);
+    }
+    for (i, &q) in path.iter().enumerate() {
+        c.measure(q, i);
+    }
+    c
+}
+
+fn bench_executor_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_ghz20_2k_trials");
+    group.sample_size(10);
+    let device = Device::toronto();
+    let exec = Executor::new(&device);
+    let circuit = ghz_on_path(20);
+    for (label, backend) in
+        [("dense", BackendChoice::Dense), ("stabilizer", BackendChoice::Stabilizer)]
+    {
+        let cfg = RunConfig::default().with_seed(7).with_threads(1).with_backend(backend);
+        group.bench_function(label, |b| {
+            b.iter(|| exec.run(&circuit, 2000, &cfg).total());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau_widths(c: &mut Criterion) {
+    // Raw state preparation: the tableau's cost grows polynomially where the
+    // dense vector doubles per qubit (and stops existing past 24).
+    let mut group = c.benchmark_group("ghz_state_prep");
+    group.sample_size(10);
+    for n in [20usize, 40, 100] {
+        group.bench_with_input(BenchmarkId::new("tableau", n), &n, |b, &n| {
+            let mut tab = StabilizerTableau::new(n);
+            b.iter(|| {
+                tab.reset();
+                tab.apply_gate(&Gate::H(0));
+                for q in 0..n - 1 {
+                    tab.apply_gate(&Gate::Cx(q, q + 1));
+                }
+                tab.outcome_coset().rank()
+            });
+        });
+    }
+    group.bench_function(BenchmarkId::new("dense", 20), |b| {
+        b.iter(|| {
+            let mut sv = StateVector::new(20);
+            sv.apply(Gate::H(0));
+            for q in 0..19 {
+                sv.apply(Gate::Cx(q, q + 1));
+            }
+            sv.probability(0)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor_backends, bench_tableau_widths);
+criterion_main!(benches);

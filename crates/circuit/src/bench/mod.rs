@@ -123,6 +123,21 @@ pub fn small_suite() -> Vec<Benchmark> {
     vec![bernstein_vazirani(4, 0b101), qaoa_maxcut(6, 1), ghz(6), graycode(8), ising(5, 5)]
 }
 
+/// The wide, stabilizer-eligible suite: GHZ-40, BV-40 and Graycode-50.
+///
+/// Every circuit is pure Clifford (H/X/CX), so the simulator's stabilizer
+/// backend runs them exactly at widths far beyond the dense `2^n` cap —
+/// these entries turn the Table 7 scalability discussion from extrapolated
+/// into measured (see `tab7_measured` in `jigsaw-bench`). All three fit
+/// the 65-qubit Manhattan device.
+#[must_use]
+pub fn clifford_suite() -> Vec<Benchmark> {
+    // 39-bit alternating secret: maximal-coverage CNOT layer without being
+    // the all-ones special case.
+    let secret = 0x55_5555_5555u64 & ((1u64 << 39) - 1);
+    vec![ghz(40), bernstein_vazirani(40, secret), graycode(50)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +167,28 @@ mod tests {
     fn suite_circuits_have_no_measurements() {
         for b in paper_suite() {
             assert!(b.circuit().measurements().is_empty(), "{} is pre-measured", b.name());
+        }
+    }
+
+    #[test]
+    fn clifford_suite_is_wide_and_clifford() {
+        let suite = clifford_suite();
+        let sizes: Vec<(String, usize)> =
+            suite.iter().map(|b| (b.name().to_string(), b.n_qubits())).collect();
+        assert_eq!(
+            sizes,
+            vec![
+                ("GHZ-40".to_string(), 40),
+                ("BV-40".to_string(), 40),
+                ("Graycode-50".to_string(), 50),
+            ]
+        );
+        for b in &suite {
+            assert!(
+                crate::clifford::is_clifford_circuit(b.circuit()),
+                "{} must stay stabilizer-eligible",
+                b.name()
+            );
         }
     }
 

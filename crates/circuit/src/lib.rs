@@ -9,6 +9,9 @@
 //!   [`bench::Benchmark`] with its correct-answer set.
 //! * [`qaoa`] — the MaxCut substrate: problem graphs, brute-force optima,
 //!   angle schedules and the Approximation-Ratio-Gap metric.
+//! * [`clifford`] — per-gate and whole-circuit Clifford classification
+//!   (with `Rz(kπ/2)`-style angle snapping) driving the simulator's
+//!   stabilizer fast path.
 //!
 //! # Examples
 //!
@@ -27,6 +30,7 @@
 pub mod bench;
 #[allow(clippy::module_inception)]
 mod circuit;
+pub mod clifford;
 mod gate;
 pub mod qaoa;
 pub mod qasm;

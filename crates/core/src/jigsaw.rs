@@ -15,7 +15,7 @@ use jigsaw_compiler::edm::ensemble;
 use jigsaw_compiler::{compile, Compiled, CompilerOptions};
 use jigsaw_device::Device;
 use jigsaw_pmf::{Counts, Pmf};
-use jigsaw_sim::{Executor, RunConfig};
+use jigsaw_sim::{BackendKind, Executor, RunConfig};
 
 use crate::bayes::{reconstruct, Marginal, ReconstructionConfig};
 use crate::seed;
@@ -118,6 +118,10 @@ pub struct JigsawResult {
     pub rounds: usize,
     /// Trials actually consumed (== the configured budget).
     pub trials_used: u64,
+    /// Simulation backend the global-mode run resolved to: the stabilizer
+    /// tableau for Clifford programs (which is what lifts the width cap),
+    /// the dense state vector otherwise.
+    pub backend: BackendKind,
 }
 
 /// Runs the JigSaw (or JigSaw-M, depending on `subset_sizes`) pipeline on a
@@ -148,6 +152,7 @@ pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> 
     global_logical.measure_all();
     let global_compiled = compile(&global_logical, device, &config.compiler);
     let executor = Executor::new(device);
+    let backend = executor.backend_for(global_compiled.circuit(), &config.run);
     let global_counts = executor.run(
         global_compiled.circuit(),
         global_trials,
@@ -236,6 +241,7 @@ pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> 
         global_eps: global_compiled.eps,
         rounds,
         trials_used,
+        backend,
     }
 }
 
@@ -371,6 +377,34 @@ mod tests {
         };
         let result = run_jigsaw(b.circuit(), &device, &config);
         assert!(result.marginals.iter().all(|m| m.size() < 4));
+    }
+
+    #[test]
+    fn pipeline_reports_the_resolved_backend() {
+        let device = Device::toronto();
+        let ghz = run_jigsaw(bench::ghz(6).circuit(), &device, &quick_config(1200));
+        assert_eq!(ghz.backend, BackendKind::Stabilizer);
+        let qaoa = run_jigsaw(bench::qaoa_maxcut(6, 1).circuit(), &device, &quick_config(1200));
+        assert_eq!(qaoa.backend, BackendKind::Dense);
+    }
+
+    #[test]
+    fn wide_clifford_program_runs_end_to_end() {
+        // Beyond the dense 2^24 cap: the whole pipeline (global mode, CPM
+        // subset mode, reconstruction) must route through the stabilizer
+        // backend. Kept small here; the full GHZ-40 acceptance run lives in
+        // the workspace integration tests.
+        let device = Device::manhattan();
+        let b = bench::ghz(28);
+        let config = JigsawConfig {
+            compiler: CompilerOptions { max_seeds: 2, ..CompilerOptions::default() },
+            ..JigsawConfig::jigsaw(2000)
+        };
+        let result = run_jigsaw(b.circuit(), &device, &config);
+        assert_eq!(result.backend, BackendKind::Stabilizer);
+        assert_eq!(result.output.n_bits(), 28);
+        assert_eq!(result.marginals.len(), 28);
+        assert!(result.output.total_mass() > 0.999);
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //!
 //! where `n` is program width, `N` the CPM count, `T` trials, `ε`/`δ` the
 //! observed-outcome fractions, `s` the subset sizes and `S` their count.
+//!
+//! [`MeasuredFootprint`] is the model's measured counterpart: it applies
+//! the same byte/operation accounting to the PMFs an actual
+//! [`JigsawResult`](crate::JigsawResult) produced. With the simulator's
+//! stabilizer backend, Clifford programs run end-to-end at Table 7 widths,
+//! so those rows report observed numbers instead of extrapolations (see
+//! the `tab7_measured` binary in `jigsaw-bench`).
+
+use crate::bayes::Marginal;
+use crate::jigsaw::JigsawResult;
 
 /// Inputs to the model.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +112,116 @@ impl ScalabilityInput {
     }
 }
 
+/// Observed storage and work of a completed JigSaw run, under the same
+/// accounting as Equation 5 / §7.3 — but over the entries the run actually
+/// produced rather than the `εT` estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredFootprint {
+    /// Program width in qubits.
+    pub n_qubits: usize,
+    /// Entries observed in the global-mode PMF.
+    pub global_entries: usize,
+    /// Entries in the reconstructed output PMF.
+    pub output_entries: usize,
+    /// Total entries across all local (CPM) PMFs.
+    pub local_entries: usize,
+    /// Number of CPMs.
+    pub cpm_count: usize,
+    /// Weighted local storage `Σ L_s (s + 8)` in bytes.
+    local_bytes: f64,
+    /// Reconstruction rounds the run performed.
+    pub rounds: usize,
+}
+
+impl MeasuredFootprint {
+    /// Extracts the footprint of a pipeline result.
+    #[must_use]
+    pub fn of(result: &JigsawResult) -> Self {
+        let n_qubits = result.output.n_bits();
+        let local_entries = result.marginals.iter().map(|m| m.pmf.support_size()).sum();
+        let local_bytes = result
+            .marginals
+            .iter()
+            .map(|m| m.pmf.support_size() as f64 * (m.size() as f64 + 8.0))
+            .sum();
+        Self {
+            n_qubits,
+            global_entries: result.global.support_size(),
+            output_entries: result.output.support_size(),
+            local_entries,
+            cpm_count: result.marginals.len(),
+            local_bytes,
+            rounds: result.rounds,
+        }
+    }
+
+    /// Measured memory in bytes, mirroring Equation 5's per-entry costs:
+    /// `n + 8` bytes per global and per output entry (outcome text +
+    /// probability), 8 bytes per intermediate-PMF entry (one intermediate
+    /// per CPM, sized by the global support), `s + 8` per local entry.
+    /// Unlike the model — which folds the output PMF into the `εT` global
+    /// estimate — the output term uses the entry count the run actually
+    /// produced.
+    #[must_use]
+    pub fn memory_bytes(&self) -> f64 {
+        let n = self.n_qubits as f64;
+        let global = (n + 8.0 * (1.0 + self.cpm_count as f64)) * self.global_entries as f64;
+        let output = (n + 8.0) * self.output_entries as f64;
+        global + output + self.local_bytes
+    }
+
+    /// Measured memory in decimal gigabytes (Table 7's unit).
+    #[must_use]
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_bytes() / 1.0e9
+    }
+
+    /// §7.3's operation accounting over observed quantities: four
+    /// operations per global entry per CPM per reconstruction round.
+    #[must_use]
+    pub fn operations(&self) -> f64 {
+        4.0 * self.global_entries as f64 * self.cpm_count as f64 * self.rounds.max(1) as f64
+    }
+
+    /// Operations in millions (Table 7's unit).
+    #[must_use]
+    pub fn operations_millions(&self) -> f64 {
+        self.operations() / 1.0e6
+    }
+
+    /// The analytical-model input this run corresponds to, for side-by-side
+    /// model-vs-measured reporting: `ε`/`δ` are back-solved from the
+    /// observed entry counts.
+    ///
+    /// The model carries a single CPM count per subset size, so a
+    /// heterogeneous JigSaw-M mix (different CPM counts per layer) is
+    /// represented by the rounded per-size average: exact when every layer
+    /// has the same CPM count (the sliding-window default), otherwise the
+    /// total CPM count — and with it the operation budget — is only
+    /// approximately preserved.
+    #[must_use]
+    pub fn equivalent_model(
+        &self,
+        trials_per_mode: u64,
+        marginals: &[Marginal],
+    ) -> ScalabilityInput {
+        let t = trials_per_mode.max(1) as f64;
+        let mut sizes: Vec<usize> = marginals.iter().map(Marginal::size).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let layers = sizes.len().max(1);
+        let per_size = (self.cpm_count + layers / 2) / layers;
+        ScalabilityInput {
+            n_qubits: self.n_qubits,
+            epsilon: (self.global_entries as f64 / t).min(1.0),
+            delta: (self.local_entries as f64 / (self.cpm_count.max(1) as f64 * t)).min(1.0),
+            trials: trials_per_mode,
+            subset_sizes: sizes,
+            cpms_per_size: per_size.max(1),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +280,30 @@ mod tests {
         let wider = ScalabilityInput::paper_jigsaw(200, 0.05, 32 * 1024);
         assert!(wider.memory_bytes() > base.memory_bytes() * 1.8);
         assert!(wider.memory_bytes() < base.memory_bytes() * 4.0);
+    }
+
+    #[test]
+    fn measured_footprint_tracks_an_actual_run() {
+        use jigsaw_circuit::bench;
+        use jigsaw_compiler::CompilerOptions;
+        use jigsaw_device::Device;
+
+        let device = Device::toronto();
+        let config = crate::JigsawConfig {
+            compiler: CompilerOptions { max_seeds: 2, ..CompilerOptions::default() },
+            ..crate::JigsawConfig::jigsaw(2000)
+        };
+        let result = crate::run_jigsaw(bench::ghz(6).circuit(), &device, &config);
+        let m = MeasuredFootprint::of(&result);
+        assert_eq!(m.n_qubits, 6);
+        assert_eq!(m.cpm_count, 6);
+        assert_eq!(m.global_entries, result.global.support_size());
+        assert!(m.memory_bytes() > 0.0);
+        assert!(m.operations() >= 4.0 * m.global_entries as f64 * 6.0);
+        // The back-solved model reproduces the observed global fraction.
+        let model = m.equivalent_model(1000, &result.marginals);
+        assert!((model.global_entries() - m.global_entries as f64).abs() < 1e-9);
+        assert_eq!(model.subset_sizes, vec![2]);
     }
 
     #[test]

@@ -240,6 +240,35 @@ impl BitString {
     }
 }
 
+impl std::ops::BitXorAssign<&BitString> for BitString {
+    /// Bitwise XOR with another outcome of the same width — the coset-walk
+    /// primitive of the stabilizer sampler (outcome = base ⊕ generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    fn bitxor_assign(&mut self, rhs: &BitString) {
+        assert_eq!(self.len, rhs.len, "XOR requires equal widths");
+        for (w, r) in self.words.iter_mut().zip(rhs.words.iter()) {
+            *w ^= r;
+        }
+    }
+}
+
+impl std::ops::BitXor for BitString {
+    type Output = BitString;
+
+    /// Bitwise XOR of two outcomes of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    fn bitxor(mut self, rhs: BitString) -> BitString {
+        self ^= &rhs;
+        self
+    }
+}
+
 impl fmt::Display for BitString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in (0..self.len()).rev() {
@@ -402,6 +431,30 @@ mod tests {
         let b: BitString = "0110".parse().unwrap();
         assert_eq!(a.hamming_distance(&b), 2);
         assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn xor_flips_differing_bits() {
+        let a: BitString = "1010".parse().unwrap();
+        let b: BitString = "0110".parse().unwrap();
+        assert_eq!((a ^ b).to_string(), "1100");
+        let mut c = a;
+        c ^= &a;
+        assert_eq!(c, BitString::zeros(4));
+        let mut wide = BitString::zeros(130);
+        wide.set_bit(129, true);
+        let mut other = BitString::zeros(130);
+        other.set_bit(129, true);
+        other.set_bit(3, true);
+        wide ^= &other;
+        assert!(!wide.bit(129) && wide.bit(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn xor_rejects_width_mismatch() {
+        let mut a = BitString::zeros(3);
+        a ^= &BitString::zeros(4);
     }
 
     #[test]

@@ -11,9 +11,20 @@
 //!    according to how many qubits the trial measures simultaneously
 //!    (paper §3.1) — the effect JigSaw's measurement subsetting attacks.
 //!
+//! The executor is generic over the [`SimBackend`] doing the state work:
+//! Clifford circuits route to the stabilizer tableau (no width cap that
+//! matters), everything else to the dense state vector
+//! ([`RunConfig::backend`] can force either). All three noise channels flow
+//! through the backend trait, so noisy CPM subsetting behaves identically
+//! on both paths — identically enough that histograms are bit-equal where
+//! the backends overlap.
+//!
 //! Trials are grouped into trajectories that share one sampled error
-//! configuration; the (common) error-free trajectory reuses a cached state,
-//! which keeps large-trial runs cheap.
+//! configuration; the (common) error-free trajectory reuses one shared
+//! prepared state, and noisy trajectories recycle pooled state buffers
+//! instead of reallocating. Within a batch, every trial's outcome draw is
+//! taken up front and resolved in a single sorted sweep of the
+//! distribution.
 //!
 //! Each batch draws from its own RNG stream, derived from
 //! [`RunConfig::seed`] and the batch index, so batches are independent and
@@ -26,8 +37,11 @@ use jigsaw_pmf::{BitString, Counts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::backend::{
+    select_backend, BackendChoice, BackendKind, BufferPool, DenseBackend, SimBackend,
+    StabilizerBackend,
+};
 use crate::noise::{NoiseModel, NoisePlan};
-use crate::statevector::{StateVector, MAX_SIM_QUBITS};
 
 /// Execution options. Construct with [`RunConfig::default`] and adjust.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +63,9 @@ pub struct RunConfig {
     /// and results merge in batch order, the histogram is identical for any
     /// setting — the knob only trades wall-clock for cores.
     pub threads: usize,
+    /// Simulation backend: [`BackendChoice::Auto`] routes Clifford circuits
+    /// to the stabilizer tableau and the rest to the dense state vector.
+    pub backend: BackendChoice,
 }
 
 impl Default for RunConfig {
@@ -60,6 +77,7 @@ impl Default for RunConfig {
             readout_noise: true,
             decoherence: true,
             threads: 0,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -83,6 +101,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns the config with a forced (or automatic) backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -110,6 +135,20 @@ impl<'d> Executor<'d> {
         Self { device }
     }
 
+    /// The backend `run` would use for this circuit under `config` —
+    /// resolution happens on the compacted (active-qubit) circuit, exactly
+    /// as execution does.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no backend can run the circuit (see
+    /// [`select_backend`]).
+    #[must_use]
+    pub fn backend_for(&self, circuit: &Circuit, config: &RunConfig) -> BackendKind {
+        let (compact, _) = compact_circuit(circuit);
+        select_backend(&compact, config.backend)
+    }
+
     /// Runs `trials` trials of a physical circuit, returning the histogram
     /// over its classical bits.
     ///
@@ -119,9 +158,9 @@ impl<'d> Executor<'d> {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit has no measurements, uses more than
-    /// [`MAX_SIM_QUBITS`] active qubits, is wider than the device, or if
-    /// `trials == 0`.
+    /// Panics if the circuit has no measurements, is wider than the device,
+    /// exceeds the selected backend's width cap (see [`select_backend`]),
+    /// or if `trials == 0`.
     #[must_use]
     pub fn run(&self, circuit: &Circuit, trials: u64, config: &RunConfig) -> Counts {
         assert!(trials > 0, "cannot run zero trials");
@@ -134,16 +173,26 @@ impl<'d> Executor<'d> {
         );
 
         let (compact, physical) = compact_circuit(circuit);
-        assert!(
-            compact.n_qubits() <= MAX_SIM_QUBITS,
-            "circuit activates {} qubits; simulator caps at {MAX_SIM_QUBITS}",
-            compact.n_qubits()
-        );
+        match select_backend(&compact, config.backend) {
+            BackendKind::Dense => self.run_on::<DenseBackend>(&compact, &physical, trials, config),
+            BackendKind::Stabilizer => {
+                self.run_on::<StabilizerBackend>(&compact, &physical, trials, config)
+            }
+        }
+    }
 
+    /// The backend-generic trial pipeline.
+    fn run_on<B: SimBackend>(
+        &self,
+        compact: &Circuit,
+        physical: &[usize],
+        trials: u64,
+        config: &RunConfig,
+    ) -> Counts {
         let model = NoiseModel::for_circuit(
-            &compact,
+            compact,
             self.device,
-            &physical,
+            physical,
             config.gate_noise,
             config.decoherence,
         );
@@ -183,40 +232,62 @@ impl<'d> Executor<'d> {
             batches.push((plan, rng, k));
         }
 
-        // The error-free trajectory is common; share one ideal CDF across
-        // every batch that needs it instead of resimulating per batch.
-        let ideal_cdf: Option<Vec<f64>> =
-            batches.iter().any(|(plan, _, _)| plan.is_empty()).then(|| {
-                let mut sv = StateVector::new(compact.n_qubits());
-                sv.apply_all(compact.gates());
-                sv.cumulative()
-            });
+        // The error-free trajectory is common; share one prepared ideal
+        // state across every batch that needs it instead of resimulating
+        // per batch.
+        let ideal: Option<B> = batches.iter().any(|(plan, _, _)| plan.is_empty()).then(|| {
+            let mut b = B::new(compact.n_qubits());
+            for g in compact.gates() {
+                b.apply_gate(g);
+            }
+            b.prepare_sampling();
+            b
+        });
+
+        // Noisy trajectories recycle state buffers through a shared pool
+        // rather than reallocating per batch.
+        let pool: BufferPool<B> = BufferPool::new();
 
         let run_batch = |(plan, mut rng, k): (NoisePlan, StdRng, u64)| -> Counts {
-            let cdf_owned;
-            let cdf: &[f64] = if plan.is_empty() {
-                ideal_cdf.as_deref().expect("ideal CDF precomputed")
+            // All outcome draws are taken up front (one u64 per trial) and
+            // resolved in a single sorted sweep; readout-flip draws follow,
+            // so the RNG stream layout is identical on every backend.
+            let draws: Vec<u64> = (0..k).map(|_| rng.gen::<u64>()).collect();
+            let mut outcomes: Vec<BitString> = Vec::with_capacity(draws.len());
+            if plan.is_empty() {
+                ideal
+                    .as_ref()
+                    .expect("ideal backend precomputed")
+                    .resolve_draws(&draws, &mut outcomes);
             } else {
-                let mut sv = StateVector::new(compact.n_qubits());
+                let mut backend = pool.take().unwrap_or_else(|| B::new(compact.n_qubits()));
+                backend.reset();
+                // gate_events is sorted by after_gate, so one advancing
+                // cursor replays the trajectory in O(gates + events).
+                let mut next_event = 0;
                 for (i, g) in compact.gates().iter().enumerate() {
-                    sv.apply(*g);
-                    for ev in plan.gate_events.iter().filter(|ev| ev.after_gate == i) {
-                        sv.apply(ev.pauli.gate(ev.qubit));
+                    backend.apply_gate(g);
+                    while let Some(ev) = plan.gate_events.get(next_event) {
+                        if ev.after_gate != i {
+                            break;
+                        }
+                        backend.apply_pauli(ev.qubit, ev.pauli);
+                        next_event += 1;
                     }
                 }
                 for &(q, pauli) in &plan.end_events {
-                    sv.apply(pauli.gate(q));
+                    backend.apply_pauli(q, pauli);
                 }
-                cdf_owned = sv.cumulative();
-                &cdf_owned
-            };
+                backend.prepare_sampling();
+                backend.resolve_draws(&draws, &mut outcomes);
+                pool.put(backend);
+            }
 
             let mut counts = Counts::new(n_clbits);
-            for _ in 0..k {
-                let raw = sample_index(cdf, &mut rng);
+            for raw in &outcomes {
                 let mut out = BitString::zeros(n_clbits);
                 for &(q, clbit, e01, e10) in &readout {
-                    let mut bit = (raw >> q) & 1 == 1;
+                    let mut bit = raw.bit(q);
                     let flip_p = if bit { e10 } else { e01 };
                     if flip_p > 0.0 && rng.gen::<f64>() < flip_p {
                         bit = !bit;
@@ -241,16 +312,6 @@ impl<'d> Executor<'d> {
             counts.merge(batch);
         }
         counts
-    }
-}
-
-/// Draws one basis-state index from a cumulative distribution.
-fn sample_index<R: Rng>(cdf: &[f64], rng: &mut R) -> usize {
-    let total = *cdf.last().expect("non-empty cdf");
-    let u: f64 = rng.gen::<f64>() * total;
-    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
-        Ok(i) => (i + 1).min(cdf.len() - 1),
-        Err(i) => i.min(cdf.len() - 1),
     }
 }
 
@@ -381,6 +442,71 @@ mod tests {
         let a = exec.run(&c, 2000, &RunConfig::default().with_seed(1).with_threads(4));
         let b = exec.run(&c, 2000, &RunConfig::default().with_seed(2).with_threads(4));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clifford_circuits_route_to_the_stabilizer_backend() {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let ghz = ghz_on_line(6, 0);
+        assert_eq!(exec.backend_for(&ghz, &RunConfig::default()), BackendKind::Stabilizer);
+
+        let mut rotated = ghz.clone();
+        rotated.rz(0, 0.3);
+        assert_eq!(exec.backend_for(&rotated, &RunConfig::default()), BackendKind::Dense);
+        assert_eq!(
+            exec.backend_for(&ghz, &RunConfig::default().with_backend(BackendChoice::Dense)),
+            BackendKind::Dense
+        );
+    }
+
+    #[test]
+    fn dense_and_stabilizer_histograms_are_bit_identical() {
+        // The cross-backend acceptance contract: same seed, same noisy
+        // histogram, bit for bit.
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        for (n, trials) in [(4, 3000), (10, 4000)] {
+            let c = ghz_on_line(n, 0);
+            let cfg = RunConfig::default().with_seed(42);
+            let dense = exec.run(&c, trials, &cfg.with_backend(BackendChoice::Dense));
+            let stab = exec.run(&c, trials, &cfg.with_backend(BackendChoice::Stabilizer));
+            assert_eq!(dense, stab, "GHZ-{n} histograms diverged across backends");
+        }
+    }
+
+    #[test]
+    fn stabilizer_backend_lifts_the_dense_width_cap() {
+        // A 40-qubit GHZ on the 65-qubit machine: impossible dense (2^40
+        // amplitudes), routine on the tableau.
+        let device = Device::manhattan();
+        let exec = Executor::new(&device);
+        let mut c = Circuit::new(65);
+        c.h(0);
+        for q in 0..39 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..40 {
+            c.measure(q, q);
+        }
+        let counts = exec.run(&c, 2000, &RunConfig::noiseless().with_seed(5));
+        assert_eq!(counts.total(), 2000);
+        let p = counts.to_pmf();
+        assert!((p.prob(&BitString::zeros(40)) - 0.5).abs() < 0.05);
+        assert!((p.prob(&BitString::ones(40)) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense state-vector backend caps at")]
+    fn wide_non_clifford_circuit_reports_the_backend_cap() {
+        let device = Device::manhattan();
+        let exec = Executor::new(&device);
+        let mut c = Circuit::new(65);
+        for q in 0..30 {
+            c.rz(q, 0.4);
+        }
+        c.measure(0, 0);
+        let _ = exec.run(&c, 10, &RunConfig::default());
     }
 
     #[test]

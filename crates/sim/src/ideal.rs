@@ -5,7 +5,10 @@ use jigsaw_circuit::bench::{Benchmark, CorrectSet};
 use jigsaw_circuit::Circuit;
 use jigsaw_pmf::{BitString, Pmf};
 
-use crate::statevector::StateVector;
+use crate::backend::{
+    select_backend, BackendChoice, BackendKind, DenseBackend, SimBackend, StabilizerBackend,
+};
+use crate::statevector::{StateVector, MAX_SIM_QUBITS};
 
 /// Probabilities below this threshold are dropped from ideal PMFs (they are
 /// unreachable at any realistic trial count and would bloat the sparse
@@ -29,49 +32,66 @@ pub fn ideal_state(circuit: &Circuit) -> StateVector {
 /// If the circuit declares measurements, the PMF is over its classical bits
 /// (marginalising unmeasured qubits) and the circuit may be device-wide —
 /// only actively-used qubits are simulated. Otherwise the PMF is over all
-/// qubits and the width must fit the simulator cap.
+/// qubits.
+///
+/// Circuits within [`MAX_SIM_QUBITS`] use the dense simulator; wider
+/// Clifford circuits fall back to the stabilizer backend's exact support
+/// enumeration, so the GHZ-40-class references of the scalability suite
+/// stay computable.
 ///
 /// # Panics
 ///
-/// Panics if the circuit's *active* width exceeds the simulator cap.
+/// Panics if the circuit's *active* width exceeds the dense cap and the
+/// circuit is not Clifford (or its stabilizer support is too large to
+/// enumerate — see [`crate::MAX_ENUM_RANK`]).
 #[must_use]
 pub fn ideal_pmf(circuit: &Circuit) -> Pmf {
     if circuit.measurements().is_empty() {
-        let sv = ideal_state(circuit);
         let n = circuit.n_qubits();
         let mut pmf = Pmf::new(n);
-        for (idx, p) in sv.probabilities().into_iter().enumerate() {
-            if p > PROB_CUTOFF {
-                pmf.add(BitString::from_u64(idx as u64, n), p);
-            }
+        for (outcome, p) in basis_support(circuit) {
+            pmf.add(outcome, p);
         }
         pmf.normalize();
         return pmf;
     }
 
     let (compact, _) = crate::executor::compact_circuit(circuit);
-    let sv = ideal_state_gates_only(&compact);
     let n_clbits = compact.n_clbits();
     let mut pmf = Pmf::new(n_clbits);
-    for (idx, p) in sv.probabilities().into_iter().enumerate() {
-        if p > PROB_CUTOFF {
-            let mut out = BitString::zeros(n_clbits);
-            for m in compact.measurements() {
-                if (idx >> m.qubit) & 1 == 1 {
-                    out.set_bit(m.clbit, true);
-                }
+    for (outcome, p) in basis_support(&compact) {
+        let mut out = BitString::zeros(n_clbits);
+        for m in compact.measurements() {
+            if outcome.bit(m.qubit) {
+                out.set_bit(m.clbit, true);
             }
-            pmf.add(out, p);
         }
+        pmf.add(out, p);
     }
     pmf.normalize();
     pmf
 }
 
-fn ideal_state_gates_only(circuit: &Circuit) -> StateVector {
-    let mut sv = StateVector::new(circuit.n_qubits());
-    sv.apply_all(circuit.gates());
-    sv
+/// Exact basis-outcome support of a circuit's final state, via the dense
+/// simulator when the width fits and the stabilizer backend otherwise.
+/// Entries at or below [`PROB_CUTOFF`] are already filtered out.
+fn basis_support(circuit: &Circuit) -> Vec<(BitString, f64)> {
+    if circuit.n_qubits() <= MAX_SIM_QUBITS {
+        return support_on::<DenseBackend>(circuit);
+    }
+    // Beyond the dense cap only the stabilizer backend can help; this
+    // reports the backend-specific error if the circuit is not Clifford.
+    let kind = select_backend(circuit, BackendChoice::Auto);
+    debug_assert_eq!(kind, BackendKind::Stabilizer);
+    support_on::<StabilizerBackend>(circuit)
+}
+
+fn support_on<B: SimBackend>(circuit: &Circuit) -> Vec<(BitString, f64)> {
+    let mut backend = B::new(circuit.n_qubits());
+    for g in circuit.gates() {
+        backend.apply_gate(g);
+    }
+    backend.basis_support(PROB_CUTOFF)
 }
 
 /// Resolves a benchmark's correct-answer set.
@@ -140,6 +160,37 @@ mod tests {
         assert_eq!(pmf.n_bits(), 2);
         assert!((pmf.prob(&"00".parse().unwrap()) - 0.5).abs() < 1e-10);
         assert!((pmf.prob(&"11".parse().unwrap()) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_clifford_ideal_pmf_uses_the_stabilizer_path() {
+        // GHZ-40 is far beyond the dense cap; the ideal PMF must still be
+        // the exact two-outcome cat distribution.
+        let b = bench::ghz(40);
+        let mut c = b.circuit().clone();
+        c.measure_all();
+        let pmf = ideal_pmf(&c);
+        assert_eq!(pmf.support_size(), 2);
+        assert!((pmf.prob(&BitString::zeros(40)) - 0.5).abs() < 1e-12);
+        assert!((pmf.prob(&BitString::ones(40)) - 0.5).abs() < 1e-12);
+
+        // Subset measurement marginalises correctly through the coset.
+        let mut sub = b.circuit().clone();
+        sub.measure_subset(&[0, 39]);
+        let sub_pmf = ideal_pmf(&sub);
+        assert_eq!(sub_pmf.n_bits(), 2);
+        assert!((sub_pmf.prob(&"00".parse().unwrap()) - 0.5).abs() < 1e-12);
+        assert!((sub_pmf.prob(&"11".parse().unwrap()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_clifford_correct_set_resolves() {
+        let b = bench::graycode(50);
+        let answers = resolve_correct_set(&b);
+        assert_eq!(answers.len(), 1);
+        let mut c = b.circuit().clone();
+        c.measure_all();
+        assert!((ideal_pmf(&c).prob(&answers[0]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! Noisy quantum-circuit simulation — the hardware stand-in for the JigSaw
 //! (MICRO 2021) reproduction.
 //!
-//! * [`StateVector`] — dense state-vector simulation with the full gate set.
+//! * [`backend`] — the pluggable [`SimBackend`] layer: the dense
+//!   [`StateVector`] (full gate set, ≤ [`MAX_SIM_QUBITS`] qubits) and the
+//!   [`StabilizerTableau`] Clifford fast path (≤ [`MAX_STABILIZER_QUBITS`]
+//!   qubits), selected automatically per circuit.
 //! * [`NoiseModel`] — calibration-driven stochastic-Pauli gate noise and
-//!   depth-scaled idle decoherence, sampled per trajectory.
+//!   depth-scaled idle decoherence, sampled per trajectory; all channels
+//!   flow through the backend trait, so both paths see identical noise.
 //! * [`Executor`] — runs a compiled circuit for many trials against a
 //!   [`jigsaw_device::Device`], applying the asymmetric, crosstalk-inflated
 //!   readout-error channel that JigSaw's measurement subsetting targets.
-//! * [`ideal_pmf`] / [`resolve_correct_set`] — exact noiseless references.
+//! * [`ideal_pmf`] / [`resolve_correct_set`] — exact noiseless references
+//!   (stabilizer-backed for wide Clifford circuits).
 //!
 //! # Examples
 //!
@@ -27,16 +32,22 @@
 //! assert!(pst > 0.3 && pst <= 1.0);
 //! ```
 
+pub mod backend;
 mod complex;
 mod executor;
 mod ideal;
 mod noise;
 pub mod parallel;
 pub mod seed;
+mod stabilizer;
 mod statevector;
 
+pub use backend::{
+    select_backend, BackendChoice, BackendKind, DenseBackend, SimBackend, StabilizerBackend,
+};
 pub use complex::{c, Complex};
 pub use executor::{Executor, RunConfig};
 pub use ideal::{ideal_pmf, ideal_state, resolve_correct_set};
 pub use noise::{NoiseEvent, NoiseModel, NoisePlan, Pauli};
+pub use stabilizer::{OutcomeCoset, StabilizerTableau, MAX_ENUM_RANK, MAX_STABILIZER_QUBITS};
 pub use statevector::{matrix_1q, StateVector, MAX_SIM_QUBITS};

@@ -54,6 +54,13 @@ impl StateVector {
         self.n_qubits
     }
 
+    /// Returns the state to `|0…0⟩` without reallocating — the buffer-reuse
+    /// entry point for pooled trajectory execution.
+    pub fn reset(&mut self) {
+        self.amps.fill(Complex::ZERO);
+        self.amps[0] = Complex::ONE;
+    }
+
     /// Amplitude of a basis state.
     ///
     /// # Panics
@@ -165,14 +172,22 @@ impl StateVector {
     /// Precomputes the cumulative distribution for repeated sampling.
     #[must_use]
     pub fn cumulative(&self) -> Vec<f64> {
+        let mut cdf = Vec::new();
+        self.cumulative_into(&mut cdf);
+        cdf
+    }
+
+    /// Writes the cumulative distribution into `out`, reusing its capacity
+    /// (the executor's pooled dense backend rebuilds the CDF per
+    /// trajectory).
+    pub fn cumulative_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.amps.len());
         let mut acc = 0.0;
-        self.amps
-            .iter()
-            .map(|a| {
-                acc += a.norm_sqr();
-                acc
-            })
-            .collect()
+        out.extend(self.amps.iter().map(|a| {
+            acc += a.norm_sqr();
+            acc
+        }));
     }
 
     /// Draws one outcome given a precomputed [`StateVector::cumulative`].

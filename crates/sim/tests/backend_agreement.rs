@@ -1,0 +1,159 @@
+//! Property tests pinning the backend-agreement contract: on random
+//! Clifford circuits (up to 12 qubits, so the dense backend can still act
+//! as the oracle) the stabilizer tableau must reproduce the dense
+//! backend's ideal probabilities exactly and its seeded noisy histograms
+//! bit-for-bit — plus determinism tests for the sorted-draw sampler.
+
+use jigsaw_circuit::{Circuit, Gate};
+use jigsaw_device::Device;
+use jigsaw_pmf::BitString;
+use jigsaw_sim::{BackendChoice, DenseBackend, Executor, RunConfig, SimBackend, StabilizerBackend};
+use proptest::prelude::*;
+
+/// A 12-qubit simple path through the Falcon-27 lattice (every consecutive
+/// pair is a calibrated coupler), for mapping random circuits onto real
+/// hardware couplings.
+const FALCON_PATH: [usize; 12] = [0, 1, 2, 3, 5, 8, 11, 14, 16, 19, 22, 25];
+
+/// Strategy: a random Clifford circuit over `n` qubits whose two-qubit
+/// gates act on line-adjacent pairs (so the physical embedding below stays
+/// coupler-conformant). Rotation angles are multiples of `π/2` with a tiny
+/// jitter, exercising the tolerance-based classification.
+fn clifford_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0u8..13, 0..n, -4i32..=4), 1..=max_gates).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (kind, a, k) in ops {
+            let angle = f64::from(k) * std::f64::consts::FRAC_PI_2 + 1e-12;
+            let b = if a + 1 < n { a + 1 } else { a - 1 };
+            match kind {
+                0 => c.h(a),
+                1 => c.x(a),
+                2 => c.y(a),
+                3 => c.z(a),
+                4 => c.push(Gate::S(a)),
+                5 => c.push(Gate::Sdg(a)),
+                6 => c.push(Gate::Sx(a)),
+                7 => c.rz(a, angle),
+                8 => c.rx(a, angle),
+                9 => c.ry(a, angle),
+                10 => c.cx(a, b),
+                11 => c.cz(a, b),
+                _ => c.swap(a, b),
+            };
+        }
+        c
+    })
+}
+
+/// Embeds a logical line circuit onto the Falcon path and measures every
+/// program qubit.
+fn on_device(c: &Circuit) -> Circuit {
+    let mut mapped = c.remapped(&FALCON_PATH[..c.n_qubits()], 27);
+    for (i, &q) in FALCON_PATH[..c.n_qubits()].iter().enumerate() {
+        mapped.measure(q, i);
+    }
+    mapped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ideal_probabilities_agree(c in clifford_strategy(12, 40)) {
+        let n = c.n_qubits();
+        let mut dense = DenseBackend::new(n);
+        let mut stab = StabilizerBackend::new(n);
+        for g in c.gates() {
+            dense.apply_gate(g);
+            stab.apply_gate(g);
+        }
+        let coset = stab.basis_support(0.0);
+        let mut covered = 0.0;
+        for (outcome, p) in &coset {
+            let mut idx = 0usize;
+            for i in 0..n {
+                if outcome.bit(i) {
+                    idx |= 1 << i;
+                }
+            }
+            let dense_p = dense
+                .basis_support(-1.0)
+                .get(idx)
+                .map_or(0.0, |(_, p)| *p);
+            prop_assert!(
+                (dense_p - p).abs() < 1e-6,
+                "outcome {outcome}: dense {dense_p} vs stabilizer {p}"
+            );
+            covered += p;
+        }
+        prop_assert!((covered - 1.0).abs() < 1e-9, "coset covers {covered}");
+    }
+
+    #[test]
+    fn seeded_noisy_histograms_are_bit_identical(
+        c in clifford_strategy(8, 30),
+        seed in 0u64..1000,
+    ) {
+        let device = Device::toronto();
+        let exec = Executor::new(&device);
+        let circuit = on_device(&c);
+        let cfg = RunConfig::default().with_seed(seed).with_threads(1);
+        let dense = exec.run(&circuit, 400, &cfg.with_backend(BackendChoice::Dense));
+        let stab = exec.run(&circuit, 400, &cfg.with_backend(BackendChoice::Stabilizer));
+        prop_assert_eq!(dense, stab);
+    }
+}
+
+#[test]
+fn sorted_draw_sampler_is_seed_and_thread_deterministic() {
+    // The batched sorted-sweep sampler must be a pure function of the seed:
+    // identical across reruns and worker-team sizes, different across seeds.
+    let device = Device::toronto();
+    let exec = Executor::new(&device);
+    let mut ghz = Circuit::new(27);
+    ghz.h(FALCON_PATH[0]);
+    for w in FALCON_PATH.windows(2) {
+        ghz.cx(w[0], w[1]);
+    }
+    for (i, &q) in FALCON_PATH.iter().enumerate() {
+        ghz.measure(q, i);
+    }
+    for backend in [BackendChoice::Dense, BackendChoice::Stabilizer] {
+        let cfg = RunConfig::default().with_seed(11).with_backend(backend);
+        let reference = exec.run(&ghz, 3000, &cfg.with_threads(1));
+        assert_eq!(reference.total(), 3000);
+        for threads in [0, 2, 3] {
+            assert_eq!(
+                reference,
+                exec.run(&ghz, 3000, &cfg.with_threads(threads)),
+                "{backend:?} diverged at {threads} threads"
+            );
+        }
+        assert_eq!(reference, exec.run(&ghz, 3000, &cfg.with_threads(1)), "rerun diverged");
+        assert_ne!(
+            reference,
+            exec.run(&ghz, 3000, &cfg.with_seed(12)),
+            "{backend:?} ignored the seed"
+        );
+    }
+}
+
+#[test]
+fn stabilizer_sampling_matches_ideal_marginals_far_beyond_the_dense_cap() {
+    // A noiseless 60-qubit GHZ sampled through the executor: every outcome
+    // must be one of the two cat states.
+    let device = Device::manhattan();
+    let exec = Executor::new(&device);
+    let mut c = Circuit::new(65);
+    c.h(0);
+    for q in 0..59 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..60 {
+        c.measure(q, q);
+    }
+    let counts = exec.run(&c, 1000, &RunConfig::noiseless().with_seed(3));
+    let pmf = counts.to_pmf();
+    let mass = pmf.prob(&BitString::zeros(60)) + pmf.prob(&BitString::ones(60));
+    assert!((mass - 1.0).abs() < 1e-12, "cat mass {mass}");
+}

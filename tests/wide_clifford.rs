@@ -1,0 +1,96 @@
+//! End-to-end acceptance for the stabilizer backend layer: a >24-qubit
+//! Clifford program runs through the full JigSaw pipeline (global mode,
+//! CPM subset mode with recompilation, Bayesian reconstruction), and the
+//! pipeline's output is bit-identical across backends where both exist.
+
+use jigsaw_compiler::CompilerOptions;
+use jigsaw_core::{run_jigsaw, JigsawConfig};
+use jigsaw_device::Device;
+use jigsaw_pmf::BitString;
+use jigsaw_sim::{BackendChoice, BackendKind};
+
+fn quick(trials: u64) -> JigsawConfig {
+    JigsawConfig {
+        compiler: CompilerOptions { max_seeds: 2, ..CompilerOptions::default() },
+        ..JigsawConfig::jigsaw(trials)
+    }
+}
+
+#[test]
+fn ghz40_runs_end_to_end_with_cpm_subsetting() {
+    // GHZ-40 needs 2^40 dense amplitudes (16 TiB) — only the stabilizer
+    // path can run it. The whole pipeline must work: noise-aware global
+    // compilation, 40 recompiled size-2 CPMs, hierarchical reconstruction.
+    let device = Device::manhattan();
+    let program = jigsaw_circuit::bench::ghz(40);
+    let result = run_jigsaw(program.circuit(), &device, &quick(4096).with_seed(7));
+
+    assert_eq!(result.backend, BackendKind::Stabilizer);
+    assert_eq!(result.output.n_bits(), 40);
+    assert_eq!(result.marginals.len(), 40, "sliding window: one CPM per qubit");
+    assert!((result.output.total_mass() - 1.0).abs() < 1e-9);
+    assert!(result.trials_used >= 4096 - 40 && result.trials_used <= 4096 + 40);
+
+    // The CPM marginals are the high-fidelity product: each 2-qubit subset
+    // of a GHZ state is (anti-)correlated, so the correlated outcomes must
+    // dominate every marginal even under Manhattan's noise.
+    let correlated: [BitString; 2] = ["00".parse().unwrap(), "11".parse().unwrap()];
+    let dominated = result
+        .marginals
+        .iter()
+        .filter(|m| correlated.contains(&m.pmf.mode().expect("non-empty marginal")))
+        .count();
+    assert!(dominated >= 36, "only {dominated}/40 GHZ marginals are correlation-dominated");
+
+    // Seed-determinism holds at width 40 too.
+    let again = run_jigsaw(program.circuit(), &device, &quick(4096).with_seed(7));
+    assert_eq!(result.output, again.output);
+}
+
+#[test]
+fn full_pipeline_outputs_are_backend_identical_for_clifford_programs() {
+    // Forcing the dense backend must reproduce the stabilizer run exactly:
+    // compilation is backend-independent and every executor histogram is
+    // bit-identical under shared draws.
+    let device = Device::toronto();
+    let program = jigsaw_circuit::bench::ghz(10);
+    let base = quick(2000).with_seed(5);
+
+    let mut dense_cfg = base.clone();
+    dense_cfg.run = dense_cfg.run.with_backend(BackendChoice::Dense);
+    let mut stab_cfg = base;
+    stab_cfg.run = stab_cfg.run.with_backend(BackendChoice::Stabilizer);
+
+    let dense = run_jigsaw(program.circuit(), &device, &dense_cfg);
+    let stab = run_jigsaw(program.circuit(), &device, &stab_cfg);
+    assert_eq!(dense.output, stab.output);
+    assert_eq!(dense.global, stab.global);
+    for (a, b) in dense.marginals.iter().zip(&stab.marginals) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn bv40_reconstruction_recovers_secret_bits_in_marginals() {
+    // BV-40's ideal output is a single deterministic string; subset-mode
+    // marginals should each concentrate on the secret's projection.
+    let device = Device::manhattan();
+    let suite = jigsaw_circuit::bench::clifford_suite();
+    let bv = &suite[1];
+    assert_eq!(bv.name(), "BV-40");
+    let correct = jigsaw_sim::resolve_correct_set(bv);
+    let result = run_jigsaw(bv.circuit(), &device, &quick(4096).with_seed(3));
+    assert_eq!(result.backend, BackendKind::Stabilizer);
+
+    let answer = correct[0];
+    let agreeing = result
+        .marginals
+        .iter()
+        .filter(|m| m.pmf.mode().expect("non-empty marginal") == answer.project(&m.qubits))
+        .count();
+    assert!(
+        agreeing * 2 >= result.marginals.len(),
+        "only {agreeing}/{} BV marginals agree with the secret",
+        result.marginals.len()
+    );
+}
