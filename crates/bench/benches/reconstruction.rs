@@ -1,50 +1,23 @@
 //! Criterion bench: Bayesian reconstruction scales linearly in global-PMF
-//! entries and in CPM count (the Table 7 / §7.3 performance claim).
+//! entries and in CPM count (the Table 7 / §7.3 performance claim), and the
+//! sharded passes scale with the worker team on large supports.
+//!
+//! `reconstruction_support_scaling` sweeps synthetic supports from 10⁴ to
+//! 10⁶ observed outcomes (the wide-Clifford regime) — mean times should
+//! grow ~10× per step. `reconstruction_thread_scaling` holds a 10⁶-entry
+//! support fixed and sweeps the worker count; output is bit-identical at
+//! every setting, so the sweep measures pure wall-clock scaling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jigsaw_core::{reconstruction_round, Marginal};
-use jigsaw_pmf::{BitString, Pmf};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn synthetic_global(n_bits: usize, entries: usize, rng: &mut StdRng) -> Pmf {
-    let mut p = Pmf::new(n_bits);
-    while p.support_size() < entries {
-        let mut b = BitString::zeros(n_bits);
-        for i in 0..n_bits {
-            if rng.gen::<bool>() {
-                b.set_bit(i, true);
-            }
-        }
-        p.add(b, rng.gen::<f64>() + 1e-3);
-    }
-    p.normalize();
-    p
-}
-
-fn synthetic_marginals(n_bits: usize, count: usize, rng: &mut StdRng) -> Vec<Marginal> {
-    (0..count)
-        .map(|i| {
-            let a = i % n_bits;
-            let b = (i + 1) % n_bits;
-            let qubits = vec![a.min(b), a.max(b)];
-            let mut pmf = Pmf::new(2);
-            for v in 0..4u64 {
-                pmf.set(BitString::from_u64(v, 2), rng.gen::<f64>() + 1e-3);
-            }
-            pmf.normalize();
-            Marginal::new(qubits, pmf)
-        })
-        .collect()
-}
+use jigsaw_bench::synthetic;
+use jigsaw_core::{reconstruction_round, reconstruction_round_over_entries};
 
 fn bench_entries(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
     let mut group = c.benchmark_group("reconstruction_vs_entries");
     group.sample_size(10);
+    let ms = synthetic::marginals(30, 20, 2, 100);
     for entries in [1_000usize, 4_000, 16_000] {
-        let p = synthetic_global(30, entries, &mut rng);
-        let ms = synthetic_marginals(30, 20, &mut rng);
+        let p = synthetic::global_pmf(30, entries, 1);
         group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
             b.iter(|| reconstruction_round(&p, &ms));
         });
@@ -53,12 +26,11 @@ fn bench_entries(c: &mut Criterion) {
 }
 
 fn bench_cpms(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
-    let p = synthetic_global(30, 4_000, &mut rng);
+    let p = synthetic::global_pmf(30, 4_000, 2);
     let mut group = c.benchmark_group("reconstruction_vs_cpms");
     group.sample_size(10);
     for cpms in [5usize, 20, 80] {
-        let ms = synthetic_marginals(30, cpms, &mut rng);
+        let ms = synthetic::marginals(30, cpms, 2, 200 + cpms as u64);
         group.bench_with_input(BenchmarkId::from_parameter(cpms), &cpms, |b, _| {
             b.iter(|| reconstruction_round(&p, &ms));
         });
@@ -66,5 +38,31 @@ fn bench_cpms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_entries, bench_cpms);
+fn bench_support_scaling(c: &mut Criterion) {
+    let ms = synthetic::marginals(40, 8, 2, 300);
+    let mut group = c.benchmark_group("reconstruction_support_scaling");
+    group.sample_size(10);
+    for entries in [10_000usize, 100_000, 1_000_000] {
+        let support = synthetic::global_pmf(40, entries, 3).sorted_entries();
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| reconstruction_round_over_entries(&support, &ms, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let support = synthetic::global_pmf(40, 1_000_000, 4).sorted_entries();
+    let ms = synthetic::marginals(40, 8, 2, 400);
+    let mut group = c.benchmark_group("reconstruction_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| reconstruction_round_over_entries(&support, &ms, threads));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entries, bench_cpms, bench_support_scaling, bench_thread_scaling);
 criterion_main!(benches);

@@ -8,51 +8,9 @@
 
 use std::time::Instant;
 
-use jigsaw_bench::table;
+use jigsaw_bench::{synthetic, table};
+use jigsaw_core::reconstruction_round;
 use jigsaw_core::scalability::ScalabilityInput;
-use jigsaw_core::{reconstruction_round, Marginal};
-use jigsaw_pmf::{BitString, Pmf};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn synthetic_global(n_bits: usize, entries: usize, rng: &mut StdRng) -> Pmf {
-    let mut p = Pmf::new(n_bits);
-    while p.support_size() < entries {
-        let mut b = BitString::zeros(n_bits);
-        for i in 0..n_bits {
-            if rng.gen::<bool>() {
-                b.set_bit(i, true);
-            }
-        }
-        p.add(b, rng.gen::<f64>() + 1e-3);
-    }
-    p.normalize();
-    p
-}
-
-fn synthetic_marginals(
-    n_bits: usize,
-    count: usize,
-    size: usize,
-    rng: &mut StdRng,
-) -> Vec<Marginal> {
-    (0..count)
-        .map(|_| {
-            let mut qubits: Vec<usize> = (0..n_bits).collect();
-            for i in (1..qubits.len()).rev() {
-                qubits.swap(i, rng.gen_range(0..=i));
-            }
-            qubits.truncate(size);
-            qubits.sort_unstable();
-            let mut pmf = Pmf::new(size);
-            for v in 0..(1u64 << size) {
-                pmf.set(BitString::from_u64(v, size), rng.gen::<f64>() + 1e-3);
-            }
-            pmf.normalize();
-            Marginal::new(qubits, pmf)
-        })
-        .collect()
-}
 
 fn main() {
     println!("Table 7 — Analytical scalability of JigSaw and JigSaw-M");
@@ -96,19 +54,18 @@ fn main() {
     // entry count and CPM count on synthetic PMFs.
     println!("Measured reconstruction-round time (synthetic 40-qubit PMFs):");
     println!();
-    let mut rng = StdRng::seed_from_u64(7);
     let mut timing_rows = Vec::new();
     for entries in [1000usize, 2000, 4000, 8000] {
-        let p = synthetic_global(40, entries, &mut rng);
-        let ms = synthetic_marginals(40, 20, 2, &mut rng);
+        let p = synthetic::global_pmf(40, entries, 7);
+        let ms = synthetic::marginals(40, 20, 2, 7 + entries as u64);
         let t0 = Instant::now();
         let _ = reconstruction_round(&p, &ms);
         let dt = t0.elapsed().as_secs_f64() * 1e3;
         timing_rows.push(vec![entries.to_string(), "20".into(), format!("{dt:.2} ms")]);
     }
     for cpms in [10usize, 40] {
-        let p = synthetic_global(40, 4000, &mut rng);
-        let ms = synthetic_marginals(40, cpms, 2, &mut rng);
+        let p = synthetic::global_pmf(40, 4000, 8);
+        let ms = synthetic::marginals(40, cpms, 2, 8 + cpms as u64);
         let t0 = Instant::now();
         let _ = reconstruction_round(&p, &ms);
         let dt = t0.elapsed().as_secs_f64() * 1e3;

@@ -16,4 +16,5 @@
 
 pub mod cli;
 pub mod harness;
+pub mod synthetic;
 pub mod table;

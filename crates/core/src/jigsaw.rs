@@ -224,12 +224,16 @@ pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> 
     let marginals: Vec<Marginal> = jigsaw_sim::parallel::fan_out(work, config.run.threads, run_cpm);
 
     // --- Reconstruction (hierarchical, largest size first) ----------------
+    // The sharded reconstruction passes run on the same worker-team setting
+    // as the rest of the pipeline: RunConfig::threads overrides whatever the
+    // reconstruction config carries, so one knob governs every stage.
+    let reconstruction = config.reconstruction.with_threads(config.run.threads);
     let mut current = global_pmf.clone();
     let mut rounds = 0;
     for (size, _) in &subset_lists {
         let layer: Vec<Marginal> =
             marginals.iter().filter(|m| m.size() == *size).cloned().collect();
-        let r = reconstruct(&current, &layer, &config.reconstruction);
+        let r = reconstruct(&current, &layer, &reconstruction);
         current = r.pmf;
         rounds += r.rounds;
     }

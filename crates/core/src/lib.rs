@@ -54,7 +54,8 @@ pub mod subsets;
 pub mod trials;
 
 pub use bayes::{
-    bayesian_update, reconstruct, reconstruction_round, Marginal, Reconstruction,
+    bayesian_update, bayesian_update_with_threads, reconstruct, reconstruction_round,
+    reconstruction_round_over_entries, reconstruction_round_with_threads, Marginal, Reconstruction,
     ReconstructionConfig,
 };
 pub use evaluate::Scores;

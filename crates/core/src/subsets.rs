@@ -6,6 +6,7 @@
 //! and coverage-constrained selections support the Fig. 9 sensitivity
 //! studies.
 
+use jigsaw_pmf::hashing::DetHashSet;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -51,10 +52,11 @@ pub fn generate(n: usize, size: usize, selection: SubsetSelection, seed: u64) ->
 #[must_use]
 pub fn sliding_window(n: usize, size: usize) -> Vec<Vec<usize>> {
     let mut out: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut seen: DetHashSet<Vec<usize>> = DetHashSet::default();
     for start in 0..n {
         let mut w: Vec<usize> = (0..size).map(|k| (start + k) % n).collect();
         w.sort_unstable();
-        if !out.contains(&w) {
+        if seen.insert(w.clone()) {
             out.push(w);
         }
     }
@@ -66,6 +68,9 @@ pub fn sliding_window(n: usize, size: usize) -> Vec<Vec<usize>> {
 /// # Panics
 ///
 /// Panics if `count` exceeds the number of distinct subsets `C(n, size)`.
+/// When `C(n, size)` saturates ([`binomial`] caps at `u128::MAX`) the true
+/// count cannot be exceeded by any `usize` request, so the check passes —
+/// as it should.
 #[must_use]
 pub fn random_distinct(n: usize, size: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
     let total = binomial(n, size);
@@ -75,10 +80,11 @@ pub fn random_distinct(n: usize, size: usize, count: usize, seed: u64) -> Vec<Ve
     );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out: Vec<Vec<usize>> = Vec::with_capacity(count);
+    let mut seen: DetHashSet<Vec<usize>> = DetHashSet::default();
     while out.len() < count {
         let mut s = sample_subset(n, size, &mut rng);
         s.sort_unstable();
-        if !out.contains(&s) {
+        if seen.insert(s.clone()) {
             out.push(s);
         }
     }
@@ -86,25 +92,31 @@ pub fn random_distinct(n: usize, size: usize, count: usize, seed: u64) -> Vec<Ve
 }
 
 /// `n` random subsets such that every qubit appears in at least one.
+///
+/// Coverage is guaranteed **constructively**: the qubits are dealt into the
+/// `n` subsets through a random permutation (subset `j` is anchored on the
+/// `j`-th dealt qubit) and each subset is then filled with `size − 1`
+/// further random qubits. Rejection sampling would be hopeless here — for
+/// `size = 1` the chance that `n` independent draws cover all `n` qubits is
+/// `n!/nⁿ` (≈ 2·10⁻⁸ at `n = 20`), so a resample loop effectively never
+/// terminates — whereas the anchor construction needs exactly one pass and
+/// stays a pure function of the seed.
 #[must_use]
 pub fn random_covering(n: usize, size: usize, seed: u64) -> Vec<Vec<usize>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    loop {
-        let mut subsets: Vec<Vec<usize>> = Vec::with_capacity(n);
-        let mut covered = vec![false; n];
-        for _ in 0..n {
-            let mut s = sample_subset(n, size, &mut rng);
-            s.sort_unstable();
-            for &q in &s {
-                covered[q] = true;
-            }
-            subsets.push(s);
-        }
-        if covered.iter().all(|&c| c) {
-            return subsets;
-        }
-        // Extremely unlikely to loop for size ≥ 2; resample for safety.
-    }
+    let mut anchors: Vec<usize> = (0..n).collect();
+    anchors.shuffle(&mut rng);
+    anchors
+        .into_iter()
+        .map(|anchor| {
+            let mut rest: Vec<usize> = (0..n).filter(|&q| q != anchor).collect();
+            rest.shuffle(&mut rng);
+            rest.truncate(size - 1);
+            rest.push(anchor);
+            rest.sort_unstable();
+            rest
+        })
+        .collect()
 }
 
 fn sample_subset<R: Rng>(n: usize, size: usize, rng: &mut R) -> Vec<usize> {
@@ -114,8 +126,15 @@ fn sample_subset<R: Rng>(n: usize, size: usize, rng: &mut R) -> Vec<usize> {
     all
 }
 
-/// Binomial coefficient `C(n, k)` as `u128` (saturating enough for subset
-/// counting on ≤256-qubit programs).
+/// Binomial coefficient `C(n, k)` as `u128`, **saturating** at `u128::MAX`.
+///
+/// Wide programs overflow any fixed-width integer — `C(256, 128) ≈ 5.8·10⁷⁵`
+/// dwarfs `u128::MAX ≈ 3.4·10³⁸` — so each step reduces the running product
+/// by `gcd(n − i, i + 1)` (making every intermediate exactly the partial
+/// binomial `C(n, i + 1)`) and uses a checked multiply: the result pins to
+/// `u128::MAX` precisely when the true count no longer fits. Saturation
+/// only ever *under*-reports how many subsets exist, so callers comparing a
+/// requested subset count against this value stay conservative.
 #[must_use]
 pub fn binomial(n: usize, k: usize) -> u128 {
     if k > n {
@@ -124,9 +143,24 @@ pub fn binomial(n: usize, k: usize) -> u128 {
     let k = k.min(n - k);
     let mut num: u128 = 1;
     for i in 0..k {
-        num = num * (n - i) as u128 / (i + 1) as u128;
+        // num = C(n, i); the gcd-reduced step keeps the arithmetic exact:
+        // b | C(n, i) because C(n, i+1) is an integer and gcd(a, b) = 1.
+        let g = gcd(n - i, i + 1);
+        let a = ((n - i) / g) as u128;
+        let b = ((i + 1) / g) as u128;
+        match (num / b).checked_mul(a) {
+            Some(next) => num = next,
+            None => return u128::MAX,
+        }
     }
     num
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 #[cfg(test)]
@@ -196,6 +230,35 @@ mod tests {
     }
 
     #[test]
+    fn random_covering_terminates_for_singleton_subsets() {
+        // Regression: rejection sampling had success probability n!/nⁿ for
+        // size 1 (≈ 5·10⁻¹⁰ at n = 24) and effectively never returned; the
+        // constructive variant covers in one pass.
+        for seed in 0..3 {
+            let subsets = random_covering(24, 1, seed);
+            assert_eq!(subsets.len(), 24);
+            for q in 0..24 {
+                assert!(subsets.iter().any(|s| s == &vec![q]), "qubit {q} uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn random_covering_is_seed_deterministic_with_correct_sizes() {
+        let a = random_covering(15, 3, 9);
+        let b = random_covering(15, 3, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| s.len() == 3));
+        // Subsets hold distinct, in-range, sorted qubits.
+        for s in &a {
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&q| q < 15));
+        }
+        let c = random_covering(15, 3, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn generation_is_seed_deterministic() {
         let a = generate(10, 3, SubsetSelection::Random { count: 5 }, 11);
         let b = generate(10, 3, SubsetSelection::Random { count: 5 }, 11);
@@ -211,6 +274,26 @@ mod tests {
         assert_eq!(binomial(10, 10), 1);
         assert_eq!(binomial(5, 7), 0);
         assert_eq!(binomial(50, 25), 126_410_606_437_752);
+    }
+
+    #[test]
+    fn binomial_saturates_instead_of_overflowing() {
+        // C(128, 64) ≈ 2.4·10³⁷ still fits in a u128...
+        assert_eq!(binomial(128, 64), 23_951_146_041_928_082_866_135_587_776_380_551_750);
+        // ...but C(256, 128) ≈ 5.8·10⁷⁵ does not: the old wrapping multiply
+        // produced an arbitrary (and debug-build panicking) value; now the
+        // count pins to u128::MAX.
+        assert_eq!(binomial(256, 128), u128::MAX);
+        assert_eq!(binomial(250, 125), u128::MAX);
+    }
+
+    #[test]
+    fn oversubscription_check_stays_meaningful_at_saturation() {
+        // At saturation the true subset count exceeds any usize request, so
+        // random_distinct must accept rather than spuriously panic.
+        let subsets = random_distinct(200, 100, 3, 1);
+        assert_eq!(subsets.len(), 3);
+        assert!(subsets.iter().all(|s| s.len() == 100));
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod bitstring;
 mod counts;
 pub mod hashing;
 pub mod metrics;
+pub mod parallel;
 #[allow(clippy::module_inception)]
 mod pmf;
 

@@ -37,7 +37,8 @@ pub fn fidelity(ideal: &Pmf, measured: &Pmf) -> f64 {
 /// Hellinger distance `√(1 − Σ√(P(x)·Q(x)))`, in `[0, 1]`.
 ///
 /// The Bayesian Reconstruction loop terminates when the Hellinger distance
-/// between successive output PMFs stops changing (§4.3).
+/// between successive output PMFs falls below the configured tolerance
+/// (§4.3).
 ///
 /// # Panics
 ///

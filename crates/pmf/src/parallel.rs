@@ -1,0 +1,97 @@
+//! Deterministic parallel iteration primitives shared by the whole
+//! workspace.
+//!
+//! Two rules make every parallel path in this repository bit-identical to
+//! its serial counterpart:
+//!
+//! 1. **Work is split the same way at every thread count.** Sharded
+//!    operations cut their input into fixed-size chunks of [`SHARD_SIZE`]
+//!    entries — never into "one chunk per worker" — so the floating-point
+//!    accumulation tree does not depend on how many workers happen to be
+//!    available.
+//! 2. **Results merge in input order.** [`fan_out`] returns results in the
+//!    order the work items were submitted, regardless of which worker
+//!    finished first.
+//!
+//! [`fan_out`] is the single fan-out engine: the executor's trajectory
+//! batches, `jigsaw_core`'s CPM subset mode and the sharded Bayesian
+//! reconstruction all go through it (the first two via the
+//! `jigsaw_sim::parallel` re-export).
+
+/// Number of entries per shard for sharded PMF operations.
+///
+/// The value is a constant of the algorithm, **not** a tuning knob tied to
+/// the worker count: partial results are produced per shard and merged in
+/// shard order, so keeping the shard layout fixed is what makes the output
+/// independent of the thread count down to the last ulp.
+pub const SHARD_SIZE: usize = 4096;
+
+/// Applies `f` to every item on a rayon worker team and returns the results
+/// in input order.
+///
+/// `threads` follows the executor's `RunConfig::threads` convention: `0`
+/// uses all available cores, `1` runs serially inline, `n` uses exactly `n`
+/// workers. Because results keep input order and `f` receives no shared
+/// mutable state, the output is identical for every setting.
+pub fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(|| rayon::parallel_map(items, f))
+}
+
+/// Applies `f` to every [`SHARD_SIZE`]-entry chunk of `entries` on the
+/// worker team, returning the per-shard results in shard order.
+///
+/// The shard layout depends only on `entries.len()`, so for a fixed input
+/// the result vector is identical at every `threads` setting; callers can
+/// fold the shards in order and obtain thread-count-invariant totals.
+pub fn map_shards<T, R, F>(entries: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    fan_out(entries.chunks(SHARD_SIZE).collect(), threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_matches_serial_at_every_thread_setting() {
+        let square = |x: u64| x * x;
+        let expected: Vec<u64> = (0..100).map(square).collect();
+        for threads in [0, 1, 2, 7] {
+            assert_eq!(fan_out((0..100).collect(), threads, square), expected);
+        }
+    }
+
+    #[test]
+    fn map_shards_layout_is_thread_count_invariant() {
+        let entries: Vec<u64> = (0..(SHARD_SIZE as u64 * 2 + 17)).collect();
+        let sums = |t| map_shards(&entries, t, |shard| shard.iter().sum::<u64>());
+        let serial = sums(1);
+        assert_eq!(serial.len(), 3, "fixed shard layout: two full shards plus a remainder");
+        for threads in [0, 2, 5] {
+            assert_eq!(sums(threads), serial);
+        }
+    }
+
+    #[test]
+    fn map_shards_handles_empty_input() {
+        let entries: Vec<u64> = Vec::new();
+        let out = map_shards(&entries, 0, |shard| shard.len());
+        assert!(out.is_empty());
+    }
+}

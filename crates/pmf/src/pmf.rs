@@ -142,6 +142,21 @@ impl Pmf {
         self.probs.iter().map(|(b, &p)| (b, p))
     }
 
+    /// Entries in **canonical order** (ascending outcome value).
+    ///
+    /// This is the stable ordering every sharded/parallel operation walks
+    /// (feed the result to [`crate::parallel::map_shards`]): it depends
+    /// only on the PMF's *contents*, never on insertion history or thread
+    /// scheduling, so partial results computed over contiguous slices of it
+    /// merge reproducibly — and iterated callers that keep their output in
+    /// this order (as Bayesian reconstruction does) sort only once.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<(BitString, f64)> {
+        let mut v: Vec<(BitString, f64)> = self.probs.iter().map(|(b, &p)| (*b, p)).collect();
+        v.sort_unstable_by_key(|(b, _)| *b);
+        v
+    }
+
     /// Outcomes sorted by descending probability (ties by outcome value so
     /// results are deterministic).
     #[must_use]
@@ -221,10 +236,12 @@ impl Pmf {
         (0..n)
             .map(|_| {
                 let u: f64 = rng.gen();
-                match cumulative.binary_search_by(|(c, _)| c.partial_cmp(&u).unwrap()) {
-                    Ok(i) => cumulative[(i + 1).min(cumulative.len() - 1)].1,
-                    Err(i) => cumulative[i.min(cumulative.len() - 1)].1,
-                }
+                // The draw selects the first entry whose cumulative mass
+                // reaches `u`; an exact hit (`Ok`) is that entry itself.
+                let i = match cumulative.binary_search_by(|(c, _)| c.partial_cmp(&u).unwrap()) {
+                    Ok(i) | Err(i) => i,
+                };
+                cumulative[i.min(cumulative.len() - 1)].1
             })
             .collect()
     }
@@ -351,6 +368,74 @@ mod tests {
         let a = p.sample(100, &mut StdRng::seed_from_u64(1));
         let b = p.sample(100, &mut StdRng::seed_from_u64(1));
         assert_eq!(a, b);
+    }
+
+    /// Replays a fixed word stream; `gen::<f64>()` maps each word `w` to
+    /// `(w >> 11) * 2⁻⁵³`, so exact cumulative boundaries can be pinned.
+    struct FixedWords {
+        words: Vec<u64>,
+        next: usize,
+    }
+
+    impl rand::RngCore for FixedWords {
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.next];
+            self.next += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn sample_exact_cumulative_hit_takes_first_reaching_entry() {
+        // Two equal entries: cumulative = [(0.5, "0"), (1.0, "1")] (ties in
+        // sorted_desc break by ascending outcome). A draw of exactly 0.5
+        // must select "0" — the first entry whose cumulative mass reaches
+        // the draw — not skip past it to "1".
+        let mut p = Pmf::new(1);
+        p.set(bs("0"), 0.5);
+        p.set(bs("1"), 0.5);
+        let half = 1u64 << 52; // (half << 11) >> 11 = 2^52 → f64 0.5 exactly
+        let mut rng = FixedWords { words: vec![half << 11, 0, (1u64 << 63) | (1 << 11)], next: 0 };
+        let samples = p.sample(3, &mut rng);
+        assert_eq!(samples[0], bs("0"), "exact boundary draw must not skip the hit entry");
+        assert_eq!(samples[1], bs("0"), "u = 0.0 selects the first entry");
+        assert_eq!(samples[2], bs("1"), "u > 0.5 selects the second entry");
+    }
+
+    #[test]
+    fn sorted_entries_is_canonical() {
+        let mut p = Pmf::new(2);
+        p.set(bs("10"), 0.5);
+        p.set(bs("01"), 0.3);
+        p.set(bs("11"), 0.2);
+        let order: Vec<String> = p.sorted_entries().iter().map(|(b, _)| b.to_string()).collect();
+        assert_eq!(order, vec!["01", "10", "11"]);
+
+        // Same contents, different insertion history → same canonical order.
+        let mut q = Pmf::new(2);
+        q.set(bs("11"), 0.2);
+        q.set(bs("10"), 0.5);
+        q.set(bs("01"), 0.3);
+        assert_eq!(p.sorted_entries(), q.sorted_entries());
+    }
+
+    #[test]
+    fn sharded_entry_reductions_are_thread_count_invariant() {
+        let mut p = Pmf::new(14);
+        for v in 0..9000u64 {
+            p.set(BitString::from_u64(v, 14), 1.0 + (v % 7) as f64);
+        }
+        let entries = p.sorted_entries();
+        let masses = |t| {
+            crate::parallel::map_shards(&entries, t, |shard| {
+                shard.iter().map(|(_, w)| w).sum::<f64>()
+            })
+        };
+        let serial = masses(1);
+        assert_eq!(serial.len(), 3, "9000 entries → three fixed-size shards");
+        for threads in [0, 2, 3, 8] {
+            assert_eq!(masses(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,28 +1,12 @@
 //! Order-preserving parallel fan-out shared by the executor's trajectory
 //! batches and `jigsaw_core`'s CPM subset mode.
+//!
+//! The engine itself lives in [`jigsaw_pmf::parallel`] so the PMF layer can
+//! shard its own iteration (Bayesian reconstruction walks PMF supports on
+//! the same worker team); this module re-exports it under the historical
+//! path used throughout the simulator.
 
-/// Applies `f` to every item on a rayon worker team and returns the results
-/// in input order.
-///
-/// `threads` follows [`crate::RunConfig::threads`]: `0` uses all available
-/// cores, `1` runs serially inline, `n` uses exactly `n` workers. Because
-/// results keep input order and `f` receives no shared mutable state, the
-/// output is identical for every setting.
-pub fn fan_out<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    if threads == 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(|| rayon::parallel_map(items, f))
-}
+pub use jigsaw_pmf::parallel::{fan_out, map_shards, SHARD_SIZE};
 
 #[cfg(test)]
 mod tests {

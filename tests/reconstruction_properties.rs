@@ -78,7 +78,7 @@ proptest! {
         p in pmf_strategy(5, 16),
         ms in prop::collection::vec(marginal_strategy(5), 1..4),
     ) {
-        let config = ReconstructionConfig { tolerance: 1e-3, max_rounds: 64 };
+        let config = ReconstructionConfig { tolerance: 1e-3, max_rounds: 64, ..Default::default() };
         let r = reconstruct(&p, &ms, &config);
         prop_assert!((r.pmf.total_mass() - 1.0).abs() < 1e-9);
         prop_assert!(r.rounds <= 64);
