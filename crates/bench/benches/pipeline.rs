@@ -1,12 +1,12 @@
 //! Criterion bench: end-to-end JigSaw pipeline overhead on a small
-//! benchmark (framework cost beyond raw trial execution).
+//! benchmark (framework cost beyond raw trial execution), plus a one-shot
+//! per-stage wall-time breakdown from the staged API's telemetry.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use jigsaw_circuit::bench::ghz;
 use jigsaw_compiler::CompilerOptions;
-use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig, ReferenceConfig};
 use jigsaw_device::Device;
-use jigsaw_sim::RunConfig;
 
 fn bench_pipeline(c: &mut Criterion) {
     let device = Device::toronto();
@@ -15,10 +15,9 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_ghz6_1k_trials");
     group.sample_size(10);
 
+    let reference = ReferenceConfig::new(1024).with_seed(1).with_compiler(compiler);
     group.bench_function("baseline", |b| {
-        b.iter(|| {
-            run_baseline(bench.circuit(), &device, 1024, 1, &RunConfig::default(), &compiler)
-        });
+        b.iter(|| run_baseline(bench.circuit(), &device, &reference));
     });
 
     let jig = JigsawConfig { compiler, ..JigsawConfig::jigsaw(1024) };
@@ -50,6 +49,12 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| run_jigsaw(bench.circuit(), &device, &parallel));
     });
     group.finish();
+
+    // Per-stage breakdown for the CI bench smoke: where one JigSaw-M run's
+    // wall clock actually goes (compile vs simulate vs reconstruct).
+    let result = run_jigsaw(bench.circuit(), &device, &parallel);
+    eprintln!("stage timings (jigsaw_m, ghz6, 1k trials, all cores):");
+    eprintln!("{}", result.timings);
 }
 
 criterion_group!(benches, bench_pipeline);

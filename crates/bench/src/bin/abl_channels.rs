@@ -3,7 +3,11 @@
 //! Re-runs baseline-vs-JigSaw with each channel selectively disabled:
 //! full noise, no measurement crosstalk, no gate noise, no decoherence.
 //! JigSaw targets the measurement channel, so its edge should persist
-//! without gate noise/decoherence and shrink without crosstalk.
+//! without gate noise/decoherence and shrink without crosstalk. Built on
+//! the staged pipeline: compilation depends on the device but not on the
+//! executor's noise switches, so all Toronto cases fork one
+//! `GlobalCompiled` artifact via `with_run` (2 global compiles for 5
+//! cases — the crosstalk case changes the device and compiles its own).
 //!
 //! ```text
 //! cargo run --release -p jigsaw-bench --bin abl_channels -- [--trials 8192]
@@ -13,7 +17,7 @@ use jigsaw_bench::cli::Args;
 use jigsaw_bench::harness::harness_compiler;
 use jigsaw_bench::table;
 use jigsaw_circuit::bench::ghz;
-use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_core::{run_baseline_from, JigsawConfig, JigsawPipeline, ReferenceConfig};
 use jigsaw_device::{CrosstalkModel, Device};
 use jigsaw_pmf::metrics;
 use jigsaw_sim::{resolve_correct_set, RunConfig};
@@ -50,14 +54,28 @@ fn main() {
         ),
     ];
 
+    // One compiled artifact per distinct device; the run-config cases fork
+    // it with `with_run` instead of recompiling.
+    let cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(seed);
+    let toronto_compiled =
+        JigsawPipeline::plan(bench.circuit(), &Device::toronto(), &cfg).compile_global();
+
     println!("Ablation — noise channels, GHZ-10 (trials {trials}, seed {seed})");
     println!();
     let mut rows = Vec::new();
     for (label, device, run) in cases {
         eprintln!("[abl_channels] {label} ...");
-        let baseline = run_baseline(bench.circuit(), &device, trials, seed, &run, &compiler);
-        let cfg = JigsawConfig { run, compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(seed);
-        let jig = run_jigsaw(bench.circuit(), &device, &cfg);
+        let reference =
+            ReferenceConfig::new(trials).with_seed(seed).with_run(run).with_compiler(compiler);
+        let compiled = if device == Device::toronto() {
+            toronto_compiled.clone()
+        } else {
+            JigsawPipeline::plan(bench.circuit(), &device, &cfg).compile_global()
+        };
+        // The baseline executes the same measure-all artifact under this
+        // case's run config; no compile beyond the per-device one above.
+        let baseline = run_baseline_from(compiled.artifact(), &device, &reference);
+        let jig = compiled.with_run(run).run_global().select_subsets().run_cpms().reconstruct();
         let p_base = metrics::pst(&baseline, &correct);
         let p_jig = metrics::pst(&jig.output, &correct);
         rows.push(vec![

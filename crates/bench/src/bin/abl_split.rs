@@ -2,7 +2,10 @@
 //! simplicity and notes the split can be tuned when trials are scarce).
 //!
 //! Sweeps the global fraction on GHZ-10 and QAOA-10 and reports JigSaw's
-//! relative PST per split.
+//! relative PST per split. Built on the staged pipeline: each benchmark is
+//! compiled **once** and the `GlobalCompiled` artifact forked per fraction
+//! (the split only changes how many trials the global run gets), so the
+//! sweep pays 2 global compiles instead of 10.
 //!
 //! ```text
 //! cargo run --release -p jigsaw-bench --bin abl_split -- [--trials 8192]
@@ -12,10 +15,10 @@ use jigsaw_bench::cli::Args;
 use jigsaw_bench::harness::harness_compiler;
 use jigsaw_bench::table;
 use jigsaw_circuit::bench::{ghz, qaoa_maxcut};
-use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_core::{run_baseline_from, JigsawConfig, JigsawPipeline, ReferenceConfig};
 use jigsaw_device::Device;
 use jigsaw_pmf::metrics;
-use jigsaw_sim::{resolve_correct_set, RunConfig};
+use jigsaw_sim::resolve_correct_set;
 
 fn main() {
     let args = Args::from_env();
@@ -33,17 +36,21 @@ fn main() {
     let mut rows = Vec::new();
     for bench in [ghz(10), qaoa_maxcut(10, 1)] {
         let correct = resolve_correct_set(&bench);
-        let baseline =
-            run_baseline(bench.circuit(), &device, trials, seed, &RunConfig::default(), &compiler);
+        let cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(seed);
+        let compiled = JigsawPipeline::plan(bench.circuit(), &device, &cfg).compile_global();
+
+        // The baseline runs the same measure-all artifact; no second compile.
+        let reference = ReferenceConfig::new(trials).with_seed(seed).with_compiler(compiler);
+        let baseline = run_baseline_from(compiled.artifact(), &device, &reference);
         let base_pst = metrics::pst(&baseline, &correct);
         for fraction in [0.125, 0.25, 0.5, 0.75, 0.875] {
-            let cfg = JigsawConfig {
-                global_fraction: fraction,
-                compiler,
-                ..JigsawConfig::jigsaw(trials)
-            }
-            .with_seed(seed);
-            let result = run_jigsaw(bench.circuit(), &device, &cfg);
+            let result = compiled
+                .clone()
+                .with_global_fraction(fraction)
+                .run_global()
+                .select_subsets()
+                .run_cpms()
+                .reconstruct();
             let rel = metrics::pst(&result.output, &correct) / base_pst;
             rows.push(vec![bench.name().to_string(), format!("{fraction:.3}"), table::num(rel)]);
         }

@@ -2,7 +2,11 @@
 //! (paper §4.4's motivation for JigSaw-M).
 //!
 //! Runs single-size JigSaw at s = 2..6 on GHZ-12 and reports relative PST
-//! plus the average local-PMF fidelity per size.
+//! plus the average local-PMF fidelity per size. Built on the staged
+//! pipeline: the global circuit is compiled and simulated **once**, and the
+//! `GlobalRun` artifact forked per subset size — the compiler probe proves
+//! the whole sweep performs exactly one global compile (every further
+//! compilation is a per-size CPM recompile).
 //!
 //! ```text
 //! cargo run --release -p jigsaw-bench --bin abl_subset_size -- [--trials 8192]
@@ -12,10 +16,11 @@ use jigsaw_bench::cli::Args;
 use jigsaw_bench::harness::harness_compiler;
 use jigsaw_bench::table;
 use jigsaw_circuit::bench::ghz;
-use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_compiler::probe;
+use jigsaw_core::{run_baseline_from, JigsawConfig, JigsawPipeline, ReferenceConfig, StageName};
 use jigsaw_device::Device;
 use jigsaw_pmf::{metrics, Pmf};
-use jigsaw_sim::{ideal_pmf, resolve_correct_set, RunConfig};
+use jigsaw_sim::{ideal_pmf, resolve_correct_set};
 
 fn main() {
     let args = Args::from_env();
@@ -26,8 +31,16 @@ fn main() {
     let correct = resolve_correct_set(&bench);
     let compiler = harness_compiler();
 
-    let baseline =
-        run_baseline(bench.circuit(), &device, trials, seed, &RunConfig::default(), &compiler);
+    // The shared prefix: one plan → compile → global run for the whole
+    // sweep (baseline included — it executes the same measure-all
+    // artifact), with the compiler probe watching the compile count.
+    let before_global = probe::compile_count();
+    let cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(seed);
+    let shared = JigsawPipeline::plan(bench.circuit(), &device, &cfg).compile_global();
+    let global_compiles = probe::compile_count() - before_global;
+
+    let reference = ReferenceConfig::new(trials).with_seed(seed).with_compiler(compiler);
+    let baseline = run_baseline_from(shared.artifact(), &device, &reference);
     let base_pst = metrics::pst(&baseline, &correct);
 
     println!(
@@ -37,19 +50,23 @@ fn main() {
     println!("Baseline PST: {base_pst:.4}");
     println!();
 
+    let shared = shared.run_global();
+
+    let mut ideal_circuit = bench.circuit().clone();
+    ideal_circuit.measure_all();
+    let ideal: Pmf = ideal_pmf(&ideal_circuit);
+
+    let before_sweep = probe::compile_count();
+    let mut cpm_compiles_expected = 0u64;
     let mut rows = Vec::new();
     for size in 2..=6usize {
         eprintln!("[abl_subset_size] s = {size} ...");
-        let cfg =
-            JigsawConfig { subset_sizes: vec![size], compiler, ..JigsawConfig::jigsaw(trials) }
-                .with_seed(seed);
-        let result = run_jigsaw(bench.circuit(), &device, &cfg);
+        let result =
+            shared.clone().with_subset_sizes(vec![size]).select_subsets().run_cpms().reconstruct();
+        cpm_compiles_expected += result.marginals.len() as u64;
         let rel = metrics::pst(&result.output, &correct) / base_pst;
 
         // Average local-PMF fidelity against each subset's ideal marginal.
-        let mut ideal_circuit = bench.circuit().clone();
-        ideal_circuit.measure_all();
-        let ideal: Pmf = ideal_pmf(&ideal_circuit);
         let mean_local_fidelity: f64 = result
             .marginals
             .iter()
@@ -57,17 +74,38 @@ fn main() {
             .sum::<f64>()
             / result.marginals.len() as f64;
 
+        let cpm_wall = result
+            .timings
+            .get(StageName::RunCpms)
+            .map(|r| format!("{:.3?}", r.wall))
+            .unwrap_or_default();
         rows.push(vec![
             size.to_string(),
             result.marginals.len().to_string(),
             format!("{mean_local_fidelity:.4}"),
             table::num(rel),
+            cpm_wall,
         ]);
     }
+    let sweep_compiles = probe::compile_count() - before_sweep;
+
     println!(
         "{}",
-        table::render(&["Subset size s", "CPMs", "Mean local fidelity", "Relative PST"], &rows)
+        table::render(
+            &["Subset size s", "CPMs", "Mean local fidelity", "Relative PST", "CPM wall"],
+            &rows
+        )
     );
     println!("Expected shape: local fidelity falls as s grows (more measurements),");
     println!("while captured correlation rises — the JigSaw-M trade-off.");
+    println!();
+    println!(
+        "Compile probe: {global_compiles} global compile, {sweep_compiles} CPM recompiles \
+         across the sweep ({cpm_compiles_expected} CPMs)."
+    );
+    assert_eq!(global_compiles, 1, "the sweep must pay exactly one global compile");
+    assert_eq!(
+        sweep_compiles, cpm_compiles_expected,
+        "forked stages must not recompile the global circuit"
+    );
 }

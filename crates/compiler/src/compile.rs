@@ -21,6 +21,13 @@ pub struct CompilerOptions {
     /// default so experiment outputs match the recorded baselines; every
     /// removed gate raises EPS, so enable it for best fidelity.
     pub peephole: bool,
+    /// Worker threads for the placement-seed × candidate EPS search: `0`
+    /// uses all available cores, `1` runs serially. Each (seed, candidate)
+    /// is scored independently and the winner is selected by a serial fold
+    /// in seed order, so the compiled output is bit-identical at every
+    /// setting. Callers that compile *inside* another fan-out (the CPM
+    /// subset mode) should pin this to 1 to avoid oversubscription.
+    pub threads: usize,
 }
 
 impl Default for CompilerOptions {
@@ -30,6 +37,7 @@ impl Default for CompilerOptions {
             placement: PlacementConfig::default(),
             sabre: SabreConfig::default(),
             peephole: false,
+            threads: 0,
         }
     }
 }
@@ -88,6 +96,7 @@ pub fn compile_with_avoidance(
         logical.n_qubits(),
         device.n_qubits()
     );
+    crate::probe::record_compile();
     let optimized;
     let logical = if options.peephole {
         optimized = crate::peephole::optimize(logical);
@@ -108,21 +117,40 @@ pub fn compile_with_avoidance(
         score * (-options.placement.diversity_penalty * overlap as f64).exp()
     };
 
-    let mut best: Option<(f64, Compiled)> = None;
-    for seed in spread_seeds(device, options.max_seeds) {
-        // Chain-shaped programs (most of Table 2) additionally get a
-        // swap-free path embedding candidate; EPS decides the winner.
-        let candidates = [
-            path_layout_from_seed(logical, device, seed, &options.placement, avoid),
-            layout_from_seed(logical, device, seed, &options.placement, avoid),
-        ];
-        for layout in candidates.into_iter().flatten() {
-            let routed = route(logical, device, layout, &options.sabre);
-            let score = eps(&routed.circuit, device);
-            let ranking = selection_score(score, &routed.initial_layout);
-            if best.as_ref().is_none_or(|(b, _)| ranking > *b) {
-                best = Some((ranking, Compiled { routed, eps: score }));
+    // Every (seed, candidate) pair routes and scores independently, so the
+    // search fans out across the worker team. Each worker keeps only its
+    // seed's best candidate (strict `>` over the fixed [path, layout]
+    // candidate order), and the winner is then chosen by a serial fold in
+    // seed order with the same strict `>` — together that selects the
+    // earliest maximum of the flattened (seed, candidate) sequence, exactly
+    // like the old serial loop, so the compiled output and every downstream
+    // histogram are bit-identical at any thread count.
+    let scored: Vec<Option<(f64, Compiled)>> = jigsaw_pmf::parallel::fan_out(
+        spread_seeds(device, options.max_seeds),
+        options.threads,
+        |seed| {
+            // Chain-shaped programs (most of Table 2) additionally get a
+            // swap-free path embedding candidate; EPS decides the winner.
+            let candidates = [
+                path_layout_from_seed(logical, device, seed, &options.placement, avoid),
+                layout_from_seed(logical, device, seed, &options.placement, avoid),
+            ];
+            let mut best: Option<(f64, Compiled)> = None;
+            for layout in candidates.into_iter().flatten() {
+                let routed = route(logical, device, layout, &options.sabre);
+                let score = eps(&routed.circuit, device);
+                let ranking = selection_score(score, &routed.initial_layout);
+                if best.as_ref().is_none_or(|(b, _)| ranking > *b) {
+                    best = Some((ranking, Compiled { routed, eps: score }));
+                }
             }
+            best
+        },
+    );
+    let mut best: Option<(f64, Compiled)> = None;
+    for (ranking, compiled) in scored.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(b, _)| ranking > *b) {
+            best = Some((ranking, compiled));
         }
     }
     best.map(|(_, compiled)| compiled)
@@ -234,6 +262,29 @@ mod tests {
         let b = ideal_pmf(optimized.circuit());
         for (bs, p) in a.iter() {
             assert!((b.prob(bs) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seed_search_is_thread_count_invariant() {
+        // The fan-out over placement seeds must select the same compilation
+        // as the serial fold — same routed circuit, same EPS, bit for bit.
+        let device = Device::toronto();
+        for b in [bench::ghz(7), bench::qaoa_maxcut(6, 1)] {
+            let logical = measured(&b);
+            let serial = compile(
+                &logical,
+                &device,
+                &CompilerOptions { threads: 1, ..CompilerOptions::default() },
+            );
+            for threads in [0, 2, 5] {
+                let parallel = compile(
+                    &logical,
+                    &device,
+                    &CompilerOptions { threads, ..CompilerOptions::default() },
+                );
+                assert_eq!(serial, parallel, "threads={threads} diverged on {}", b.name());
+            }
         }
     }
 

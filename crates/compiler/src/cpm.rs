@@ -65,6 +65,56 @@ fn jigsaw_compiler_placement_readout(
     }
 }
 
+/// A compiled CPM as a standalone artifact: the logical subset it measures
+/// plus the physical circuit ready for the executor.
+///
+/// This is the artifact-in/artifact-out face of CPM compilation the staged
+/// pipeline consumes: [`CpmArtifact::recompiled`] produces one from the
+/// logical program (paying a full placement search), while
+/// [`CpmArtifact::reusing`] derives one from the already-compiled global
+/// artifact for free. Either way the result is a plain value that can be
+/// cached, cloned across sweep points, or executed independently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpmArtifact {
+    /// Logical qubits this CPM measures (classical bit `k` ← `subset[k]`).
+    pub subset: Vec<usize>,
+    /// The physical circuit ready for the executor.
+    pub circuit: Circuit,
+    /// EPS of the recompiled circuit; `None` when reusing the global
+    /// mapping (the global EPS scores all measurements, not this subset's).
+    pub eps: Option<f64>,
+}
+
+impl CpmArtifact {
+    /// Compiles the CPM from scratch with the readout-focused objective
+    /// (wraps [`recompile_cpm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`recompile_cpm`].
+    #[must_use]
+    pub fn recompiled(
+        program: &Circuit,
+        subset: &[usize],
+        device: &Device,
+        options: &CompilerOptions,
+    ) -> Self {
+        let compiled = recompile_cpm(program, subset, device, options);
+        Self { subset: subset.to_vec(), eps: Some(compiled.eps), circuit: compiled.routed.circuit }
+    }
+
+    /// Derives the CPM from the compiled global artifact without paying a
+    /// placement search (wraps [`cpm_reuse_layout`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`cpm_reuse_layout`].
+    #[must_use]
+    pub fn reusing(global: &Compiled, subset: &[usize]) -> Self {
+        Self { subset: subset.to_vec(), circuit: cpm_reuse_layout(global, subset), eps: None }
+    }
+}
+
 /// Derives a CPM from an already-compiled global circuit *without*
 /// recompiling: same gates and mapping, measurements restricted to `subset`
 /// (logical indices), read from the final layout.
@@ -166,6 +216,27 @@ mod tests {
             f_local > f_global,
             "local fidelity {f_local} should beat global marginal {f_global}"
         );
+    }
+
+    #[test]
+    fn artifacts_match_their_function_counterparts() {
+        let device = Device::toronto();
+        let program = bench::ghz(6).circuit().clone();
+        let options = CompilerOptions::default();
+        let subset = [1, 4];
+
+        let recompiled = CpmArtifact::recompiled(&program, &subset, &device, &options);
+        let direct = recompile_cpm(&program, &subset, &device, &options);
+        assert_eq!(&recompiled.circuit, direct.circuit());
+        assert_eq!(recompiled.eps, Some(direct.eps));
+        assert_eq!(recompiled.subset, vec![1, 4]);
+
+        let mut global_logical = program.clone();
+        global_logical.measure_all();
+        let global = compile(&global_logical, &device, &options);
+        let reused = CpmArtifact::reusing(&global, &subset);
+        assert_eq!(reused.circuit, cpm_reuse_layout(&global, &subset));
+        assert_eq!(reused.eps, None);
     }
 
     #[test]

@@ -36,9 +36,11 @@ mod eps;
 mod layout;
 pub mod peephole;
 pub mod placement;
+pub mod probe;
 pub mod sabre;
 
 pub use compile::{compile, compile_with_avoidance, Compiled, CompilerOptions};
+pub use cpm::CpmArtifact;
 pub use eps::{eps, gate_eps, readout_eps};
 pub use layout::Layout;
 pub use sabre::{route, Routed, SabreConfig};

@@ -1,0 +1,45 @@
+//! Process-wide compiler invocation counter.
+//!
+//! The staged pipeline exists so sweep drivers can reuse compiled artifacts
+//! instead of silently recompiling the same global circuit per config
+//! point; this probe makes that property *checkable*. Drivers read
+//! [`compile_count`] before and after a sweep and assert the delta matches
+//! the expected work (e.g. one global compile plus one compile per
+//! recompiled CPM) — see `abl_subset_size` and the `artifact_reuse`
+//! integration test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COMPILE_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one full placement-search compilation. Called by
+/// [`compile_with_avoidance`](crate::compile_with_avoidance) (and therefore
+/// every `compile`/`recompile_cpm`/EDM-member path).
+pub(crate) fn record_compile() {
+    COMPILE_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total compilations performed by this process so far.
+///
+/// Monotonic; callers interested in a region of work should diff two
+/// readings. Note the counter is process-global: concurrent compilations in
+/// other threads show up in the delta.
+#[must_use]
+pub fn compile_count() -> u64 {
+    COMPILE_CALLS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotonic() {
+        let before = compile_count();
+        record_compile();
+        record_compile();
+        // ≥ rather than == : other tests in this binary may compile
+        // concurrently, which is exactly the caveat the docs state.
+        assert!(compile_count() >= before + 2);
+    }
+}

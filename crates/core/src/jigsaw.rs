@@ -1,5 +1,5 @@
-//! The end-to-end JigSaw pipeline (paper §4, Fig. 4) plus the Baseline and
-//! EDM reference flows.
+//! The end-to-end JigSaw entry points (paper §4, Fig. 4) plus the Baseline
+//! and EDM reference flows.
 //!
 //! JigSaw spends half its trial budget on a *global mode* run (all qubits
 //! measured, noise-aware compiled) and the other half on Circuits with
@@ -8,18 +8,24 @@
 //! several sizes and reconstructs hierarchically, largest size first
 //! (§4.4.2), so global correlation is preserved before the highest-fidelity
 //! small subsets sharpen the answer.
+//!
+//! [`run_jigsaw`] is a thin wrapper that drives the staged
+//! [`JigsawPipeline`](crate::pipeline::JigsawPipeline) end-to-end; callers
+//! that need to observe or steer the protocol between stages (artifact
+//! reuse across sweeps, adaptive subsetting, per-stage telemetry) use the
+//! pipeline directly.
 
 use jigsaw_circuit::Circuit;
-use jigsaw_compiler::cpm::{cpm_reuse_layout, recompile_cpm};
 use jigsaw_compiler::edm::ensemble;
 use jigsaw_compiler::{compile, Compiled, CompilerOptions};
 use jigsaw_device::Device;
 use jigsaw_pmf::{Counts, Pmf};
 use jigsaw_sim::{BackendKind, Executor, RunConfig};
 
-use crate::bayes::{reconstruct, Marginal, ReconstructionConfig};
+use crate::bayes::{Marginal, ReconstructionConfig};
+use crate::pipeline::{JigsawPipeline, StageTimings};
 use crate::seed;
-use crate::subsets::{generate, SubsetSelection};
+use crate::subsets::SubsetSelection;
 
 /// How the subset-mode trial budget is divided among CPMs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +60,7 @@ pub struct JigsawConfig {
     pub global_fraction: f64,
     /// Division of the subset-mode budget among CPMs.
     pub allocation: TrialAllocation,
-    /// Experiment seed; all stage seeds derive from it.
+    /// Experiment seed; all stage seeds derive from it (see [`crate::seed`]).
     pub seed: u64,
     /// Executor options.
     pub run: RunConfig,
@@ -104,7 +110,11 @@ impl JigsawConfig {
 }
 
 /// Everything a JigSaw run produces.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *protocol outputs* (PMFs, marginals, accounting)
+/// and deliberately ignores [`Self::timings`]: two runs of the same seed
+/// are equal even though their wall clocks differ.
+#[derive(Debug, Clone)]
 pub struct JigsawResult {
     /// The reconstructed output PMF — JigSaw's answer.
     pub output: Pmf,
@@ -122,10 +132,26 @@ pub struct JigsawResult {
     /// tableau for Clifford programs (which is what lifts the width cap),
     /// the dense state vector otherwise.
     pub backend: BackendKind,
+    /// Per-stage telemetry: wall time, trials, backend and support sizes of
+    /// every pipeline stage that produced this result.
+    pub timings: StageTimings,
+}
+
+impl PartialEq for JigsawResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.output == other.output
+            && self.global == other.global
+            && self.marginals == other.marginals
+            && self.global_eps == other.global_eps
+            && self.rounds == other.rounds
+            && self.trials_used == other.trials_used
+            && self.backend == other.backend
+    }
 }
 
 /// Runs the JigSaw (or JigSaw-M, depending on `subset_sizes`) pipeline on a
-/// measurement-free program.
+/// measurement-free program, driving every stage of
+/// [`JigsawPipeline`](crate::pipeline::JigsawPipeline) in order.
 ///
 /// # Panics
 ///
@@ -133,119 +159,55 @@ pub struct JigsawResult {
 /// give every stage at least one trial, or no subset size fits the program.
 #[must_use]
 pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> JigsawResult {
-    assert!(
-        program.measurements().is_empty(),
-        "pass the measurement-free program; JigSaw chooses what to measure"
-    );
-    let n = program.n_qubits();
+    JigsawPipeline::plan(program, device, config)
+        .compile_global()
+        .run_global()
+        .select_subsets()
+        .run_cpms()
+        .reconstruct()
+}
 
-    let mut sizes: Vec<usize> =
-        config.subset_sizes.iter().copied().filter(|&s| s >= 1 && s < n).collect();
-    sizes.sort_unstable_by(|a, b| b.cmp(a)); // descending: §4.4.2 ordering
-    sizes.dedup();
-    assert!(!sizes.is_empty(), "no subset size fits a {n}-qubit program");
+/// Configuration of the reference flows ([`run_baseline`] / [`run_edm`]):
+/// the trial budget plus the options JigSaw shares with them, so
+/// policy-vs-policy comparisons run under identical conditions (§5.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceConfig {
+    /// Total trial budget (matches JigSaw's for fair comparison).
+    pub trials: u64,
+    /// Experiment seed; stage seeds derive from it (see [`crate::seed`]).
+    pub seed: u64,
+    /// Executor options.
+    pub run: RunConfig,
+    /// Compiler options.
+    pub compiler: CompilerOptions,
+}
 
-    // --- Global mode -----------------------------------------------------
-    let global_trials =
-        ((config.total_trials as f64 * config.global_fraction).round() as u64).max(1);
-    let mut global_logical = program.clone();
-    global_logical.measure_all();
-    let global_compiled = compile(&global_logical, device, &config.compiler);
-    let executor = Executor::new(device);
-    let backend = executor.backend_for(global_compiled.circuit(), &config.run);
-    let global_counts = executor.run(
-        global_compiled.circuit(),
-        global_trials,
-        &config.run.with_seed(seed::mix(config.seed, 0)),
-    );
-    let global_pmf = global_counts.to_pmf();
-
-    // --- Subset mode ------------------------------------------------------
-    let subset_lists: Vec<(usize, Vec<Vec<usize>>)> = sizes
-        .iter()
-        .map(|&s| (s, generate(n, s, config.selection, seed::mix(config.seed, 1000 + s as u64))))
-        .collect();
-    let cpm_count: usize = subset_lists.iter().map(|(_, subs)| subs.len()).sum();
-    let subset_trials = config.total_trials.saturating_sub(global_trials);
-
-    // Per-CPM budgets. Equal split is the paper's default; the
-    // coverage-weighted split (Appendix A.2's "fine-tuned" option) gives a
-    // size-s CPM budget proportional to its outcome-coverage need.
-    let budgets: Vec<(usize, u64)> = match config.allocation {
-        TrialAllocation::Equal => {
-            let per = (subset_trials / cpm_count.max(1) as u64).max(1);
-            subset_lists.iter().map(|(s, subs)| (*s, per * subs.len() as u64)).collect()
-        }
-        TrialAllocation::CoverageWeighted { confidence } => {
-            let weights: Vec<(usize, f64)> = subset_lists
-                .iter()
-                .map(|(s, subs)| {
-                    (*s, crate::trials::cpm_trials(*s, confidence) as f64 * subs.len() as f64)
-                })
-                .collect();
-            let total_weight: f64 = weights.iter().map(|(_, w)| w).sum();
-            weights
-                .into_iter()
-                .map(|(s, w)| (s, ((subset_trials as f64 * w / total_weight) as u64).max(1)))
-                .collect()
-        }
-    };
-
-    // Collect every CPM's work order up front, then fan out: each CPM
-    // compiles and executes independently of the others, so the subset mode
-    // is embarrassingly parallel. Seeds are pinned to the CPM index and
-    // results keep work-list order, so any thread count reproduces the
-    // serial histograms bit-for-bit.
-    let mut work: Vec<(Vec<usize>, u64, u64)> = Vec::with_capacity(cpm_count);
-    let mut cpm_index = 0u64;
-    for ((_, subs), &(_, layer_budget)) in subset_lists.iter().zip(&budgets) {
-        let per_cpm = (layer_budget / subs.len() as u64).max(1);
-        for subset in subs {
-            work.push((subset.clone(), per_cpm, seed::mix(config.seed, 2000 + cpm_index)));
-            cpm_index += 1;
-        }
-    }
-    let trials_used = global_trials + work.iter().map(|(_, per_cpm, _)| per_cpm).sum::<u64>();
-
-    let run_cpm = |(subset, per_cpm, run_seed): (Vec<usize>, u64, u64)| -> Marginal {
-        // Inner executor runs stay serial here: the fan-out already uses
-        // the worker team, and nested teams would oversubscribe cores.
-        let cpm_run = config.run.with_seed(run_seed).with_threads(1);
-        let counts = if config.recompile_cpms {
-            let compiled = recompile_cpm(program, &subset, device, &config.compiler);
-            executor.run(compiled.circuit(), per_cpm, &cpm_run)
-        } else {
-            let circuit = cpm_reuse_layout(&global_compiled, &subset);
-            executor.run(&circuit, per_cpm, &cpm_run)
-        };
-        Marginal::new(subset, counts.to_pmf())
-    };
-
-    let marginals: Vec<Marginal> = jigsaw_sim::parallel::fan_out(work, config.run.threads, run_cpm);
-
-    // --- Reconstruction (hierarchical, largest size first) ----------------
-    // The sharded reconstruction passes run on the same worker-team setting
-    // as the rest of the pipeline: RunConfig::threads overrides whatever the
-    // reconstruction config carries, so one knob governs every stage.
-    let reconstruction = config.reconstruction.with_threads(config.run.threads);
-    let mut current = global_pmf.clone();
-    let mut rounds = 0;
-    for (size, _) in &subset_lists {
-        let layer: Vec<Marginal> =
-            marginals.iter().filter(|m| m.size() == *size).cloned().collect();
-        let r = reconstruct(&current, &layer, &reconstruction);
-        current = r.pmf;
-        rounds += r.rounds;
+impl ReferenceConfig {
+    /// A reference run with default executor/compiler options and seed 0.
+    #[must_use]
+    pub fn new(trials: u64) -> Self {
+        Self { trials, seed: 0, run: RunConfig::default(), compiler: CompilerOptions::default() }
     }
 
-    JigsawResult {
-        output: current,
-        global: global_pmf,
-        marginals,
-        global_eps: global_compiled.eps,
-        rounds,
-        trials_used,
-        backend,
+    /// Replaces the experiment seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the executor options.
+    #[must_use]
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Replaces the compiler options.
+    #[must_use]
+    pub fn with_compiler(mut self, compiler: CompilerOptions) -> Self {
+        self.compiler = compiler;
+        self
     }
 }
 
@@ -253,22 +215,27 @@ pub fn run_jigsaw(program: &Circuit, device: &Device, config: &JigsawConfig) -> 
 ///
 /// # Panics
 ///
-/// Panics if the program declares measurements or `trials == 0`.
+/// Panics if the program declares measurements or `config.trials == 0`.
 #[must_use]
-pub fn run_baseline(
-    program: &Circuit,
-    device: &Device,
-    trials: u64,
-    seed_value: u64,
-    run: &RunConfig,
-    compiler_options: &CompilerOptions,
-) -> Pmf {
+pub fn run_baseline(program: &Circuit, device: &Device, config: &ReferenceConfig) -> Pmf {
     assert!(program.measurements().is_empty(), "pass the measurement-free program");
     let mut logical = program.clone();
     logical.measure_all();
-    let compiled = compile(&logical, device, compiler_options);
+    let compiled = compile(&logical, device, &config.compiler);
+    run_baseline_from(&compiled, device, config)
+}
+
+/// The baseline flow executed from an already-compiled global artifact —
+/// e.g. [`GlobalCompiled::artifact`](crate::pipeline::GlobalCompiled::artifact),
+/// which compiles the identical measure-all circuit. Compilation is
+/// deterministic in its inputs, so the result is bit-identical to
+/// [`run_baseline`] whenever the artifact came from the same program,
+/// device and compiler options; sweep drivers use this to stop paying a
+/// second placement search for the baseline column.
+#[must_use]
+pub fn run_baseline_from(global: &Compiled, device: &Device, config: &ReferenceConfig) -> Pmf {
     Executor::new(device)
-        .run(compiled.circuit(), trials, &run.with_seed(seed::mix(seed_value, 0xBA5E)))
+        .run(global.circuit(), config.trials, &config.run.with_seed(seed::baseline(config.seed)))
         .to_pmf()
 }
 
@@ -283,24 +250,21 @@ pub fn run_baseline(
 pub fn run_edm(
     program: &Circuit,
     device: &Device,
-    trials: u64,
     mappings: usize,
-    seed_value: u64,
-    run: &RunConfig,
-    compiler_options: &CompilerOptions,
+    config: &ReferenceConfig,
 ) -> Pmf {
     assert!(program.measurements().is_empty(), "pass the measurement-free program");
     let mut logical = program.clone();
     logical.measure_all();
-    let members: Vec<Compiled> = ensemble(&logical, device, mappings, compiler_options);
-    let per_member = (trials / mappings as u64).max(1);
+    let members: Vec<Compiled> = ensemble(&logical, device, mappings, &config.compiler);
+    let per_member = (config.trials / mappings as u64).max(1);
     let executor = Executor::new(device);
     let mut merged = Counts::new(logical.n_qubits());
     for (i, member) in members.iter().enumerate() {
         let counts = executor.run(
             member.circuit(),
             per_member,
-            &run.with_seed(seed::mix(seed_value, 0xED0 + i as u64)),
+            &config.run.with_seed(seed::edm_member(config.seed, i)),
         );
         merged.merge(&counts);
     }
@@ -321,6 +285,12 @@ mod tests {
         }
     }
 
+    fn quick_reference(trials: u64, seed: u64) -> ReferenceConfig {
+        ReferenceConfig::new(trials)
+            .with_seed(seed)
+            .with_compiler(CompilerOptions { max_seeds: 4, ..CompilerOptions::default() })
+    }
+
     #[test]
     fn jigsaw_improves_ghz_pst_over_baseline() {
         let device = Device::toronto();
@@ -328,14 +298,7 @@ mod tests {
         let correct = resolve_correct_set(&b);
         let trials = 6000;
 
-        let baseline = run_baseline(
-            b.circuit(),
-            &device,
-            trials,
-            7,
-            &RunConfig::default(),
-            &CompilerOptions { max_seeds: 4, ..CompilerOptions::default() },
-        );
+        let baseline = run_baseline(b.circuit(), &device, &quick_reference(trials, 7));
         let jig = run_jigsaw(b.circuit(), &device, &quick_config(trials).with_seed(7));
 
         let pst_base = metrics::pst(&baseline, &correct);
@@ -421,18 +384,26 @@ mod tests {
     }
 
     #[test]
+    fn baseline_from_artifact_matches_run_baseline() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let reference = quick_reference(1500, 4);
+        let direct = run_baseline(b.circuit(), &device, &reference);
+        let artifact = crate::pipeline::JigsawPipeline::plan(
+            b.circuit(),
+            &device,
+            &quick_config(1500).with_seed(4),
+        )
+        .compile_global();
+        let from_artifact = run_baseline_from(artifact.artifact(), &device, &reference);
+        assert_eq!(direct, from_artifact);
+    }
+
+    #[test]
     fn edm_merges_all_mappings() {
         let device = Device::toronto();
         let b = bench::ghz(5);
-        let pmf = run_edm(
-            b.circuit(),
-            &device,
-            2000,
-            4,
-            1,
-            &RunConfig::default(),
-            &CompilerOptions { max_seeds: 4, ..CompilerOptions::default() },
-        );
+        let pmf = run_edm(b.circuit(), &device, 4, &quick_reference(2000, 1));
         assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
         let correct = resolve_correct_set(&b);
         assert!(metrics::pst(&pmf, &correct) > 0.2);

@@ -14,6 +14,13 @@
 //! the local evidence. [`JigsawConfig::jigsaw_m`] enables Multi-Layer
 //! JigSaw: several subset sizes, reconstructed largest-first (§4.4).
 //!
+//! The protocol is exposed at two altitudes: [`run_jigsaw`] drives it
+//! end-to-end in one call, and the staged [`pipeline::JigsawPipeline`]
+//! exposes each Fig. 4 stage as a forkable plain value — reuse a compiled
+//! global artifact across a sweep, steer subset choice from the global PMF
+//! ([`SubsetSelection::Adaptive`]), and read per-stage telemetry
+//! ([`pipeline::StageTimings`]).
+//!
 //! Also here: the [`mbm`] baseline (IBM's matrix-based mitigation,
 //! Fig. 14), the [`scalability`] model behind Table 7, and [`Scores`]
 //! scoring.
@@ -22,7 +29,7 @@
 //!
 //! ```no_run
 //! use jigsaw_circuit::bench;
-//! use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig};
+//! use jigsaw_core::{run_baseline, run_jigsaw, JigsawConfig, ReferenceConfig};
 //! use jigsaw_device::Device;
 //! use jigsaw_pmf::metrics;
 //! use jigsaw_sim::resolve_correct_set;
@@ -33,13 +40,34 @@
 //!
 //! let config = JigsawConfig::jigsaw(16_384);
 //! let result = run_jigsaw(bench.circuit(), &device, &config);
-//! let baseline = run_baseline(
-//!     bench.circuit(), &device, 16_384, 0,
-//!     &jigsaw_sim::RunConfig::default(),
-//!     &jigsaw_compiler::CompilerOptions::default(),
-//! );
+//! let baseline = run_baseline(bench.circuit(), &device, &ReferenceConfig::new(16_384));
 //! let gain = metrics::pst(&result.output, &correct) / metrics::pst(&baseline, &correct);
 //! println!("JigSaw improves PST by {gain:.2}x");
+//! ```
+//!
+//! Forking the staged pipeline (one global compile+run, many subset
+//! configs):
+//!
+//! ```no_run
+//! use jigsaw_circuit::bench;
+//! use jigsaw_core::pipeline::JigsawPipeline;
+//! use jigsaw_core::JigsawConfig;
+//! use jigsaw_device::Device;
+//!
+//! let device = Device::toronto();
+//! let bench = bench::ghz(8);
+//! let shared = JigsawPipeline::plan(bench.circuit(), &device, &JigsawConfig::jigsaw(16_384))
+//!     .compile_global()
+//!     .run_global();
+//! for size in 2..=5 {
+//!     let result = shared
+//!         .clone()
+//!         .with_subset_sizes(vec![size])
+//!         .select_subsets()
+//!         .run_cpms()
+//!         .reconstruct();
+//!     println!("s = {size}: {} CPMs, {}", result.marginals.len(), result.timings);
+//! }
 //! ```
 
 pub mod angles;
@@ -48,6 +76,7 @@ mod evaluate;
 #[allow(clippy::module_inception)]
 mod jigsaw;
 pub mod mbm;
+pub mod pipeline;
 pub mod scalability;
 pub mod seed;
 pub mod subsets;
@@ -59,5 +88,9 @@ pub use bayes::{
     ReconstructionConfig,
 };
 pub use evaluate::Scores;
-pub use jigsaw::{run_baseline, run_edm, run_jigsaw, JigsawConfig, JigsawResult, TrialAllocation};
+pub use jigsaw::{
+    run_baseline, run_baseline_from, run_edm, run_jigsaw, JigsawConfig, JigsawResult,
+    ReferenceConfig, TrialAllocation,
+};
+pub use pipeline::{JigsawPipeline, StageName, StageRecord, StageTimings};
 pub use subsets::SubsetSelection;

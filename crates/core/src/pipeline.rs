@@ -1,0 +1,876 @@
+//! The staged, resumable JigSaw pipeline — Fig. 4 as a typestate API.
+//!
+//! [`run_jigsaw`](crate::run_jigsaw) drives the whole protocol in one call,
+//! which is right for end users but wrong for anything that needs to
+//! *observe or steer* the protocol between stages: sweep drivers recompile
+//! the identical global circuit per config point, and measurement-steering
+//! policies (adaptive subsetting) need the global PMF before subsets exist.
+//! [`JigsawPipeline`] decomposes the run into plain-value stages:
+//!
+//! ```text
+//! plan ──▶ Planned ──compile_global()──▶ GlobalCompiled
+//!                                              │ run_global()
+//!                                              ▼
+//!      SubsetsSelected ◀──select_subsets()── GlobalRun
+//!             │              /override_subsets(..)
+//!             │ run_cpms()
+//!             ▼
+//!          CpmsRun ──reconstruct()──▶ JigsawResult
+//! ```
+//!
+//! Every stage is `Clone + Debug`, so a caller can fork a mid-pipeline
+//! artifact — e.g. one [`GlobalRun`] fanned across many subset-size
+//! configs — without re-compiling or re-simulating anything upstream.
+//! Stage RNG streams derive from `(experiment seed, stage identity)` alone
+//! ([`crate::seed`]), so a forked stage replays **bit-identically** to the
+//! monolithic path; `tests/pipeline_equivalence.rs` enforces this across
+//! seeds, subset sizes, thread counts and backends.
+//!
+//! Each stage transition appends a [`StageRecord`] (wall time, trials,
+//! backend, support sizes) to the [`StageTimings`] that ends up on
+//! [`JigsawResult::timings`].
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use jigsaw_circuit::Circuit;
+use jigsaw_compiler::{compile, Compiled, CompilerOptions, CpmArtifact};
+use jigsaw_device::Device;
+use jigsaw_pmf::Pmf;
+use jigsaw_sim::{BackendKind, Executor, RunConfig};
+
+use crate::bayes::{reconstruct, Marginal, ReconstructionConfig};
+use crate::jigsaw::{JigsawConfig, JigsawResult, TrialAllocation};
+use crate::seed;
+use crate::subsets::{adaptive_layers, generate, SubsetSelection};
+
+/// The pipeline stages, in protocol order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageName {
+    /// Budget split and size filtering.
+    Plan,
+    /// Noise-aware compilation of the global-mode circuit.
+    CompileGlobal,
+    /// Global-mode execution.
+    RunGlobal,
+    /// CPM subset selection and per-CPM budgeting.
+    SelectSubsets,
+    /// CPM compilation (or layout reuse) and execution.
+    RunCpms,
+    /// Hierarchical Bayesian reconstruction.
+    Reconstruct,
+}
+
+impl fmt::Display for StageName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Plan => "plan",
+            Self::CompileGlobal => "compile-global",
+            Self::RunGlobal => "run-global",
+            Self::SelectSubsets => "select-subsets",
+            Self::RunCpms => "run-cpms",
+            Self::Reconstruct => "reconstruct",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Telemetry of one completed stage transition.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Which stage this records.
+    pub stage: StageName,
+    /// Wall-clock time the transition took.
+    pub wall: Duration,
+    /// Trials executed in this stage (0 where not applicable).
+    pub trials: u64,
+    /// Work items processed: subset-size layers planned, circuits
+    /// compiled, CPMs run, reconstruction rounds, …
+    pub items: usize,
+    /// Simulation backend the stage resolved to, where one ran.
+    pub backend: Option<BackendKind>,
+    /// Support size of the PMF the stage produced, where one exists.
+    pub support: Option<usize>,
+}
+
+/// Per-stage telemetry of a pipeline run, attached to
+/// [`JigsawResult::timings`].
+///
+/// A forked stage carries the records accumulated up to the fork point, so
+/// each branch's final result reports its full own history.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    records: Vec<StageRecord>,
+}
+
+impl StageTimings {
+    /// All records, in execution order.
+    #[must_use]
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// The most recent record of `stage`, if that stage has run.
+    #[must_use]
+    pub fn get(&self, stage: StageName) -> Option<&StageRecord> {
+        self.records.iter().rev().find(|r| r.stage == stage)
+    }
+
+    /// Total wall-clock across all recorded stages.
+    #[must_use]
+    pub fn total_wall(&self) -> Duration {
+        self.records.iter().map(|r| r.wall).sum()
+    }
+
+    fn push(&mut self, record: StageRecord) {
+        self.records.push(record);
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            write!(f, "  {:<15} {:>10.3?}", r.stage.to_string(), r.wall)?;
+            if r.trials > 0 {
+                write!(f, "  trials {}", r.trials)?;
+            }
+            if r.items > 0 {
+                write!(f, "  items {}", r.items)?;
+            }
+            if let Some(b) = r.backend {
+                write!(f, "  backend {b:?}")?;
+            }
+            if let Some(s) = r.support {
+                write!(f, "  support {s}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  {:<15} {:>10.3?}", "total", self.total_wall())
+    }
+}
+
+/// The trial-budget split computed by [`JigsawPipeline::plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetPlan {
+    /// Trials spent in global mode.
+    pub global_trials: u64,
+    /// Trials available to the CPM subset mode.
+    pub subset_trials: u64,
+    /// Subset sizes that fit the program, descending (§4.4.2 order).
+    pub sizes: Vec<usize>,
+}
+
+impl BudgetPlan {
+    fn for_config(config: &JigsawConfig, n: usize) -> Self {
+        let mut sizes: Vec<usize> =
+            config.subset_sizes.iter().copied().filter(|&s| s >= 1 && s < n).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a)); // descending: §4.4.2 ordering
+        sizes.dedup();
+        assert!(!sizes.is_empty(), "no subset size fits a {n}-qubit program");
+        let global_trials =
+            ((config.total_trials as f64 * config.global_fraction).round() as u64).max(1);
+        let subset_trials = config.total_trials.saturating_sub(global_trials);
+        Self { global_trials, subset_trials, sizes }
+    }
+}
+
+/// Shared cross-stage state threaded through every pipeline stage.
+#[derive(Debug, Clone)]
+struct Ctx {
+    program: Circuit,
+    device: Device,
+    config: JigsawConfig,
+    plan: BudgetPlan,
+    timings: StageTimings,
+}
+
+impl Ctx {
+    fn record(&mut self, record: StageRecord) {
+        self.timings.push(record);
+    }
+}
+
+/// One CPM subset-size layer: the subsets of that size and their combined
+/// trial budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetLayer {
+    /// Subset size (qubits per CPM).
+    pub size: usize,
+    /// The subsets, each a sorted list of logical qubits.
+    pub subsets: Vec<Vec<usize>>,
+    /// Trials allocated to this layer in total.
+    pub budget: u64,
+}
+
+/// Entry point of the staged API.
+///
+/// See the [module docs](self) for the stage graph and guarantees.
+#[derive(Debug, Clone, Copy)]
+pub struct JigsawPipeline;
+
+impl JigsawPipeline {
+    /// Stage 0: validates the program and splits the trial budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program declares measurements or no subset size fits
+    /// it — the same conditions as [`run_jigsaw`](crate::run_jigsaw).
+    #[must_use]
+    pub fn plan(program: &Circuit, device: &Device, config: &JigsawConfig) -> Planned {
+        let t0 = Instant::now();
+        assert!(
+            program.measurements().is_empty(),
+            "pass the measurement-free program; JigSaw chooses what to measure"
+        );
+        let plan = BudgetPlan::for_config(config, program.n_qubits());
+        let mut ctx = Ctx {
+            program: program.clone(),
+            device: device.clone(),
+            config: config.clone(),
+            plan,
+            timings: StageTimings::default(),
+        };
+        let items = ctx.plan.sizes.len();
+        ctx.record(StageRecord {
+            stage: StageName::Plan,
+            wall: t0.elapsed(),
+            // Planning executes nothing; summing `trials` across records
+            // must equal the trials actually run.
+            trials: 0,
+            items,
+            backend: None,
+            support: None,
+        });
+        Planned { ctx }
+    }
+}
+
+/// Stage result of [`JigsawPipeline::plan`]: budget split and subset plan.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    ctx: Ctx,
+}
+
+impl Planned {
+    /// The budget split this run will use.
+    #[must_use]
+    pub fn plan(&self) -> &BudgetPlan {
+        &self.ctx.plan
+    }
+
+    /// The configuration driving the run.
+    #[must_use]
+    pub fn config(&self) -> &JigsawConfig {
+        &self.ctx.config
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn timings(&self) -> &StageTimings {
+        &self.ctx.timings
+    }
+
+    /// Stage 1: noise-aware compilation of the global-mode circuit (all
+    /// qubits measured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is wider than the device or no placement
+    /// succeeds.
+    #[must_use]
+    pub fn compile_global(mut self) -> GlobalCompiled {
+        let t0 = Instant::now();
+        let mut global_logical = self.ctx.program.clone();
+        global_logical.measure_all();
+        let global = compile(&global_logical, &self.ctx.device, &self.ctx.config.compiler);
+        self.ctx.record(StageRecord {
+            stage: StageName::CompileGlobal,
+            wall: t0.elapsed(),
+            trials: 0,
+            items: 1,
+            backend: None,
+            support: None,
+        });
+        GlobalCompiled { ctx: self.ctx, global }
+    }
+}
+
+/// Stage result of [`Planned::compile_global`]: holds the compiled global
+/// artifact. Fork this to reuse one compilation across many run configs.
+#[derive(Debug, Clone)]
+pub struct GlobalCompiled {
+    ctx: Ctx,
+    global: Compiled,
+}
+
+impl GlobalCompiled {
+    /// The compiled global-mode artifact.
+    #[must_use]
+    pub fn artifact(&self) -> &Compiled {
+        &self.global
+    }
+
+    /// The configuration driving the run.
+    #[must_use]
+    pub fn config(&self) -> &JigsawConfig {
+        &self.ctx.config
+    }
+
+    /// The budget split this run will use.
+    #[must_use]
+    pub fn plan(&self) -> &BudgetPlan {
+        &self.ctx.plan
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn timings(&self) -> &StageTimings {
+        &self.ctx.timings
+    }
+
+    /// Re-splits the budget with a new global fraction — compilation does
+    /// not depend on it, so a fork per fraction shares this artifact (the
+    /// `abl_split` sweep).
+    #[must_use]
+    pub fn with_global_fraction(mut self, fraction: f64) -> Self {
+        self.ctx.config.global_fraction = fraction;
+        self.ctx.plan = BudgetPlan::for_config(&self.ctx.config, self.ctx.program.n_qubits());
+        self
+    }
+
+    /// Replaces the executor options for all downstream runs — compilation
+    /// does not depend on them, so a fork per noise configuration shares
+    /// this artifact (the `abl_channels` sweep).
+    #[must_use]
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.ctx.config.run = run;
+        self
+    }
+
+    /// Stage 2: executes the global mode and produces the prior PMF.
+    #[must_use]
+    pub fn run_global(mut self) -> GlobalRun {
+        let t0 = Instant::now();
+        let executor = Executor::new(&self.ctx.device);
+        let backend = executor.backend_for(self.global.circuit(), &self.ctx.config.run);
+        let counts = executor.run(
+            self.global.circuit(),
+            self.ctx.plan.global_trials,
+            &self.ctx.config.run.with_seed(seed::global_run(self.ctx.config.seed)),
+        );
+        let global_pmf = counts.to_pmf();
+        let trials = self.ctx.plan.global_trials;
+        let support = global_pmf.support_size();
+        self.ctx.record(StageRecord {
+            stage: StageName::RunGlobal,
+            wall: t0.elapsed(),
+            trials,
+            items: 1,
+            backend: Some(backend),
+            support: Some(support),
+        });
+        GlobalRun { ctx: self.ctx, global: self.global, global_pmf, backend }
+    }
+}
+
+/// Stage result of [`GlobalCompiled::run_global`]: the global PMF is now
+/// available for inspection and steering. This is the natural fork point
+/// for subset-policy sweeps — everything upstream (compile + global run) is
+/// the expensive, config-independent part.
+#[derive(Debug, Clone)]
+pub struct GlobalRun {
+    ctx: Ctx,
+    global: Compiled,
+    global_pmf: Pmf,
+    backend: BackendKind,
+}
+
+impl GlobalRun {
+    /// The global-mode PMF (the reconstruction prior).
+    #[must_use]
+    pub fn global_pmf(&self) -> &Pmf {
+        &self.global_pmf
+    }
+
+    /// The compiled global-mode artifact.
+    #[must_use]
+    pub fn artifact(&self) -> &Compiled {
+        &self.global
+    }
+
+    /// Simulation backend the global run resolved to.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The configuration driving the run.
+    #[must_use]
+    pub fn config(&self) -> &JigsawConfig {
+        &self.ctx.config
+    }
+
+    /// The budget split this run uses.
+    #[must_use]
+    pub fn plan(&self) -> &BudgetPlan {
+        &self.ctx.plan
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn timings(&self) -> &StageTimings {
+        &self.ctx.timings
+    }
+
+    /// Replaces the subset sizes for the downstream stages — the global
+    /// stages do not depend on them, so a fork per size shares this run
+    /// (the `abl_subset_size` sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no provided size fits the program.
+    #[must_use]
+    pub fn with_subset_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.ctx.config.subset_sizes = sizes;
+        self.ctx.plan = BudgetPlan::for_config(&self.ctx.config, self.ctx.program.n_qubits());
+        self
+    }
+
+    /// Replaces the subset-selection policy for [`Self::select_subsets`].
+    #[must_use]
+    pub fn with_selection(mut self, selection: SubsetSelection) -> Self {
+        self.ctx.config.selection = selection;
+        self
+    }
+
+    /// Replaces the per-CPM trial allocation policy.
+    #[must_use]
+    pub fn with_allocation(mut self, allocation: TrialAllocation) -> Self {
+        self.ctx.config.allocation = allocation;
+        self
+    }
+
+    /// Disables CPM recompilation downstream ("JigSaw w/o recompilation",
+    /// Fig. 11): CPMs reuse this run's global mapping.
+    #[must_use]
+    pub fn without_recompilation(mut self) -> Self {
+        self.ctx.config.recompile_cpms = false;
+        self
+    }
+
+    /// Replaces the reconstruction convergence controls used by
+    /// [`CpmsRun::reconstruct`].
+    #[must_use]
+    pub fn with_reconstruction(mut self, reconstruction: ReconstructionConfig) -> Self {
+        self.ctx.config.reconstruction = reconstruction;
+        self
+    }
+
+    /// Stage 3: chooses CPM subsets per the configured policy and splits
+    /// the subset budget among them.
+    ///
+    /// [`SubsetSelection::Adaptive`] is resolved here, against
+    /// [`Self::global_pmf`] — the steering step the one-shot API cannot
+    /// express.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a random selection requests more distinct subsets than
+    /// exist.
+    #[must_use]
+    pub fn select_subsets(self) -> SubsetsSelected {
+        let t0 = Instant::now();
+        let n = self.ctx.program.n_qubits();
+        let config_seed = self.ctx.config.seed;
+        let sizes = &self.ctx.plan.sizes;
+        let per_size: Vec<Vec<Vec<usize>>> = match self.ctx.config.selection {
+            // One entropy/MI model serves every size layer.
+            SubsetSelection::Adaptive => {
+                adaptive_layers(&self.global_pmf, sizes, self.ctx.config.run.threads)
+            }
+            other => sizes
+                .iter()
+                .map(|&size| generate(n, size, other, seed::subset_layer(config_seed, size)))
+                .collect(),
+        };
+        let layers: Vec<(usize, Vec<Vec<usize>>)> =
+            sizes.clone().into_iter().zip(per_size).collect();
+        self.select_with_layers(layers, t0)
+    }
+
+    /// Stage 3, caller-steered: uses the given subsets instead of a
+    /// selection policy. Subsets are grouped by size (descending, §4.4.2
+    /// order) and budgeted exactly like selected ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subsets` is empty, or any subset is empty, has duplicate
+    /// or out-of-range qubits, or measures the whole program.
+    #[must_use]
+    pub fn override_subsets(self, subsets: Vec<Vec<usize>>) -> SubsetsSelected {
+        let t0 = Instant::now();
+        let n = self.ctx.program.n_qubits();
+        assert!(!subsets.is_empty(), "override_subsets needs at least one subset");
+        let mut by_size: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
+        for mut subset in subsets {
+            subset.sort_unstable();
+            assert!(!subset.is_empty(), "a CPM must measure at least one qubit");
+            assert!(subset.len() < n, "a CPM of all {n} qubits is the global mode");
+            assert!(*subset.last().expect("non-empty") < n, "subset {subset:?} out of range");
+            assert!(subset.windows(2).all(|w| w[0] != w[1]), "subset {subset:?} has duplicates");
+            match by_size.iter_mut().find(|(s, _)| *s == subset.len()) {
+                Some((_, list)) => list.push(subset),
+                None => by_size.push((subset.len(), vec![subset])),
+            }
+        }
+        by_size.sort_unstable_by_key(|layer| std::cmp::Reverse(layer.0));
+        self.select_with_layers(by_size, t0)
+    }
+
+    fn select_with_layers(
+        mut self,
+        lists: Vec<(usize, Vec<Vec<usize>>)>,
+        t0: Instant,
+    ) -> SubsetsSelected {
+        let cpm_count: usize = lists.iter().map(|(_, subs)| subs.len()).sum();
+        let subset_trials = self.ctx.plan.subset_trials;
+
+        // Per-layer budgets. Equal split is the paper's default; the
+        // coverage-weighted split (Appendix A.2's "fine-tuned" option)
+        // gives a size-s CPM budget proportional to its outcome-coverage
+        // need.
+        let layers: Vec<SubsetLayer> = match self.ctx.config.allocation {
+            TrialAllocation::Equal => {
+                let per = (subset_trials / cpm_count.max(1) as u64).max(1);
+                lists
+                    .into_iter()
+                    .map(|(size, subsets)| {
+                        let budget = per * subsets.len() as u64;
+                        SubsetLayer { size, subsets, budget }
+                    })
+                    .collect()
+            }
+            TrialAllocation::CoverageWeighted { confidence } => {
+                let weights: Vec<f64> = lists
+                    .iter()
+                    .map(|(s, subs)| {
+                        crate::trials::cpm_trials(*s, confidence) as f64 * subs.len() as f64
+                    })
+                    .collect();
+                let total_weight: f64 = weights.iter().sum();
+                lists
+                    .into_iter()
+                    .zip(weights)
+                    .map(|((size, subsets), w)| {
+                        let budget = ((subset_trials as f64 * w / total_weight) as u64).max(1);
+                        SubsetLayer { size, subsets, budget }
+                    })
+                    .collect()
+            }
+        };
+        self.ctx.record(StageRecord {
+            stage: StageName::SelectSubsets,
+            wall: t0.elapsed(),
+            trials: 0,
+            items: cpm_count,
+            backend: None,
+            support: None,
+        });
+        SubsetsSelected {
+            ctx: self.ctx,
+            global: self.global,
+            global_pmf: self.global_pmf,
+            backend: self.backend,
+            layers,
+        }
+    }
+}
+
+/// Stage result of [`GlobalRun::select_subsets`] /
+/// [`GlobalRun::override_subsets`]: the CPM work list with per-layer
+/// budgets.
+#[derive(Debug, Clone)]
+pub struct SubsetsSelected {
+    ctx: Ctx,
+    global: Compiled,
+    global_pmf: Pmf,
+    backend: BackendKind,
+    layers: Vec<SubsetLayer>,
+}
+
+impl SubsetsSelected {
+    /// The subset layers, descending by size, with their budgets.
+    #[must_use]
+    pub fn layers(&self) -> &[SubsetLayer] {
+        &self.layers
+    }
+
+    /// The global-mode PMF (the reconstruction prior).
+    #[must_use]
+    pub fn global_pmf(&self) -> &Pmf {
+        &self.global_pmf
+    }
+
+    /// The configuration driving the run.
+    #[must_use]
+    pub fn config(&self) -> &JigsawConfig {
+        &self.ctx.config
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn timings(&self) -> &StageTimings {
+        &self.ctx.timings
+    }
+
+    /// Stage 4: compiles (or derives from the global artifact) and executes
+    /// every CPM, fanning across the worker team. Per-CPM seeds are pinned
+    /// to the CPM index and results keep work-list order, so any thread
+    /// count reproduces the serial histograms bit-for-bit.
+    #[must_use]
+    pub fn run_cpms(mut self) -> CpmsRun {
+        let t0 = Instant::now();
+        let mut work: Vec<(Vec<usize>, u64, u64)> = Vec::new();
+        let mut cpm_index = 0u64;
+        for layer in &self.layers {
+            let per_cpm = (layer.budget / layer.subsets.len().max(1) as u64).max(1);
+            for subset in &layer.subsets {
+                work.push((subset.clone(), per_cpm, seed::cpm(self.ctx.config.seed, cpm_index)));
+                cpm_index += 1;
+            }
+        }
+        let cpm_trials: u64 = work.iter().map(|(_, per_cpm, _)| per_cpm).sum();
+        let trials_used = self.ctx.plan.global_trials + cpm_trials;
+
+        let executor = Executor::new(&self.ctx.device);
+        // Inner executor runs and CPM placement searches stay serial: the
+        // fan-out already uses the worker team, and nested teams would
+        // oversubscribe cores.
+        let cpm_compiler = CompilerOptions { threads: 1, ..self.ctx.config.compiler };
+        let config = &self.ctx.config;
+        let program = &self.ctx.program;
+        let device = &self.ctx.device;
+        let global = &self.global;
+        let run_cpm = |(subset, per_cpm, run_seed): (Vec<usize>, u64, u64)| -> Marginal {
+            let cpm_run = config.run.with_seed(run_seed).with_threads(1);
+            let artifact = if config.recompile_cpms {
+                CpmArtifact::recompiled(program, &subset, device, &cpm_compiler)
+            } else {
+                CpmArtifact::reusing(global, &subset)
+            };
+            let counts = executor.run(&artifact.circuit, per_cpm, &cpm_run);
+            Marginal::new(subset, counts.to_pmf())
+        };
+        let marginals: Vec<Marginal> =
+            jigsaw_pmf::parallel::fan_out(work, self.ctx.config.run.threads, run_cpm);
+
+        let items = marginals.len();
+        self.ctx.record(StageRecord {
+            stage: StageName::RunCpms,
+            wall: t0.elapsed(),
+            trials: cpm_trials,
+            items,
+            backend: None,
+            support: None,
+        });
+        CpmsRun {
+            ctx: self.ctx,
+            global: self.global,
+            global_pmf: self.global_pmf,
+            backend: self.backend,
+            layers: self.layers,
+            marginals,
+            trials_used,
+        }
+    }
+}
+
+/// Stage result of [`SubsetsSelected::run_cpms`]: every CPM's local PMF.
+#[derive(Debug, Clone)]
+pub struct CpmsRun {
+    ctx: Ctx,
+    global: Compiled,
+    global_pmf: Pmf,
+    backend: BackendKind,
+    layers: Vec<SubsetLayer>,
+    marginals: Vec<Marginal>,
+    trials_used: u64,
+}
+
+impl CpmsRun {
+    /// All CPM marginals, in work-list order (largest sizes first).
+    #[must_use]
+    pub fn marginals(&self) -> &[Marginal] {
+        &self.marginals
+    }
+
+    /// The global-mode PMF (the reconstruction prior).
+    #[must_use]
+    pub fn global_pmf(&self) -> &Pmf {
+        &self.global_pmf
+    }
+
+    /// Telemetry accumulated so far.
+    #[must_use]
+    pub fn timings(&self) -> &StageTimings {
+        &self.ctx.timings
+    }
+
+    /// Stage 5: hierarchical Bayesian reconstruction, largest subset size
+    /// first (§4.4.2), producing the final [`JigsawResult`].
+    #[must_use]
+    pub fn reconstruct(mut self) -> JigsawResult {
+        let t0 = Instant::now();
+        // The sharded reconstruction passes run on the same worker-team
+        // setting as the rest of the pipeline: RunConfig::threads overrides
+        // whatever the reconstruction config carries, so one knob governs
+        // every stage.
+        let reconstruction =
+            self.ctx.config.reconstruction.with_threads(self.ctx.config.run.threads);
+        let mut current = self.global_pmf.clone();
+        let mut rounds = 0;
+        for layer in &self.layers {
+            let members: Vec<Marginal> =
+                self.marginals.iter().filter(|m| m.size() == layer.size).cloned().collect();
+            let r = reconstruct(&current, &members, &reconstruction);
+            current = r.pmf;
+            rounds += r.rounds;
+        }
+        let support = current.support_size();
+        self.ctx.record(StageRecord {
+            stage: StageName::Reconstruct,
+            wall: t0.elapsed(),
+            trials: 0,
+            items: rounds,
+            backend: None,
+            support: Some(support),
+        });
+        JigsawResult {
+            output: current,
+            global: self.global_pmf,
+            marginals: self.marginals,
+            global_eps: self.global.eps,
+            rounds,
+            trials_used: self.trials_used,
+            backend: self.backend,
+            timings: self.ctx.timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_jigsaw;
+    use jigsaw_circuit::bench;
+
+    fn quick_config(trials: u64) -> JigsawConfig {
+        JigsawConfig {
+            compiler: CompilerOptions { max_seeds: 4, ..CompilerOptions::default() },
+            ..JigsawConfig::jigsaw(trials)
+        }
+    }
+
+    #[test]
+    fn staged_run_matches_the_one_shot_wrapper() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let config = quick_config(2000).with_seed(5);
+        let one_shot = run_jigsaw(b.circuit(), &device, &config);
+        let staged = JigsawPipeline::plan(b.circuit(), &device, &config)
+            .compile_global()
+            .run_global()
+            .select_subsets()
+            .run_cpms()
+            .reconstruct();
+        assert_eq!(one_shot, staged);
+    }
+
+    #[test]
+    fn forked_global_run_replays_bit_identically() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let config = quick_config(2000).with_seed(9);
+        let global_run =
+            JigsawPipeline::plan(b.circuit(), &device, &config).compile_global().run_global();
+        // Drive a decoy branch first; the original fork must be unaffected.
+        let fork = global_run.clone();
+        let decoy =
+            fork.clone().with_subset_sizes(vec![3]).select_subsets().run_cpms().reconstruct();
+        assert!(decoy.marginals.iter().all(|m| m.size() == 3));
+        let a = fork.select_subsets().run_cpms().reconstruct();
+        let b2 = global_run.select_subsets().run_cpms().reconstruct();
+        assert_eq!(a, b2);
+        assert_eq!(a, run_jigsaw(b.circuit(), &device, &config));
+    }
+
+    #[test]
+    fn adaptive_selection_covers_every_qubit() {
+        let device = Device::toronto();
+        let b = bench::ghz(7);
+        let config = JigsawConfig {
+            selection: SubsetSelection::Adaptive,
+            ..quick_config(2000).with_seed(3)
+        };
+        let result = run_jigsaw(b.circuit(), &device, &config);
+        for q in 0..7 {
+            assert!(
+                result.marginals.iter().any(|m| m.qubits.contains(&q)),
+                "qubit {q} uncovered by adaptive subsets"
+            );
+        }
+        assert!((result.output.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn override_subsets_groups_by_size_and_runs() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let config = quick_config(2000).with_seed(1);
+        let result = JigsawPipeline::plan(b.circuit(), &device, &config)
+            .compile_global()
+            .run_global()
+            .override_subsets(vec![vec![0, 1], vec![2, 3, 4], vec![4, 5]])
+            .run_cpms()
+            .reconstruct();
+        let sizes: Vec<usize> = result.marginals.iter().map(Marginal::size).collect();
+        assert_eq!(sizes, vec![3, 2, 2], "descending size order");
+        assert!((result.output.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timings_cover_every_stage() {
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let result = run_jigsaw(b.circuit(), &device, &quick_config(1000));
+        for stage in [
+            StageName::Plan,
+            StageName::CompileGlobal,
+            StageName::RunGlobal,
+            StageName::SelectSubsets,
+            StageName::RunCpms,
+            StageName::Reconstruct,
+        ] {
+            assert!(result.timings.get(stage).is_some(), "missing record for {stage}");
+        }
+        let run_global = result.timings.get(StageName::RunGlobal).expect("recorded");
+        assert_eq!(run_global.trials, 500);
+        assert_eq!(run_global.backend, Some(BackendKind::Stabilizer));
+        assert!(run_global.support.is_some());
+        assert!(result.timings.total_wall() > Duration::ZERO);
+        // Display renders one line per record plus the total.
+        let rendered = result.timings.to_string();
+        assert_eq!(rendered.lines().count(), result.timings.records().len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all 5 qubits is the global mode")]
+    fn override_rejects_whole_program_subsets() {
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let _ = JigsawPipeline::plan(b.circuit(), &device, &quick_config(1000))
+            .compile_global()
+            .run_global()
+            .override_subsets(vec![vec![0, 1, 2, 3, 4]]);
+    }
+}

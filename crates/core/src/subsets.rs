@@ -4,9 +4,12 @@
 //! program yields `n` windows of the requested size with wrap-around, e.g.
 //! size 2 over 4 qubits gives (q0,q1), (q1,q2), (q2,q3), (q3,q0). Random
 //! and coverage-constrained selections support the Fig. 9 sensitivity
-//! studies.
+//! studies, and [`adaptive`] chooses subsets from the global-mode PMF —
+//! the measurement-steering direction only the staged pipeline can
+//! express, since it needs an artifact from mid-protocol.
 
 use jigsaw_pmf::hashing::DetHashSet;
+use jigsaw_pmf::{metrics, Pmf};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -24,6 +27,13 @@ pub enum SubsetSelection {
     /// `n` random subsets constrained so every qubit is measured at least
     /// once (Fig. 9b).
     RandomCovering,
+    /// Subsets derived from the global-mode PMF: qubits grouped by pairwise
+    /// mutual information, highest-entropy qubits first, until every qubit
+    /// is covered (see [`adaptive`]). Requires the global run to have
+    /// happened, so it is only available through the staged
+    /// [`JigsawPipeline`](crate::pipeline::JigsawPipeline) (which
+    /// [`run_jigsaw`](crate::run_jigsaw) drives internally).
+    Adaptive,
 }
 
 /// Generates subsets of `size` qubits out of `n` according to `selection`.
@@ -33,8 +43,11 @@ pub enum SubsetSelection {
 ///
 /// # Panics
 ///
-/// Panics if `size` is zero or larger than `n`, or if a random selection
-/// requests more distinct subsets than exist.
+/// Panics if `size` is zero or larger than `n`, if a random selection
+/// requests more distinct subsets than exist, or if `selection` is
+/// [`SubsetSelection::Adaptive`] — adaptive selection consumes the
+/// global-mode PMF, which this signature does not carry; call [`adaptive`]
+/// (or drive the staged pipeline) instead.
 #[must_use]
 pub fn generate(n: usize, size: usize, selection: SubsetSelection, seed: u64) -> Vec<Vec<usize>> {
     assert!(size >= 1, "subset size must be positive");
@@ -43,7 +56,126 @@ pub fn generate(n: usize, size: usize, selection: SubsetSelection, seed: u64) ->
         SubsetSelection::SlidingWindow => sliding_window(n, size),
         SubsetSelection::Random { count } => random_distinct(n, size, count, seed),
         SubsetSelection::RandomCovering => random_covering(n, size, seed),
+        SubsetSelection::Adaptive => panic!(
+            "SubsetSelection::Adaptive derives subsets from the global-mode PMF; \
+             call subsets::adaptive(&global_pmf, size) or drive the staged pipeline"
+        ),
     }
+}
+
+/// Chooses subsets of `size` qubits from the global-mode PMF: anchor on the
+/// highest-marginal-entropy uncovered qubit, grow each subset with the
+/// qubits sharing the most pairwise mutual information with it, repeat
+/// until every qubit is covered.
+///
+/// Rationale (§4.3's coverage argument, pushed in the QuTracer direction):
+/// the global run already estimates which qubits are uncertain (high
+/// marginal entropy) and which move together (high mutual information).
+/// Measuring correlated groups in one CPM lets the Bayesian update correct
+/// their *joint* marginal instead of two independent ones, while
+/// low-entropy qubits — already effectively classical in the prior — need
+/// the least CPM budget, so they are covered last and never anchor a
+/// subset.
+///
+/// The construction is fully deterministic: no RNG, ties broken by
+/// (entropy, lowest index), and entropies/MI are computed in canonical
+/// entry order, so equal PMFs always yield identical subsets. Every qubit
+/// is guaranteed to appear in at least one subset, and the number of
+/// subsets lies between `⌈n/size⌉` (disjoint groups) and `n`.
+///
+/// # Panics
+///
+/// Panics if `size` is zero or larger than the PMF width.
+#[must_use]
+pub fn adaptive(global: &Pmf, size: usize) -> Vec<Vec<usize>> {
+    adaptive_layers(global, &[size], 1).pop().expect("one size requested")
+}
+
+/// [`adaptive`] for several subset sizes at once, computing the marginal
+/// entropies and the `O(n²)`-pair mutual-information matrix **once** and
+/// reusing them per size — the multi-layer (JigSaw-M) path. Returns one
+/// subset list per requested size, in request order. The MI matrix is
+/// skipped entirely when every requested size is 1 (singleton subsets
+/// never consult it).
+///
+/// The pairwise joint-marginal scans dominate on wide programs
+/// (`n(n−1)/2` full-support passes), so they fan across the worker team;
+/// `threads` follows the [`fan_out`](jigsaw_pmf::parallel::fan_out)
+/// convention (`0` = all cores, `1` = serial). Each pair is scored
+/// independently and results merge in pair order, so the output is
+/// identical at every setting.
+///
+/// # Panics
+///
+/// Panics if any size is zero or larger than the PMF width.
+#[must_use]
+pub fn adaptive_layers(global: &Pmf, sizes: &[usize], threads: usize) -> Vec<Vec<Vec<usize>>> {
+    let n = global.n_bits();
+    for &size in sizes {
+        assert!(size >= 1, "subset size must be positive");
+        assert!(size <= n, "subset of {size} qubits out of {n} is impossible");
+    }
+
+    let entropy: Vec<f64> = (0..n).map(|q| metrics::entropy(&global.marginal(&[q]))).collect();
+    let mut mi = vec![vec![0.0f64; n]; n];
+    if sizes.iter().any(|&s| s > 1) {
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect();
+        // I(a; b) = H(a) + H(b) − H(a, b), clamped: sampling noise can
+        // push the estimate a hair below zero.
+        let scored = jigsaw_pmf::parallel::fan_out(pairs, threads, |(a, b)| {
+            let joint = metrics::entropy(&global.marginal(&[a, b]));
+            (a, b, (entropy[a] + entropy[b] - joint).max(0.0))
+        });
+        for (a, b, info) in scored {
+            mi[a][b] = info;
+            mi[b][a] = info;
+        }
+    }
+    sizes.iter().map(|&size| adaptive_cover(&entropy, &mi, size)).collect()
+}
+
+/// One greedy cover pass over precomputed entropies and MI.
+fn adaptive_cover(entropy: &[f64], mi: &[Vec<f64>], size: usize) -> Vec<Vec<usize>> {
+    let n = entropy.len();
+    let mut covered = vec![false; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    while covered.iter().any(|&c| !c) {
+        // Anchor: the most uncertain uncovered qubit (strict `>` keeps the
+        // lowest index on ties).
+        let mut anchor = usize::MAX;
+        for q in 0..n {
+            if !covered[q] && (anchor == usize::MAX || entropy[q] > entropy[anchor]) {
+                anchor = q;
+            }
+        }
+        let mut subset = vec![anchor];
+        while subset.len() < size {
+            // Partner: the qubit sharing the most information with the
+            // subset so far; entropy then lowest index break ties.
+            let mut best = usize::MAX;
+            let mut best_score = f64::NEG_INFINITY;
+            for q in 0..n {
+                if subset.contains(&q) {
+                    continue;
+                }
+                let score: f64 = subset.iter().map(|&m| mi[q][m]).sum();
+                let better = score > best_score
+                    || (score == best_score && best != usize::MAX && entropy[q] > entropy[best]);
+                if better {
+                    best = q;
+                    best_score = score;
+                }
+            }
+            subset.push(best);
+        }
+        subset.sort_unstable();
+        for &q in &subset {
+            covered[q] = true;
+        }
+        out.push(subset);
+    }
+    out
 }
 
 /// The paper's sliding-window subsets: windows `[i, i+1, …, i+size−1]`
@@ -265,6 +397,59 @@ mod tests {
         assert_eq!(a, b);
         let c = generate(10, 3, SubsetSelection::Random { count: 5 }, 12);
         assert_ne!(a, c);
+    }
+
+    fn pmf(n: usize, entries: &[(&str, f64)]) -> Pmf {
+        let mut p = Pmf::new(n);
+        for (s, v) in entries {
+            p.set(s.parse().unwrap(), *v);
+        }
+        p
+    }
+
+    #[test]
+    fn adaptive_groups_correlated_qubits() {
+        // Bits are printed MSB-first (q3 q2 q1 q0): q0 and q1 are perfectly
+        // correlated, q2 is uniform but independent, q3 is deterministic.
+        let p = pmf(4, &[("0011", 0.25), ("0000", 0.25), ("0111", 0.25), ("0100", 0.25)]);
+        let subsets = adaptive(&p, 2);
+        assert!(
+            subsets.contains(&vec![0, 1]),
+            "correlated pair (q0, q1) should share a subset: {subsets:?}"
+        );
+        for q in 0..4 {
+            assert!(subsets.iter().any(|s| s.contains(&q)), "qubit {q} uncovered");
+        }
+    }
+
+    #[test]
+    fn adaptive_covers_and_is_deterministic() {
+        let p = Pmf::uniform(7);
+        let a = adaptive(&p, 3);
+        let b = adaptive(&p, 3);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|s| s.len() == 3 && s.windows(2).all(|w| w[0] < w[1])));
+        for q in 0..7 {
+            assert!(a.iter().any(|s| s.contains(&q)), "qubit {q} uncovered");
+        }
+        // Between ⌈7/3⌉ and 7 subsets.
+        assert!(a.len() >= 3 && a.len() <= 7);
+    }
+
+    #[test]
+    fn adaptive_singletons_enumerate_every_qubit() {
+        let p = Pmf::uniform(5);
+        let subsets = adaptive(&p, 1);
+        assert_eq!(subsets.len(), 5);
+        for q in 0..5 {
+            assert!(subsets.contains(&vec![q]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "global-mode PMF")]
+    fn generate_rejects_adaptive_without_a_pmf() {
+        let _ = generate(6, 2, SubsetSelection::Adaptive, 0);
     }
 
     #[test]

@@ -23,6 +23,18 @@ pub fn tvd(p: &Pmf, q: &Pmf) -> f64 {
     0.5 * support.iter().map(|b| (p.prob(b) - q.prob(b)).abs()).sum::<f64>()
 }
 
+/// Shannon entropy `−Σ P(x)·log₂P(x)` in bits, 0 for a point mass and
+/// `n_bits` for the uniform distribution over all outcomes.
+///
+/// Summation runs over [`Pmf::sorted_entries`] so the floating-point
+/// accumulation order is canonical: equal PMFs always produce bit-identical
+/// entropies, which the adaptive subset selection relies on for
+/// deterministic tie-breaking.
+#[must_use]
+pub fn entropy(p: &Pmf) -> f64 {
+    p.sorted_entries().iter().map(|(_, v)| if *v > 0.0 { -v * v.log2() } else { 0.0 }).sum()
+}
+
 /// Program Fidelity `1 − TVD(P, Q)` (paper Equation 3): 1 for identical
 /// distributions, 0 for disjoint ones.
 ///
@@ -160,6 +172,16 @@ mod tests {
         let p = pmf(&[("0", 0.8), ("1", 0.2)]);
         let q = pmf(&[("0", 0.5), ("1", 0.5)]);
         assert!((tvd(&p, &q) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_known_values() {
+        assert!(entropy(&pmf(&[("00", 1.0)])).abs() < 1e-12);
+        assert!((entropy(&Pmf::uniform(3)) - 3.0).abs() < 1e-12);
+        assert!((entropy(&pmf(&[("0", 0.5), ("1", 0.5)])) - 1.0).abs() < 1e-12);
+        // H(0.25, 0.75) = 2 − 0.75·log₂3.
+        let h = entropy(&pmf(&[("0", 0.25), ("1", 0.75)]));
+        assert!((h - (2.0 - 0.75 * 3.0f64.log2())).abs() < 1e-12);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() {
     let device = Device::toronto();
     let b = bench::bernstein_vazirani(6, 0b10110);
     let answer = resolve_correct_set(&b)[0];
-    let trials = 16_384;
+    let trials: u64 = jigsaw_repro::example_budget(16_384);
     let options = CompilerOptions::default();
     let executor = Executor::new(&device);
 

@@ -2,20 +2,25 @@
 //! programs grow — the paper's motivating scenario, where measurement error
 //! accumulates across every measured qubit.
 //!
+//! JigSaw and JigSaw-M differ only downstream of the global run, so each
+//! size drives the staged pipeline once to `GlobalRun` and forks it — one
+//! global compile + simulation per size instead of two.
+//!
 //! ```text
 //! cargo run --release --example ghz_recovery
+//! JIGSAW_TRIALS=2000 cargo run --release --example ghz_recovery
 //! ```
 
 use jigsaw_repro::circuit::bench;
 use jigsaw_repro::compiler::CompilerOptions;
-use jigsaw_repro::core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_repro::core::{run_baseline_from, JigsawConfig, JigsawPipeline, ReferenceConfig};
 use jigsaw_repro::device::Device;
 use jigsaw_repro::pmf::metrics;
-use jigsaw_repro::sim::{resolve_correct_set, RunConfig};
+use jigsaw_repro::sim::resolve_correct_set;
 
 fn main() {
     let device = Device::toronto();
-    let trials = 8_192;
+    let trials = jigsaw_repro::example_budget(8_192);
     let compiler = CompilerOptions { max_seeds: 6, ..CompilerOptions::default() };
 
     println!("GHZ scaling on {} ({trials} trials per policy)", device.name());
@@ -29,12 +34,16 @@ fn main() {
         let b = bench::ghz(n);
         let correct = resolve_correct_set(&b);
 
-        let baseline =
-            run_baseline(b.circuit(), &device, trials, 7, &RunConfig::default(), &compiler);
         let jig_cfg = JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(7);
-        let jig = run_jigsaw(b.circuit(), &device, &jig_cfg);
-        let jm_cfg = JigsawConfig { subset_sizes: vec![2, 3, 4, 5], ..jig_cfg.clone() };
-        let jm = run_jigsaw(b.circuit(), &device, &jm_cfg);
+        let shared =
+            JigsawPipeline::plan(b.circuit(), &device, &jig_cfg).compile_global().run_global();
+        // The baseline executes the same measure-all artifact the shared
+        // stage compiled — no second placement search.
+        let reference = ReferenceConfig::new(trials).with_seed(7).with_compiler(compiler);
+        let baseline = run_baseline_from(shared.artifact(), &device, &reference);
+        let jig = shared.clone().select_subsets().run_cpms().reconstruct();
+        let jm =
+            shared.with_subset_sizes(vec![2, 3, 4, 5]).select_subsets().run_cpms().reconstruct();
 
         let p_base = metrics::pst(&baseline, &correct);
         let p_jig = metrics::pst(&jig.output, &correct);

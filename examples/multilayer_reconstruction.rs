@@ -19,7 +19,7 @@ fn main() {
     let device = Device::toronto();
     let bench = bench::ghz(12);
     let correct = resolve_correct_set(&bench);
-    let trials = 16_384u64;
+    let trials: u64 = jigsaw_repro::example_budget(16_384);
     let compiler = CompilerOptions::default();
     let executor = Executor::new(&device);
 

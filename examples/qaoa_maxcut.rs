@@ -4,21 +4,22 @@
 //!
 //! ```text
 //! cargo run --release --example qaoa_maxcut
+//! JIGSAW_TRIALS=2000 cargo run --release --example qaoa_maxcut
 //! ```
 
 use jigsaw_repro::circuit::bench;
 use jigsaw_repro::circuit::qaoa::approximation_ratio_gap;
 use jigsaw_repro::compiler::CompilerOptions;
-use jigsaw_repro::core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_repro::core::{run_baseline_from, JigsawConfig, JigsawPipeline, ReferenceConfig};
 use jigsaw_repro::device::Device;
 use jigsaw_repro::pmf::metrics;
-use jigsaw_repro::sim::{ideal_pmf, resolve_correct_set, RunConfig};
+use jigsaw_repro::sim::{ideal_pmf, resolve_correct_set};
 
 fn main() {
     let device = Device::paris();
     let b = bench::qaoa_maxcut(10, 2);
     let (graph, angles) = b.qaoa().expect("QAOA benchmark");
-    let trials = 16_384;
+    let trials = jigsaw_repro::example_budget(16_384);
     let compiler = CompilerOptions::default();
 
     let mut ideal_circuit = b.circuit().clone();
@@ -38,18 +39,22 @@ fn main() {
     println!("Noise-free approximation ratio with ramp angles: {ar_ideal:.4}");
     println!();
 
-    let baseline = run_baseline(b.circuit(), &device, trials, 3, &RunConfig::default(), &compiler);
-    let jig = run_jigsaw(
+    // JigSaw and JigSaw-M share the global stages; fork after the global
+    // run. The baseline executes the same measure-all artifact.
+    let shared = JigsawPipeline::plan(
         b.circuit(),
         &device,
         &JigsawConfig { compiler, ..JigsawConfig::jigsaw(trials) }.with_seed(3),
-    );
-    let jm = run_jigsaw(
-        b.circuit(),
+    )
+    .compile_global()
+    .run_global();
+    let baseline = run_baseline_from(
+        shared.artifact(),
         &device,
-        &JigsawConfig { subset_sizes: vec![2, 3, 4, 5], compiler, ..JigsawConfig::jigsaw(trials) }
-            .with_seed(3),
+        &ReferenceConfig::new(trials).with_seed(3).with_compiler(compiler),
     );
+    let jig = shared.clone().select_subsets().run_cpms().reconstruct();
+    let jm = shared.with_subset_sizes(vec![2, 3, 4, 5]).select_subsets().run_cpms().reconstruct();
 
     for (name, pmf) in [("Baseline", &baseline), ("JigSaw", &jig.output), ("JigSaw-M", &jm.output)]
     {

@@ -2,14 +2,14 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! JIGSAW_TRIALS=2000 cargo run --release --example quickstart   # smaller budget
 //! ```
 
 use jigsaw_repro::circuit::bench;
-use jigsaw_repro::compiler::CompilerOptions;
-use jigsaw_repro::core::{run_baseline, run_jigsaw, JigsawConfig};
+use jigsaw_repro::core::{run_baseline, run_jigsaw, JigsawConfig, ReferenceConfig};
 use jigsaw_repro::device::Device;
 use jigsaw_repro::pmf::metrics;
-use jigsaw_repro::sim::{resolve_correct_set, RunConfig};
+use jigsaw_repro::sim::resolve_correct_set;
 
 fn main() {
     // 1. A NISQ machine model: the 27-qubit Toronto stand-in, with spatially
@@ -19,17 +19,11 @@ fn main() {
     // 2. A program: GHZ-8 (correct answers: all-zeros and all-ones).
     let bench = bench::ghz(8);
     let correct = resolve_correct_set(&bench);
-    let trials = 16_384;
+    let trials = jigsaw_repro::example_budget(16_384);
 
     // 3. Baseline: noise-aware compile, every trial measures all qubits.
-    let baseline = run_baseline(
-        bench.circuit(),
-        &device,
-        trials,
-        2021,
-        &RunConfig::default(),
-        &CompilerOptions::default(),
-    );
+    let baseline =
+        run_baseline(bench.circuit(), &device, &ReferenceConfig::new(trials).with_seed(2021));
 
     // 4. JigSaw: half the trials global, half on 2-qubit CPMs, fused by
     //    Bayesian reconstruction.
@@ -50,4 +44,8 @@ fn main() {
         let marker = if correct.contains(&outcome) { " <- correct" } else { "" };
         println!("  {outcome}  {p:.4}{marker}");
     }
+
+    // 6. Where the time went, stage by stage (Fig. 4 order).
+    println!("\nStage timings:");
+    println!("{}", result.timings);
 }

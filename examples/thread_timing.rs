@@ -1,9 +1,11 @@
 //! Diagnostic: wall-clock of the JigSaw-M pipeline at `threads = 1`
 //! (serial) vs `threads = 0` (all cores), demonstrating that the
-//! parallelism knob changes timing but never the result.
+//! parallelism knob changes timing but never the result — with the staged
+//! API's per-stage telemetry showing *which* stages the team accelerates.
 //!
 //! ```text
 //! cargo run --release --example thread_timing
+//! JIGSAW_TRIALS=2000 cargo run --release --example thread_timing
 //! ```
 
 use jigsaw_repro::circuit::bench;
@@ -13,9 +15,10 @@ use jigsaw_repro::device::Device;
 fn main() {
     let device = Device::toronto();
     let b = bench::ghz(10);
+    let trials = jigsaw_repro::example_budget(40_000);
     let mut outputs = Vec::new();
     for threads in [1usize, 0] {
-        let mut cfg = JigsawConfig::jigsaw_m(40_000).with_seed(5);
+        let mut cfg = JigsawConfig::jigsaw_m(trials).with_seed(5);
         cfg.run = cfg.run.with_threads(threads);
         let t0 = std::time::Instant::now();
         let r = run_jigsaw(b.circuit(), &device, &cfg);
@@ -25,6 +28,7 @@ fn main() {
             r.rounds,
             r.marginals.len()
         );
+        println!("{}", r.timings);
         outputs.push(r.output);
     }
     assert_eq!(outputs[0], outputs[1], "thread count must not change the reconstruction");

@@ -5,3 +5,11 @@ pub use jigsaw_core as core;
 pub use jigsaw_device as device;
 pub use jigsaw_pmf as pmf;
 pub use jigsaw_sim as sim;
+
+/// Trial budget for the `examples/`: the `JIGSAW_TRIALS` environment
+/// variable when set and parseable, otherwise `default`. CI runs every
+/// example at `JIGSAW_TRIALS=2000` to keep the smoke fast.
+#[must_use]
+pub fn example_budget(default: u64) -> u64 {
+    std::env::var("JIGSAW_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}

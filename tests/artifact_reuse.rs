@@ -1,0 +1,88 @@
+//! Artifact reuse across a staged sweep, verified by the compiler probe:
+//! forking `GlobalCompiled`/`GlobalRun` must never recompile (or re-run)
+//! the global circuit, and every additional compilation must be a CPM
+//! recompile the config actually asked for.
+//!
+//! Kept as a single `#[test]` on purpose: the probe counter is
+//! process-global, and sibling tests compiling concurrently in this binary
+//! would corrupt the deltas.
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::{probe, CompilerOptions};
+use jigsaw_repro::core::{run_jigsaw, JigsawConfig, JigsawPipeline, StageName, SubsetSelection};
+use jigsaw_repro::device::Device;
+
+#[test]
+fn staged_sweep_compiles_the_global_circuit_exactly_once() {
+    let device = Device::toronto();
+    let b = bench::ghz(8);
+    let cfg = JigsawConfig {
+        compiler: CompilerOptions { max_seeds: 3, ..CompilerOptions::default() },
+        ..JigsawConfig::jigsaw(2000)
+    }
+    .with_seed(21);
+
+    // --- One global compile for the whole sweep ---------------------------
+    let before_global = probe::compile_count();
+    let shared = JigsawPipeline::plan(b.circuit(), &device, &cfg).compile_global();
+    assert_eq!(
+        probe::compile_count() - before_global,
+        1,
+        "compile_global performs exactly one compilation"
+    );
+    let shared = shared.run_global();
+
+    // --- Sweep subset sizes off the shared artifact ------------------------
+    let before_sweep = probe::compile_count();
+    let mut expected_cpm_compiles = 0u64;
+    let mut results = Vec::new();
+    for size in 2..=5usize {
+        let result =
+            shared.clone().with_subset_sizes(vec![size]).select_subsets().run_cpms().reconstruct();
+        expected_cpm_compiles += result.marginals.len() as u64;
+        results.push(result);
+    }
+    assert_eq!(
+        probe::compile_count() - before_sweep,
+        expected_cpm_compiles,
+        "forked stages must only pay CPM recompiles, never a global recompile"
+    );
+
+    // Each fork is bit-identical to its standalone monolithic run.
+    for (size, staged) in (2..=5usize).zip(&results) {
+        let standalone = run_jigsaw(
+            b.circuit(),
+            &device,
+            &JigsawConfig { subset_sizes: vec![size], ..cfg.clone() },
+        );
+        assert_eq!(staged, &standalone, "size-{size} fork diverged from run_jigsaw");
+    }
+
+    // --- Reuse-mode forks compile nothing at all ---------------------------
+    let before_reuse = probe::compile_count();
+    let reuse = shared.clone().without_recompilation().select_subsets().run_cpms().reconstruct();
+    assert_eq!(
+        probe::compile_count() - before_reuse,
+        0,
+        "layout-reuse CPMs must not invoke the compiler"
+    );
+    assert_eq!(reuse.marginals.len(), 8);
+
+    // --- Adaptive selection runs off the same artifact and covers ----------
+    let adaptive =
+        shared.with_selection(SubsetSelection::Adaptive).select_subsets().run_cpms().reconstruct();
+    for q in 0..8 {
+        assert!(
+            adaptive.marginals.iter().any(|m| m.qubits.contains(&q)),
+            "qubit {q} uncovered by adaptive subsets"
+        );
+    }
+    assert!((adaptive.output.total_mass() - 1.0).abs() < 1e-9);
+    // The shared global stages appear exactly once in each branch's
+    // telemetry — forks inherit records instead of re-running stages.
+    let compile_records =
+        adaptive.timings.records().iter().filter(|r| r.stage == StageName::CompileGlobal).count();
+    let run_global_records =
+        adaptive.timings.records().iter().filter(|r| r.stage == StageName::RunGlobal).count();
+    assert_eq!((compile_records, run_global_records), (1, 1));
+}

@@ -3,7 +3,7 @@
 
 use jigsaw_repro::circuit::bench;
 use jigsaw_repro::compiler::CompilerOptions;
-use jigsaw_repro::core::{run_baseline, run_edm, run_jigsaw, JigsawConfig};
+use jigsaw_repro::core::{run_baseline, run_edm, run_jigsaw, JigsawConfig, ReferenceConfig};
 use jigsaw_repro::device::Device;
 use jigsaw_repro::pmf::metrics;
 use jigsaw_repro::sim::{resolve_correct_set, RunConfig};
@@ -16,20 +16,17 @@ fn jigsaw_config(trials: u64, seed: u64) -> JigsawConfig {
     JigsawConfig { compiler: quick_compiler(), ..JigsawConfig::jigsaw(trials) }.with_seed(seed)
 }
 
+fn reference(trials: u64, seed: u64) -> ReferenceConfig {
+    ReferenceConfig::new(trials).with_seed(seed).with_compiler(quick_compiler())
+}
+
 #[test]
 fn jigsaw_beats_baseline_on_ghz_across_the_fleet() {
     for device in Device::paper_fleet() {
         let b = bench::ghz(8);
         let correct = resolve_correct_set(&b);
         let trials = 4096;
-        let baseline = run_baseline(
-            b.circuit(),
-            &device,
-            trials,
-            11,
-            &RunConfig::default(),
-            &quick_compiler(),
-        );
+        let baseline = run_baseline(b.circuit(), &device, &reference(trials, 11));
         let jig = run_jigsaw(b.circuit(), &device, &jigsaw_config(trials, 11));
         let p_base = metrics::pst(&baseline, &correct);
         let p_jig = metrics::pst(&jig.output, &correct);
@@ -46,8 +43,7 @@ fn jigsaw_improves_fidelity_not_just_pst() {
     ideal_circuit.measure_all();
     let ideal = jigsaw_repro::sim::ideal_pmf(&ideal_circuit);
 
-    let baseline =
-        run_baseline(b.circuit(), &device, trials, 5, &RunConfig::default(), &quick_compiler());
+    let baseline = run_baseline(b.circuit(), &device, &reference(trials, 5));
     let jig = run_jigsaw(b.circuit(), &device, &jigsaw_config(trials, 5));
     let f_base = metrics::fidelity(&ideal, &baseline);
     let f_jig = metrics::fidelity(&ideal, &jig.output);
@@ -84,7 +80,7 @@ fn equal_budget_accounting_holds() {
 fn edm_runs_and_normalises() {
     let device = Device::manhattan();
     let b = bench::bernstein_vazirani(5, 0b1100);
-    let pmf = run_edm(b.circuit(), &device, 2048, 4, 3, &RunConfig::default(), &quick_compiler());
+    let pmf = run_edm(b.circuit(), &device, 4, &reference(2048, 3));
     assert!((pmf.total_mass() - 1.0).abs() < 1e-9);
 }
 

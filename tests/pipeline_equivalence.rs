@@ -1,0 +1,152 @@
+//! Property suite for the staged pipeline: `JigsawPipeline` driven
+//! stage-by-stage — including forked-and-rejoined `GlobalRun` artifacts
+//! whose siblings ran different downstream configs first — must reproduce
+//! `run_jigsaw`'s histograms **bit-identically** across seeds, subset
+//! sizes, thread counts and simulation backends. Per-stage seed derivation
+//! (`jigsaw_core::seed`) is what makes this hold: a stage's RNG stream
+//! depends only on the experiment seed and the stage identity, never on
+//! when or how often other stages were driven.
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::CompilerOptions;
+use jigsaw_repro::core::{run_jigsaw, JigsawConfig, JigsawPipeline};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::sim::BackendChoice;
+use proptest::prelude::*;
+
+fn config(
+    trials: u64,
+    seed: u64,
+    sizes: Vec<usize>,
+    threads: usize,
+    backend: BackendChoice,
+) -> JigsawConfig {
+    let mut cfg = JigsawConfig {
+        subset_sizes: sizes,
+        compiler: CompilerOptions { max_seeds: 3, ..CompilerOptions::default() },
+        ..JigsawConfig::jigsaw(trials)
+    }
+    .with_seed(seed);
+    cfg.run = cfg.run.with_threads(threads);
+    cfg.run.backend = backend;
+    cfg
+}
+
+fn subset_sizes() -> impl Strategy<Value = Vec<usize>> {
+    (0usize..4).prop_map(|i| match i {
+        0 => vec![2],
+        1 => vec![3],
+        2 => vec![2, 3],
+        _ => vec![4, 2],
+    })
+}
+
+// GHZ is Clifford, so both the dense and the stabilizer backend accept it;
+// `Auto` resolves to the tableau and `Dense` forces the state vector.
+fn backends() -> impl Strategy<Value = BackendChoice> {
+    (0usize..2).prop_map(|i| if i == 0 { BackendChoice::Auto } else { BackendChoice::Dense })
+}
+
+fn threads3() -> impl Strategy<Value = usize> {
+    (0usize..3).prop_map(|i| match i {
+        0 => 0,
+        1 => 1,
+        _ => 3,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn stepwise_pipeline_matches_run_jigsaw(
+        seed in 0u64..1000,
+        trials in 800u64..2000,
+        sizes in subset_sizes(),
+        threads in threads3(),
+        backend in backends(),
+    ) {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let cfg = config(trials, seed, sizes, threads, backend);
+
+        let one_shot = run_jigsaw(b.circuit(), &device, &cfg);
+        let staged = JigsawPipeline::plan(b.circuit(), &device, &cfg)
+            .compile_global()
+            .run_global()
+            .select_subsets()
+            .run_cpms()
+            .reconstruct();
+
+        prop_assert_eq!(&one_shot.output, &staged.output);
+        prop_assert_eq!(&one_shot.global, &staged.global);
+        prop_assert_eq!(&one_shot.marginals, &staged.marginals);
+        prop_assert_eq!(one_shot.trials_used, staged.trials_used);
+        prop_assert_eq!(one_shot.backend, staged.backend);
+        prop_assert_eq!(one_shot.rounds, staged.rounds);
+    }
+
+    #[test]
+    fn forked_global_run_rejoins_bit_identically(
+        seed in 0u64..1000,
+        threads in threads3(),
+        backend in backends(),
+        decoy_size in 3usize..5,
+    ) {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let cfg = config(1500, seed, vec![2], threads, backend);
+
+        let global_run = JigsawPipeline::plan(b.circuit(), &device, &cfg)
+            .compile_global()
+            .run_global();
+
+        // Fork: drive a sibling branch with a different subset config to
+        // completion *first*, then rejoin the original fork. The sibling
+        // must leave no trace on the fork's replay.
+        let fork = global_run.clone();
+        let sibling = fork
+            .clone()
+            .with_subset_sizes(vec![decoy_size])
+            .without_recompilation()
+            .select_subsets()
+            .run_cpms()
+            .reconstruct();
+        prop_assert!(sibling.marginals.iter().all(|m| m.size() == decoy_size));
+
+        let rejoined = fork.select_subsets().run_cpms().reconstruct();
+        let straight = global_run.select_subsets().run_cpms().reconstruct();
+        let one_shot = run_jigsaw(b.circuit(), &device, &cfg);
+
+        prop_assert_eq!(&rejoined.output, &straight.output);
+        prop_assert_eq!(&rejoined.output, &one_shot.output);
+        prop_assert_eq!(&rejoined.global, &one_shot.global);
+        prop_assert_eq!(&rejoined.marginals, &one_shot.marginals);
+        prop_assert_eq!(rejoined.trials_used, one_shot.trials_used);
+    }
+
+    #[test]
+    fn backends_agree_through_the_staged_path(
+        seed in 0u64..500,
+        threads in (0usize..2),
+    ) {
+        // GHZ is Clifford: the dense and stabilizer backends must produce
+        // the same histograms through every stage of the staged path.
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let run = |backend| {
+            let cfg = config(1000, seed, vec![2], threads, backend);
+            JigsawPipeline::plan(b.circuit(), &device, &cfg)
+                .compile_global()
+                .run_global()
+                .select_subsets()
+                .run_cpms()
+                .reconstruct()
+        };
+        let auto = run(BackendChoice::Auto);
+        let dense = run(BackendChoice::Dense);
+        prop_assert_eq!(&auto.output, &dense.output);
+        prop_assert_eq!(&auto.global, &dense.global);
+        prop_assert_eq!(&auto.marginals, &dense.marginals);
+    }
+}
