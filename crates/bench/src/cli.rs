@@ -74,6 +74,12 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Filesystem-path option, when present (e.g. `--checkpoint-dir DIR`).
+    #[must_use]
+    pub fn path(&self, key: &str) -> Option<std::path::PathBuf> {
+        self.values.get(key).map(std::path::PathBuf::from)
+    }
+
     /// Whether a bare `--flag` was passed.
     #[must_use]
     pub fn flag(&self, key: &str) -> bool {

@@ -13,6 +13,11 @@
 //! Criterion benches (`cargo bench -p jigsaw-bench`) cover the performance
 //! claims (reconstruction linearity, compile latency, simulator
 //! throughput).
+//!
+//! `fig9_adaptive` is the checkpointing sweep: it saves each benchmark's
+//! shared `GlobalRun` to `--checkpoint-dir` (the `jigsaw_core::persist`
+//! archive format) and resumes a killed sweep with zero global recompiles
+//! — see the README's "Persistence & resume" walkthrough.
 
 pub mod cli;
 pub mod harness;

@@ -296,6 +296,87 @@ impl Circuit {
     }
 }
 
+/// Wire format: `qubit` then `clbit`, both as `u64`.
+impl jigsaw_pmf::codec::Encode for Measurement {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_usize(self.qubit);
+        w.put_usize(self.clbit);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Measurement {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self { qubit: r.usize()?, clbit: r.usize()? })
+    }
+}
+
+/// Wire format: `n_qubits` as `u64`, the gate list, the measurement list.
+/// Decode re-validates every invariant the builder methods assert — gate
+/// operands in range and distinct, measured qubits in range, no qubit or
+/// classical bit measured twice — so a corrupt archive yields a typed
+/// error, never an invalid circuit.
+impl jigsaw_pmf::codec::Encode for Circuit {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_usize(self.n_qubits);
+        jigsaw_pmf::codec::Encode::encode(&self.gates, w);
+        jigsaw_pmf::codec::Encode::encode(&self.measurements, w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Circuit {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        use jigsaw_pmf::codec::CodecError;
+        let invalid = |detail: String| CodecError::InvalidValue { what: "Circuit", detail };
+        let n_qubits = r.usize()?;
+        // Bound the width before it sizes any allocation: nothing in the
+        // workspace can measure (or simulate) beyond the outcome container,
+        // and an unbounded wire value must not drive a huge `vec!` below.
+        if n_qubits > jigsaw_pmf::MAX_BITS {
+            return Err(invalid(format!(
+                "width {n_qubits} exceeds the {}-qubit outcome capacity",
+                jigsaw_pmf::MAX_BITS
+            )));
+        }
+        let gates = Vec::<Gate>::decode(r)?;
+        for g in &gates {
+            let (a, b) = g.qubits();
+            if a >= n_qubits || b.is_some_and(|b| b >= n_qubits) {
+                return Err(invalid(format!("gate {g} on a {n_qubits}-qubit circuit")));
+            }
+            if b == Some(a) {
+                return Err(invalid(format!("two-qubit gate {g} addresses one qubit twice")));
+            }
+        }
+        let measurements = Vec::<Measurement>::decode(r)?;
+        let mut qubit_used = vec![false; n_qubits];
+        let mut clbits = Vec::with_capacity(measurements.len());
+        for m in &measurements {
+            if m.qubit >= n_qubits {
+                return Err(invalid(format!("measured qubit {} out of range", m.qubit)));
+            }
+            // Every builder path writes clbit < n_qubits (measure_all,
+            // measure_subset, CPM construction); enforcing it here keeps
+            // n_clbits() bounded for every decoded circuit.
+            if m.clbit >= n_qubits {
+                return Err(invalid(format!("classical bit {} out of range", m.clbit)));
+            }
+            if std::mem::replace(&mut qubit_used[m.qubit], true) {
+                return Err(invalid(format!("qubit {} measured twice", m.qubit)));
+            }
+            clbits.push(m.clbit);
+        }
+        clbits.sort_unstable();
+        if clbits.windows(2).any(|w| w[0] == w[1]) {
+            return Err(invalid("a classical bit is written twice".into()));
+        }
+        Ok(Self { n_qubits, gates, measurements })
+    }
+}
+
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "circuit[{} qubits, {} gates]", self.n_qubits, self.gates.len())?;
@@ -362,6 +443,66 @@ mod tests {
         assert_eq!(m.n_qubits(), 7);
         assert_eq!(m.gates()[1], Gate::Cx(5, 3));
         assert_eq!(m.measured_qubits(), vec![3, 5]);
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_everything() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec};
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).rz(2, 0.123).u3(3, 0.1, -0.2, 7.5).swap(3, 4).measure_subset(&[4, 1]);
+        let bytes = encode_to_vec(&c);
+        let back: Circuit = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.measured_qubits(), c.measured_qubits());
+        assert_eq!(encode_to_vec(&back), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn codec_rejects_structural_corruption() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec, CodecError};
+        let mut c = Circuit::new(2);
+        c.h(1).cx(0, 1).measure_all();
+        let bytes = encode_to_vec(&c);
+        // Shrinking the width makes the gates out of range.
+        let mut bad = bytes.clone();
+        bad[0] = 1;
+        assert!(matches!(
+            decode_from_slice::<Circuit>(&bad),
+            Err(CodecError::InvalidValue { what: "Circuit", .. })
+        ));
+        // Any truncation is a typed error, never a panic.
+        for len in 0..bytes.len() {
+            assert!(decode_from_slice::<Circuit>(&bytes[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn codec_bounds_the_width_before_allocating() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec, CodecError};
+        let mut c = Circuit::new(2);
+        c.h(0).measure_all();
+        // Overwrite the leading u64 width with 2^40: must be a typed
+        // error, not a terabyte-scale allocation attempt.
+        let mut bytes = encode_to_vec(&c);
+        bytes[..8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(matches!(
+            decode_from_slice::<Circuit>(&bytes),
+            Err(CodecError::InvalidValue { what: "Circuit", .. })
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_out_of_range_clbits() {
+        use jigsaw_pmf::codec::{decode_from_slice, CodecError, Encode, Writer};
+        // Hand-encode a 2-qubit circuit measuring qubit 0 into clbit 300.
+        let mut w = Writer::new();
+        w.put_usize(2);
+        Vec::<Gate>::new().encode(&mut w);
+        vec![Measurement { qubit: 0, clbit: 300 }].encode(&mut w);
+        assert!(matches!(
+            decode_from_slice::<Circuit>(&w.into_bytes()),
+            Err(CodecError::InvalidValue { what: "Circuit", .. })
+        ));
     }
 
     #[test]

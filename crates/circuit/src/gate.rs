@@ -140,6 +140,72 @@ impl Gate {
     }
 }
 
+/// Wire format: one tag byte per variant (in declaration order), then the
+/// qubit operands as `u64`s and any angles as exact `f64` bit patterns.
+/// Decode validates the tag only; structural invariants (operand ranges,
+/// distinct two-qubit operands) are enforced by [`Circuit`]'s decoder,
+/// which is the only archive context gates appear in.
+///
+/// [`Circuit`]: crate::Circuit
+impl jigsaw_pmf::codec::Encode for Gate {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        let (tag, angles): (u8, [Option<f64>; 3]) = match *self {
+            Gate::H(_) => (0, [None; 3]),
+            Gate::X(_) => (1, [None; 3]),
+            Gate::Y(_) => (2, [None; 3]),
+            Gate::Z(_) => (3, [None; 3]),
+            Gate::S(_) => (4, [None; 3]),
+            Gate::Sdg(_) => (5, [None; 3]),
+            Gate::T(_) => (6, [None; 3]),
+            Gate::Tdg(_) => (7, [None; 3]),
+            Gate::Sx(_) => (8, [None; 3]),
+            Gate::Rx(_, a) => (9, [Some(a), None, None]),
+            Gate::Ry(_, a) => (10, [Some(a), None, None]),
+            Gate::Rz(_, a) => (11, [Some(a), None, None]),
+            Gate::U3(_, t, p, l) => (12, [Some(t), Some(p), Some(l)]),
+            Gate::Cx(_, _) => (13, [None; 3]),
+            Gate::Cz(_, _) => (14, [None; 3]),
+            Gate::Swap(_, _) => (15, [None; 3]),
+        };
+        w.put_u8(tag);
+        let (a, b) = self.qubits();
+        w.put_usize(a);
+        if let Some(b) = b {
+            w.put_usize(b);
+        }
+        for angle in angles.into_iter().flatten() {
+            w.put_f64(angle);
+        }
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Gate {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            0 => Gate::H(r.usize()?),
+            1 => Gate::X(r.usize()?),
+            2 => Gate::Y(r.usize()?),
+            3 => Gate::Z(r.usize()?),
+            4 => Gate::S(r.usize()?),
+            5 => Gate::Sdg(r.usize()?),
+            6 => Gate::T(r.usize()?),
+            7 => Gate::Tdg(r.usize()?),
+            8 => Gate::Sx(r.usize()?),
+            9 => Gate::Rx(r.usize()?, r.f64()?),
+            10 => Gate::Ry(r.usize()?, r.f64()?),
+            11 => Gate::Rz(r.usize()?, r.f64()?),
+            12 => Gate::U3(r.usize()?, r.f64()?, r.f64()?, r.f64()?),
+            13 => Gate::Cx(r.usize()?, r.usize()?),
+            14 => Gate::Cz(r.usize()?, r.usize()?),
+            15 => Gate::Swap(r.usize()?, r.usize()?),
+            tag => return Err(jigsaw_pmf::codec::CodecError::InvalidTag { what: "Gate", tag }),
+        })
+    }
+}
+
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.qubits() {

@@ -72,6 +72,58 @@ impl Compiled {
     }
 }
 
+/// Wire format: seed budget, placement knobs, router knobs, peephole
+/// switch, thread setting — in declaration order.
+impl jigsaw_pmf::codec::Encode for CompilerOptions {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_usize(self.max_seeds);
+        self.placement.encode(w);
+        self.sabre.encode(w);
+        w.put_bool(self.peephole);
+        w.put_usize(self.threads);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for CompilerOptions {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self {
+            max_seeds: r.usize()?,
+            placement: crate::placement::PlacementConfig::decode(r)?,
+            sabre: SabreConfig::decode(r)?,
+            peephole: r.bool()?,
+            threads: r.usize()?,
+        })
+    }
+}
+
+/// Wire format: the routed result plus its EPS score (exact bit pattern).
+/// Decode requires EPS in `(0, 1]` — the range a successful compilation
+/// produces.
+impl jigsaw_pmf::codec::Encode for Compiled {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        jigsaw_pmf::codec::Encode::encode(&self.routed, w);
+        w.put_f64(self.eps);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Compiled {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let routed = Routed::decode(r)?;
+        let eps = r.f64()?;
+        if !(eps > 0.0 && eps <= 1.0) {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "Compiled",
+                detail: format!("EPS {eps} outside (0, 1]"),
+            });
+        }
+        Ok(Self { routed, eps })
+    }
+}
+
 /// Compiles a measured logical circuit onto a device, trying
 /// [`CompilerOptions::max_seeds`] placements and keeping the highest-EPS
 /// routing.

@@ -116,6 +116,54 @@ impl Layout {
     }
 }
 
+/// Wire format: the logical→physical map plus the device width; the
+/// inverse map is derived and rebuilt on decode. Decode validates what
+/// [`Layout::new`] asserts — in-range targets, no physical qubit assigned
+/// twice — returning typed errors instead of panicking.
+impl jigsaw_pmf::codec::Encode for Layout {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        jigsaw_pmf::codec::Encode::encode(&self.logical_to_physical, w);
+        w.put_usize(self.physical_to_logical.len());
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Layout {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        use jigsaw_pmf::codec::CodecError;
+        let logical_to_physical = Vec::<usize>::decode(r)?;
+        let device_qubits = r.usize()?;
+        // Bound the device width before it sizes the inverse-map and
+        // occupancy allocations (same cap as Topology's decoder).
+        if device_qubits > jigsaw_pmf::MAX_BITS {
+            return Err(CodecError::InvalidValue {
+                what: "Layout",
+                detail: format!(
+                    "device width {device_qubits} exceeds the {}-qubit outcome capacity",
+                    jigsaw_pmf::MAX_BITS
+                ),
+            });
+        }
+        let mut used = vec![false; device_qubits];
+        for (l, &p) in logical_to_physical.iter().enumerate() {
+            if p >= device_qubits {
+                return Err(CodecError::InvalidValue {
+                    what: "Layout",
+                    detail: format!("logical {l} mapped to {p} outside the device"),
+                });
+            }
+            if std::mem::replace(&mut used[p], true) {
+                return Err(CodecError::InvalidValue {
+                    what: "Layout",
+                    detail: format!("physical qubit {p} assigned twice"),
+                });
+            }
+        }
+        Ok(Self::new(logical_to_physical, device_qubits))
+    }
+}
+
 impl fmt::Display for Layout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "layout{{")?;
@@ -180,5 +228,22 @@ mod tests {
     fn display_is_informative() {
         let l = Layout::new(vec![2, 0], 3);
         assert_eq!(l.to_string(), "layout{q0->Q2, q1->Q0}");
+    }
+
+    #[test]
+    fn codec_round_trips_and_bounds_the_device_width() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec, CodecError};
+        let l = Layout::new(vec![3, 0, 5], 6);
+        let back: Layout = decode_from_slice(&encode_to_vec(&l)).unwrap();
+        assert_eq!(back, l);
+        // A wire device width of 2^40 must be a typed error, not a huge
+        // inverse-map allocation.
+        let mut w = jigsaw_pmf::codec::Writer::new();
+        w.put_usize(0); // empty logical→physical map
+        w.put_usize(1 << 40);
+        assert!(matches!(
+            decode_from_slice::<Layout>(&w.into_bytes()),
+            Err(CodecError::InvalidValue { what: "Layout", .. })
+        ));
     }
 }

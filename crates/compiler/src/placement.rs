@@ -40,6 +40,30 @@ impl Default for PlacementConfig {
     }
 }
 
+/// Wire format: the four weights in declaration order, as exact `f64` bit
+/// patterns.
+impl jigsaw_pmf::codec::Encode for PlacementConfig {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_f64(self.readout_weight);
+        w.put_f64(self.gate_weight);
+        w.put_f64(self.diversity_penalty);
+        w.put_f64(self.compactness_weight);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for PlacementConfig {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self {
+            readout_weight: r.f64()?,
+            gate_weight: r.f64()?,
+            diversity_penalty: r.f64()?,
+            compactness_weight: r.f64()?,
+        })
+    }
+}
+
 /// Grows one candidate region from `seed` and assigns the circuit's logical
 /// qubits inside it. Returns `None` when the component around `seed` is
 /// smaller than the program.

@@ -62,6 +62,63 @@ pub struct Routed {
     pub swap_count: usize,
 }
 
+/// Wire format: the four tuning knobs in declaration order.
+impl jigsaw_pmf::codec::Encode for SabreConfig {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_usize(self.extended_set_size);
+        w.put_f64(self.extended_weight);
+        w.put_f64(self.decay_increment);
+        w.put_f64(self.noise_bias);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for SabreConfig {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self {
+            extended_set_size: r.usize()?,
+            extended_weight: r.f64()?,
+            decay_increment: r.f64()?,
+            noise_bias: r.f64()?,
+        })
+    }
+}
+
+/// Wire format: physical circuit, both layouts, swap count. Decode checks
+/// the cross-field invariants an executed routing guarantees: both layouts
+/// sized for the circuit's device width and covering the same number of
+/// logical qubits.
+impl jigsaw_pmf::codec::Encode for Routed {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        self.circuit.encode(w);
+        self.initial_layout.encode(w);
+        self.final_layout.encode(w);
+        w.put_usize(self.swap_count);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Routed {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let circuit = Circuit::decode(r)?;
+        let initial_layout = Layout::decode(r)?;
+        let final_layout = Layout::decode(r)?;
+        let swap_count = r.usize()?;
+        let consistent = initial_layout.n_physical() == circuit.n_qubits()
+            && final_layout.n_physical() == circuit.n_qubits()
+            && initial_layout.n_logical() == final_layout.n_logical();
+        if !consistent {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "Routed",
+                detail: "layouts do not match the physical circuit's width".into(),
+            });
+        }
+        Ok(Self { circuit, initial_layout, final_layout, swap_count })
+    }
+}
+
 /// Routes `logical` onto `device` starting from `initial`.
 ///
 /// # Panics

@@ -88,6 +88,52 @@ impl ReconstructionConfig {
     }
 }
 
+/// Wire format: the measured subset then its local PMF. Decode re-checks
+/// the width agreement [`Marginal::new`] asserts.
+impl jigsaw_pmf::codec::Encode for Marginal {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        self.qubits.encode(w);
+        self.pmf.encode(w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Marginal {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let qubits = Vec::<usize>::decode(r)?;
+        let pmf = Pmf::decode(r)?;
+        if qubits.len() != pmf.n_bits() {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "Marginal",
+                detail: format!(
+                    "{}-qubit subset with a {}-bit local PMF",
+                    qubits.len(),
+                    pmf.n_bits()
+                ),
+            });
+        }
+        Ok(Self { qubits, pmf })
+    }
+}
+
+/// Wire format: tolerance, round cap, thread setting — declaration order.
+impl jigsaw_pmf::codec::Encode for ReconstructionConfig {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_f64(self.tolerance);
+        w.put_usize(self.max_rounds);
+        w.put_usize(self.threads);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for ReconstructionConfig {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self { tolerance: r.f64()?, max_rounds: r.usize()?, threads: r.usize()? })
+    }
+}
+
 /// Result of an iterated reconstruction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reconstruction {

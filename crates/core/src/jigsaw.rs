@@ -109,6 +109,78 @@ impl JigsawConfig {
     }
 }
 
+/// Wire format: one tag byte (`0` equal, `1` coverage-weighted plus its
+/// confidence as an exact `f64` bit pattern).
+impl jigsaw_pmf::codec::Encode for TrialAllocation {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        match self {
+            Self::Equal => w.put_u8(0),
+            Self::CoverageWeighted { confidence } => {
+                w.put_u8(1);
+                w.put_f64(*confidence);
+            }
+        }
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for TrialAllocation {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        match r.u8()? {
+            0 => Ok(Self::Equal),
+            1 => Ok(Self::CoverageWeighted { confidence: r.f64()? }),
+            tag => Err(jigsaw_pmf::codec::CodecError::InvalidTag { what: "TrialAllocation", tag }),
+        }
+    }
+}
+
+/// Wire format: every field in declaration order. This is the "producing
+/// config" the archive digest covers (together with the program and
+/// device), so any semantic knob change — trials, sizes, selection, noise,
+/// compiler, reconstruction — changes the digest and makes
+/// [`resume_from`](crate::persist::resume_from) refuse a stale archive.
+impl jigsaw_pmf::codec::Encode for JigsawConfig {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_u64(self.total_trials);
+        self.subset_sizes.encode(w);
+        self.selection.encode(w);
+        w.put_bool(self.recompile_cpms);
+        w.put_f64(self.global_fraction);
+        self.allocation.encode(w);
+        w.put_u64(self.seed);
+        self.run.encode(w);
+        self.compiler.encode(w);
+        self.reconstruction.encode(w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for JigsawConfig {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let config = Self {
+            total_trials: r.u64()?,
+            subset_sizes: Vec::<usize>::decode(r)?,
+            selection: SubsetSelection::decode(r)?,
+            recompile_cpms: r.bool()?,
+            global_fraction: r.f64()?,
+            allocation: TrialAllocation::decode(r)?,
+            seed: r.u64()?,
+            run: RunConfig::decode(r)?,
+            compiler: CompilerOptions::decode(r)?,
+            reconstruction: ReconstructionConfig::decode(r)?,
+        };
+        if !(0.0..=1.0).contains(&config.global_fraction) {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "JigsawConfig",
+                detail: format!("global fraction {} outside [0, 1]", config.global_fraction),
+            });
+        }
+        Ok(config)
+    }
+}
+
 /// Everything a JigSaw run produces.
 ///
 /// Equality compares the *protocol outputs* (PMFs, marginals, accounting)

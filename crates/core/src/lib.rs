@@ -21,6 +21,13 @@
 //! ([`SubsetSelection::Adaptive`]), and read per-stage telemetry
 //! ([`pipeline::StageTimings`]).
 //!
+//! Stages are also *persistable*: [`persist`] frames any of the four
+//! upstream stages (`Planned`/`GlobalCompiled`/`GlobalRun`/
+//! `SubsetsSelected`) into a versioned, digest-checked archive
+//! (`docs/FORMAT.md`), so sweeps resume across processes and machines —
+//! `JigsawPipeline::{save_stage, resume_from}` refuse mismatched
+//! configurations instead of silently diverging.
+//!
 //! Also here: the [`mbm`] baseline (IBM's matrix-based mitigation,
 //! Fig. 14), the [`scalability`] model behind Table 7, and [`Scores`]
 //! scoring.
@@ -76,6 +83,7 @@ mod evaluate;
 #[allow(clippy::module_inception)]
 mod jigsaw;
 pub mod mbm;
+pub mod persist;
 pub mod pipeline;
 pub mod scalability;
 pub mod seed;
@@ -92,5 +100,6 @@ pub use jigsaw::{
     run_baseline, run_baseline_from, run_edm, run_jigsaw, JigsawConfig, JigsawResult,
     ReferenceConfig, TrialAllocation,
 };
+pub use persist::{PersistError, StageArtifact, StageKind};
 pub use pipeline::{JigsawPipeline, StageName, StageRecord, StageTimings};
 pub use subsets::SubsetSelection;

@@ -161,22 +161,32 @@ pub struct BudgetPlan {
 }
 
 impl BudgetPlan {
-    fn for_config(config: &JigsawConfig, n: usize) -> Self {
+    /// The plan a config resolves to for an `n`-qubit program, or `None`
+    /// when no configured subset size fits — the fallible path archive
+    /// decoding uses to validate a stored plan without panicking.
+    fn try_for_config(config: &JigsawConfig, n: usize) -> Option<Self> {
         let mut sizes: Vec<usize> =
             config.subset_sizes.iter().copied().filter(|&s| s >= 1 && s < n).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a)); // descending: §4.4.2 ordering
         sizes.dedup();
-        assert!(!sizes.is_empty(), "no subset size fits a {n}-qubit program");
+        if sizes.is_empty() {
+            return None;
+        }
         let global_trials =
             ((config.total_trials as f64 * config.global_fraction).round() as u64).max(1);
         let subset_trials = config.total_trials.saturating_sub(global_trials);
-        Self { global_trials, subset_trials, sizes }
+        Some(Self { global_trials, subset_trials, sizes })
+    }
+
+    fn for_config(config: &JigsawConfig, n: usize) -> Self {
+        Self::try_for_config(config, n)
+            .unwrap_or_else(|| panic!("no subset size fits a {n}-qubit program"))
     }
 }
 
 /// Shared cross-stage state threaded through every pipeline stage.
 #[derive(Debug, Clone)]
-struct Ctx {
+pub(crate) struct Ctx {
     program: Circuit,
     device: Device,
     config: JigsawConfig,
@@ -187,6 +197,11 @@ struct Ctx {
 impl Ctx {
     fn record(&mut self, record: StageRecord) {
         self.timings.push(record);
+    }
+
+    /// The inputs the archive config digest covers (see [`crate::persist`]).
+    pub(crate) fn digest_inputs(&self) -> (&Circuit, &Device, &JigsawConfig) {
+        (&self.program, &self.device, &self.config)
     }
 }
 
@@ -204,7 +219,39 @@ pub struct SubsetLayer {
 
 /// Entry point of the staged API.
 ///
-/// See the [module docs](self) for the stage graph and guarantees.
+/// See the [module docs](self) for the stage graph and guarantees, and
+/// [`crate::persist`] for saving stages to disk and resuming them in
+/// another process ([`Self::save_stage`] / [`Self::resume_from`]).
+///
+/// # Examples
+///
+/// One global compile + run, forked across two subset sizes:
+///
+/// ```
+/// use jigsaw_circuit::bench;
+/// use jigsaw_core::{JigsawConfig, JigsawPipeline};
+/// use jigsaw_device::Device;
+/// # use jigsaw_compiler::CompilerOptions;
+///
+/// let device = Device::toronto();
+/// let bench = bench::ghz(4);
+/// let config = JigsawConfig {
+/// #     compiler: CompilerOptions { max_seeds: 2, ..CompilerOptions::default() },
+///     ..JigsawConfig::jigsaw(400)
+/// };
+/// let shared = JigsawPipeline::plan(bench.circuit(), &device, &config)
+///     .compile_global()
+///     .run_global(); // the expensive prefix, paid once
+/// for size in [2, 3] {
+///     let result = shared
+///         .clone()
+///         .with_subset_sizes(vec![size])
+///         .select_subsets()
+///         .run_cpms()
+///         .reconstruct();
+///     assert!(result.marginals.iter().all(|m| m.size() == size));
+/// }
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct JigsawPipeline;
 
@@ -756,6 +803,352 @@ impl CpmsRun {
             timings: self.ctx.timings,
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Codec: the persistable faces of the pipeline (see `crate::persist` for the
+// archive framing and docs/FORMAT.md for the byte-level specification).
+//
+// Telemetry is deliberately **non-semantic** here: `StageRecord` encodes
+// everything *except* its wall-clock duration, which decodes as zero. Wall
+// time is the one field that differs between two otherwise identical runs,
+// so excluding it keeps archives deterministic — two runs of the same seed
+// produce byte-identical checkpoints — exactly as `JigsawResult`'s
+// `PartialEq` already ignores `timings` in memory.
+// ---------------------------------------------------------------------------
+
+use jigsaw_pmf::codec::{CodecError, Decode, Encode, Reader, Writer};
+
+/// Wire format: one tag byte, in protocol order (`0` plan … `5`
+/// reconstruct).
+impl Encode for StageName {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Self::Plan => 0,
+            Self::CompileGlobal => 1,
+            Self::RunGlobal => 2,
+            Self::SelectSubsets => 3,
+            Self::RunCpms => 4,
+            Self::Reconstruct => 5,
+        });
+    }
+}
+
+impl Decode for StageName {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Self::Plan,
+            1 => Self::CompileGlobal,
+            2 => Self::RunGlobal,
+            3 => Self::SelectSubsets,
+            4 => Self::RunCpms,
+            5 => Self::Reconstruct,
+            tag => return Err(CodecError::InvalidTag { what: "StageName", tag }),
+        })
+    }
+}
+
+/// Wire format: stage tag, trials, items, backend, support — **without the
+/// wall-clock duration**, which is telemetry, not protocol state; it
+/// decodes as [`Duration::ZERO`].
+impl Encode for StageRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.stage.encode(w);
+        w.put_u64(self.trials);
+        w.put_usize(self.items);
+        self.backend.encode(w);
+        self.support.encode(w);
+    }
+}
+
+impl Decode for StageRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            stage: StageName::decode(r)?,
+            wall: Duration::ZERO,
+            trials: r.u64()?,
+            items: r.usize()?,
+            backend: Option::<BackendKind>::decode(r)?,
+            support: Option::<usize>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for StageTimings {
+    fn encode(&self, w: &mut Writer) {
+        self.records.encode(w);
+    }
+}
+
+impl Decode for StageTimings {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { records: Vec::<StageRecord>::decode(r)? })
+    }
+}
+
+/// Wire format: global trials, subset trials, the descending size list.
+impl Encode for BudgetPlan {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.global_trials);
+        w.put_u64(self.subset_trials);
+        self.sizes.encode(w);
+    }
+}
+
+impl Decode for BudgetPlan {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            global_trials: r.u64()?,
+            subset_trials: r.u64()?,
+            sizes: Vec::<usize>::decode(r)?,
+        })
+    }
+}
+
+/// Wire format: subset size, the subset list, the layer budget.
+impl Encode for SubsetLayer {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.size);
+        self.subsets.encode(w);
+        w.put_u64(self.budget);
+    }
+}
+
+impl Decode for SubsetLayer {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { size: r.usize()?, subsets: Vec::<Vec<usize>>::decode(r)?, budget: r.u64()? })
+    }
+}
+
+/// Wire format: program, device, config, plan, timings. Decode
+/// re-derives the plan from the decoded config and rejects an archive
+/// whose stored plan disagrees — the plan is a pure function of
+/// `(config, program width)`, so a mismatch means the archive was
+/// corrupted or hand-edited.
+impl Encode for Ctx {
+    fn encode(&self, w: &mut Writer) {
+        self.program.encode(w);
+        self.device.encode(w);
+        self.config.encode(w);
+        self.plan.encode(w);
+        self.timings.encode(w);
+    }
+}
+
+impl Decode for Ctx {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let invalid = |detail: String| CodecError::InvalidValue { what: "Ctx", detail };
+        let program = Circuit::decode(r)?;
+        let device = Device::decode(r)?;
+        let config = JigsawConfig::decode(r)?;
+        let plan = BudgetPlan::decode(r)?;
+        let timings = StageTimings::decode(r)?;
+        if !program.measurements().is_empty() {
+            return Err(invalid("the stored program must be measurement-free".into()));
+        }
+        if program.n_qubits() > device.n_qubits() {
+            return Err(invalid(format!(
+                "{}-qubit program on a {}-qubit device",
+                program.n_qubits(),
+                device.n_qubits()
+            )));
+        }
+        match BudgetPlan::try_for_config(&config, program.n_qubits()) {
+            Some(expected) if expected == plan => {}
+            _ => return Err(invalid("stored budget plan disagrees with the stored config".into())),
+        }
+        Ok(Self { program, device, config, plan, timings })
+    }
+}
+
+/// Semantic cross-stage equality: everything except telemetry.
+impl PartialEq for Ctx {
+    fn eq(&self, other: &Self) -> bool {
+        self.program == other.program
+            && self.device == other.device
+            && self.config == other.config
+            && self.plan == other.plan
+    }
+}
+
+impl Planned {
+    pub(crate) fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+}
+
+/// Equality of stage values compares protocol state and deliberately
+/// ignores [`StageTimings`] — mirroring [`JigsawResult`]'s `PartialEq` —
+/// so a checkpoint-resumed stage compares equal to the in-process stage it
+/// was saved from.
+impl PartialEq for Planned {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctx == other.ctx
+    }
+}
+
+impl Encode for Planned {
+    fn encode(&self, w: &mut Writer) {
+        self.ctx.encode(w);
+    }
+}
+
+impl Decode for Planned {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { ctx: Ctx::decode(r)? })
+    }
+}
+
+impl GlobalCompiled {
+    pub(crate) fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+}
+
+/// See [`Planned`]'s `PartialEq`: protocol state only, telemetry ignored.
+impl PartialEq for GlobalCompiled {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctx == other.ctx && self.global == other.global
+    }
+}
+
+impl Encode for GlobalCompiled {
+    fn encode(&self, w: &mut Writer) {
+        self.ctx.encode(w);
+        self.global.encode(w);
+    }
+}
+
+impl Decode for GlobalCompiled {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let ctx = Ctx::decode(r)?;
+        let global = Compiled::decode(r)?;
+        check_global_artifact(&ctx, &global)?;
+        Ok(Self { ctx, global })
+    }
+}
+
+impl GlobalRun {
+    pub(crate) fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+}
+
+/// See [`Planned`]'s `PartialEq`: protocol state only, telemetry ignored.
+impl PartialEq for GlobalRun {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctx == other.ctx
+            && self.global == other.global
+            && self.global_pmf == other.global_pmf
+            && self.backend == other.backend
+    }
+}
+
+impl Encode for GlobalRun {
+    fn encode(&self, w: &mut Writer) {
+        self.ctx.encode(w);
+        self.global.encode(w);
+        self.global_pmf.encode(w);
+        self.backend.encode(w);
+    }
+}
+
+impl Decode for GlobalRun {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let ctx = Ctx::decode(r)?;
+        let global = Compiled::decode(r)?;
+        let global_pmf = Pmf::decode(r)?;
+        let backend = BackendKind::decode(r)?;
+        check_global_artifact(&ctx, &global)?;
+        check_global_pmf(&ctx, &global_pmf)?;
+        Ok(Self { ctx, global, global_pmf, backend })
+    }
+}
+
+impl SubsetsSelected {
+    pub(crate) fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+}
+
+/// See [`Planned`]'s `PartialEq`: protocol state only, telemetry ignored.
+impl PartialEq for SubsetsSelected {
+    fn eq(&self, other: &Self) -> bool {
+        self.ctx == other.ctx
+            && self.global == other.global
+            && self.global_pmf == other.global_pmf
+            && self.backend == other.backend
+            && self.layers == other.layers
+    }
+}
+
+impl Encode for SubsetsSelected {
+    fn encode(&self, w: &mut Writer) {
+        self.ctx.encode(w);
+        self.global.encode(w);
+        self.global_pmf.encode(w);
+        self.backend.encode(w);
+        self.layers.encode(w);
+    }
+}
+
+impl Decode for SubsetsSelected {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let ctx = Ctx::decode(r)?;
+        let global = Compiled::decode(r)?;
+        let global_pmf = Pmf::decode(r)?;
+        let backend = BackendKind::decode(r)?;
+        let layers = Vec::<SubsetLayer>::decode(r)?;
+        check_global_artifact(&ctx, &global)?;
+        check_global_pmf(&ctx, &global_pmf)?;
+        let n = ctx.program.n_qubits();
+        for layer in &layers {
+            let well_formed = layer.subsets.iter().all(|s| {
+                s.len() == layer.size
+                    && !s.is_empty()
+                    && s.len() < n
+                    && s.windows(2).all(|w| w[0] < w[1])
+                    && s.last().is_none_or(|&q| q < n)
+            });
+            if !well_formed {
+                return Err(CodecError::InvalidValue {
+                    what: "SubsetsSelected",
+                    detail: format!("malformed size-{} subset layer", layer.size),
+                });
+            }
+        }
+        Ok(Self { ctx, global, global_pmf, backend, layers })
+    }
+}
+
+/// The compiled global artifact must span the stored device.
+fn check_global_artifact(ctx: &Ctx, global: &Compiled) -> Result<(), CodecError> {
+    if global.circuit().n_qubits() != ctx.device.n_qubits() {
+        return Err(CodecError::InvalidValue {
+            what: "GlobalCompiled",
+            detail: format!(
+                "compiled circuit spans {} qubits, device has {}",
+                global.circuit().n_qubits(),
+                ctx.device.n_qubits()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The global PMF must be as wide as the program.
+fn check_global_pmf(ctx: &Ctx, pmf: &Pmf) -> Result<(), CodecError> {
+    if pmf.n_bits() != ctx.program.n_qubits() {
+        return Err(CodecError::InvalidValue {
+            what: "GlobalRun",
+            detail: format!(
+                "{}-bit global PMF for a {}-qubit program",
+                pmf.n_bits(),
+                ctx.program.n_qubits()
+            ),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

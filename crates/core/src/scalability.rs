@@ -14,7 +14,7 @@
 //!
 //! [`MeasuredFootprint`] is the model's measured counterpart: it applies
 //! the same byte/operation accounting to the PMFs an actual
-//! [`JigsawResult`](crate::JigsawResult) produced. With the simulator's
+//! [`JigsawResult`] produced. With the simulator's
 //! stabilizer backend, Clifford programs run end-to-end at Table 7 widths,
 //! so those rows report observed numbers instead of extrapolations (see
 //! the `tab7_measured` binary in `jigsaw-bench`).

@@ -15,6 +15,24 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// How CPM subsets are chosen.
+///
+/// # Examples
+///
+/// ```
+/// use jigsaw_core::subsets::{generate, SubsetSelection};
+///
+/// // The paper's default: n wrap-around windows (seed is ignored).
+/// let windows = generate(4, 2, SubsetSelection::SlidingWindow, 0);
+/// assert_eq!(windows, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]);
+///
+/// // Random covering: every qubit measured at least once, seed-determined.
+/// let covering = generate(5, 2, SubsetSelection::RandomCovering, 7);
+/// assert!((0..5).all(|q| covering.iter().any(|s| s.contains(&q))));
+/// ```
+///
+/// [`SubsetSelection::Adaptive`] has no `generate` form — it is resolved
+/// against the global-mode PMF inside
+/// [`GlobalRun::select_subsets`](crate::pipeline::GlobalRun::select_subsets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubsetSelection {
     /// The paper's default: `n` wrap-around windows per subset size.
@@ -34,6 +52,36 @@ pub enum SubsetSelection {
     /// [`JigsawPipeline`](crate::pipeline::JigsawPipeline) (which
     /// [`run_jigsaw`](crate::run_jigsaw) drives internally).
     Adaptive,
+}
+
+/// Wire format: one tag byte per variant (`0` sliding window, `1` random
+/// plus its `count`, `2` random covering, `3` adaptive).
+impl jigsaw_pmf::codec::Encode for SubsetSelection {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        match self {
+            Self::SlidingWindow => w.put_u8(0),
+            Self::Random { count } => {
+                w.put_u8(1);
+                w.put_usize(*count);
+            }
+            Self::RandomCovering => w.put_u8(2),
+            Self::Adaptive => w.put_u8(3),
+        }
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for SubsetSelection {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        match r.u8()? {
+            0 => Ok(Self::SlidingWindow),
+            1 => Ok(Self::Random { count: r.usize()? }),
+            2 => Ok(Self::RandomCovering),
+            3 => Ok(Self::Adaptive),
+            tag => Err(jigsaw_pmf::codec::CodecError::InvalidTag { what: "SubsetSelection", tag }),
+        }
+    }
 }
 
 /// Generates subsets of `size` qubits out of `n` according to `selection`.

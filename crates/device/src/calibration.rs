@@ -155,6 +155,88 @@ impl Calibration {
     }
 }
 
+/// Wire format: the two conditional error rates as exact `f64` bit
+/// patterns. Decode enforces the `[0, 0.5]` range [`Calibration::new`]
+/// asserts.
+impl jigsaw_pmf::codec::Encode for ReadoutError {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_f64(self.p1_given_0);
+        w.put_f64(self.p0_given_1);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for ReadoutError {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let p1_given_0 = r.f64()?;
+        let p0_given_1 = r.f64()?;
+        if !((0.0..=0.5).contains(&p1_given_0) && (0.0..=0.5).contains(&p0_given_1)) {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "ReadoutError",
+                detail: format!("rates ({p1_given_0}, {p0_given_1}) outside [0, 0.5]"),
+            });
+        }
+        Ok(Self { p1_given_0, p0_given_1 })
+    }
+}
+
+/// Wire format: readout pairs, 1q gate errors and idle rates as plain
+/// vectors, and the coupler table as a `((min, max), rate)` list sorted by
+/// key — a canonical order, so equal calibrations always encode to
+/// identical bytes even though the in-memory table is a hash map. Decode
+/// validates everything [`Calibration::new`] asserts.
+impl jigsaw_pmf::codec::Encode for Calibration {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        self.readout.encode(w);
+        self.gate_1q.encode(w);
+        let mut couplers: Vec<((usize, usize), f64)> =
+            self.gate_2q.iter().map(|(&k, &v)| (k, v)).collect();
+        couplers.sort_unstable_by_key(|&(k, _)| k);
+        couplers.encode(w);
+        self.idle.encode(w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Calibration {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        use jigsaw_pmf::codec::CodecError;
+        let invalid = |detail: String| CodecError::InvalidValue { what: "Calibration", detail };
+        let readout = Vec::<ReadoutError>::decode(r)?;
+        let n = readout.len();
+        let gate_1q = Vec::<f64>::decode(r)?;
+        let couplers = Vec::<((usize, usize), f64)>::decode(r)?;
+        let idle = Vec::<f64>::decode(r)?;
+        if gate_1q.len() != n || idle.len() != n {
+            return Err(invalid(format!(
+                "table lengths disagree: {n} readout, {} 1q, {} idle",
+                gate_1q.len(),
+                idle.len()
+            )));
+        }
+        for &e in gate_1q.iter().chain(idle.iter()).chain(couplers.iter().map(|(_, e)| e)) {
+            if !(0.0..=1.0).contains(&e) {
+                return Err(invalid(format!("gate/idle error {e} outside [0, 1]")));
+            }
+        }
+        let mut gate_2q = HashMap::with_capacity(couplers.len());
+        let mut prev = None;
+        for ((a, b), e) in couplers {
+            if a >= b || b >= n {
+                return Err(invalid(format!("coupler key ({a},{b}) not normalised/in range")));
+            }
+            if prev.is_some_and(|prev| prev >= (a, b)) {
+                return Err(invalid("coupler table not in ascending key order".into()));
+            }
+            prev = Some((a, b));
+            gate_2q.insert((a, b), e);
+        }
+        Ok(Self { readout, gate_1q, gate_2q, idle })
+    }
+}
+
 /// Log-normal parameters `(median, σ of ln)` for one error family.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogNormalSpec {
@@ -251,6 +333,51 @@ impl CalibrationSpec {
         idle.shuffle(&mut rng);
 
         Calibration::new(readout, gate_1q, gate_2q, idle)
+    }
+}
+
+/// Wire format: `median` then `sigma` as exact `f64` bit patterns.
+impl jigsaw_pmf::codec::Encode for LogNormalSpec {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_f64(self.median);
+        w.put_f64(self.sigma);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for LogNormalSpec {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self { median: r.f64()?, sigma: r.f64()? })
+    }
+}
+
+/// Wire format: the four [`LogNormalSpec`] families in declaration order,
+/// the asymmetry ratio, and the shuffle seed — everything needed to
+/// re-synthesise the identical calibration on any machine.
+impl jigsaw_pmf::codec::Encode for CalibrationSpec {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        self.readout.encode(w);
+        w.put_f64(self.readout_asymmetry);
+        self.gate_1q.encode(w);
+        self.gate_2q.encode(w);
+        self.idle.encode(w);
+        w.put_u64(self.seed);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for CalibrationSpec {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        Ok(Self {
+            readout: LogNormalSpec::decode(r)?,
+            readout_asymmetry: r.f64()?,
+            gate_1q: LogNormalSpec::decode(r)?,
+            gate_2q: LogNormalSpec::decode(r)?,
+            idle: LogNormalSpec::decode(r)?,
+            seed: r.u64()?,
+        })
     }
 }
 

@@ -65,6 +65,31 @@ impl CrosstalkModel {
     }
 }
 
+/// Wire format: `cap` then `rate` as exact `f64` bit patterns. Decode
+/// rejects non-finite or negative parameters (the model's domain).
+impl jigsaw_pmf::codec::Encode for CrosstalkModel {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_f64(self.cap);
+        w.put_f64(self.rate);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for CrosstalkModel {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let cap = r.f64()?;
+        let rate = r.f64()?;
+        if !(cap.is_finite() && rate.is_finite() && cap >= 0.0 && rate >= 0.0) {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "CrosstalkModel",
+                detail: format!("parameters ({cap}, {rate}) must be finite and non-negative"),
+            });
+        }
+        Ok(Self { cap, rate })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -177,6 +177,40 @@ impl Device {
     }
 }
 
+/// Wire format: name, topology, calibration, crosstalk — in that order.
+/// Decode re-checks the topology/calibration size agreement that
+/// [`Device::new`] asserts and returns a typed error on mismatch.
+impl jigsaw_pmf::codec::Encode for Device {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_str(&self.name);
+        self.topology.encode(w);
+        self.calibration.encode(w);
+        self.crosstalk.encode(w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Device {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let name = r.str()?;
+        let topology = Topology::decode(r)?;
+        let calibration = Calibration::decode(r)?;
+        let crosstalk = CrosstalkModel::decode(r)?;
+        if topology.n_qubits() != calibration.n_qubits() {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "Device",
+                detail: format!(
+                    "calibration covers {} qubits but the topology has {}",
+                    calibration.n_qubits(),
+                    topology.n_qubits()
+                ),
+            });
+        }
+        Ok(Self { name, topology, calibration, crosstalk })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +256,29 @@ mod tests {
         let small = d.best_region_worst_readout(2);
         let large = d.best_region_worst_readout(5);
         assert!(large >= small, "growing a region cannot improve its worst qubit");
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_the_device() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec};
+        let d = Device::toronto();
+        let bytes = encode_to_vec(&d);
+        let back: Device = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(encode_to_vec(&back), bytes, "canonical re-encode");
+        // Derived state is rebuilt identically.
+        assert_eq!(back.topology().distance(0, 26), d.topology().distance(0, 26));
+        assert_eq!(back.effective_readout(5, 10), d.effective_readout(5, 10));
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_devices() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec};
+        let d = tiny_device();
+        let bytes = encode_to_vec(&d);
+        for len in 0..bytes.len() {
+            assert!(decode_from_slice::<Device>(&bytes[..len]).is_err(), "truncation at {len}");
+        }
     }
 
     #[test]

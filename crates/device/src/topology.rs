@@ -205,6 +205,53 @@ impl Topology {
     }
 }
 
+/// Wire format: `n_qubits` as `u64` plus the construction edge list; the
+/// adjacency lists and distance matrix are derived state and are recomputed
+/// on decode (the construction is deterministic, so a round-tripped
+/// topology compares equal field-for-field). Decode validates what
+/// [`Topology::new`] asserts — endpoints in range, no self-loops, no
+/// duplicate edges — and returns a typed error instead of panicking.
+impl jigsaw_pmf::codec::Encode for Topology {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_usize(self.n_qubits);
+        jigsaw_pmf::codec::Encode::encode(&self.edges, w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for Topology {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        use jigsaw_pmf::codec::CodecError;
+        let invalid = |detail: String| CodecError::InvalidValue { what: "Topology", detail };
+        let n_qubits = r.usize()?;
+        // Bound the width before `Topology::new` sizes its O(n²) distance
+        // matrix: no device in this workspace can exceed the 256-qubit
+        // outcome container, and an unbounded wire value must not drive a
+        // multi-terabyte allocation.
+        if n_qubits > jigsaw_pmf::MAX_BITS {
+            return Err(invalid(format!(
+                "{n_qubits} qubits exceed the {}-qubit outcome capacity",
+                jigsaw_pmf::MAX_BITS
+            )));
+        }
+        let edges = Vec::<(usize, usize)>::decode(r)?;
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            if u >= n_qubits || v >= n_qubits {
+                return Err(invalid(format!("edge ({u},{v}) out of range for {n_qubits} qubits")));
+            }
+            if u == v {
+                return Err(invalid(format!("self-loop at qubit {u}")));
+            }
+            if !seen.insert((u.min(v), u.max(v))) {
+                return Err(invalid(format!("duplicate edge ({u},{v})")));
+            }
+        }
+        Ok(Self::new(n_qubits, edges))
+    }
+}
+
 fn all_pairs_bfs(n: usize, adjacency: &[Vec<usize>]) -> Vec<Vec<u32>> {
     let mut dist = vec![vec![UNREACHABLE; n]; n];
     for (start, row) in dist.iter_mut().enumerate() {
@@ -291,5 +338,22 @@ mod tests {
     #[should_panic(expected = "duplicate edge")]
     fn duplicate_edges_rejected() {
         let _ = Topology::new(3, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn codec_round_trips_and_bounds_the_width() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec, CodecError};
+        let t = Topology::falcon27();
+        let back: Topology = decode_from_slice(&encode_to_vec(&t)).unwrap();
+        assert_eq!(back, t);
+        // A wire width of 2^20 with an empty edge list must be a typed
+        // error, not a 4 TiB distance-matrix allocation.
+        let mut w = jigsaw_pmf::codec::Writer::new();
+        w.put_usize(1 << 20);
+        w.put_usize(0);
+        assert!(matches!(
+            decode_from_slice::<Topology>(&w.into_bytes()),
+            Err(CodecError::InvalidValue { what: "Topology", .. })
+        ));
     }
 }

@@ -298,6 +298,45 @@ impl FromStr for BitString {
     }
 }
 
+/// Wire format: `len` as `u16`, then `⌈len/64⌉` little-endian `u64` words
+/// (low qubits first). Words beyond the width are never written; padding
+/// bits of the last word must be zero, which decode enforces so equality
+/// and hashing invariants survive untrusted input.
+impl crate::codec::Encode for BitString {
+    fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_u16(self.len);
+        for word in &self.words[..(self.len as usize).div_ceil(64)] {
+            w.put_u64(*word);
+        }
+    }
+}
+
+impl crate::codec::Decode for BitString {
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let len = r.u16()?;
+        if usize::from(len) > MAX_BITS {
+            return Err(CodecError::InvalidValue {
+                what: "BitString",
+                detail: format!("width {len} exceeds the {MAX_BITS}-bit capacity"),
+            });
+        }
+        let mut words = [0u64; WORDS];
+        let n_words = usize::from(len).div_ceil(64);
+        for word in words.iter_mut().take(n_words) {
+            *word = r.u64()?;
+        }
+        let tail_bits = usize::from(len) % 64;
+        if n_words > 0 && tail_bits != 0 && words[n_words - 1] >> tail_bits != 0 {
+            return Err(CodecError::InvalidValue {
+                what: "BitString",
+                detail: format!("padding bits above width {len} are set"),
+            });
+        }
+        Ok(Self { words, len })
+    }
+}
+
 /// Error produced when parsing a [`BitString`] from text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseBitStringError {

@@ -14,6 +14,10 @@
 //! * [`metrics`] — the paper's figures of merit: TVD-based Fidelity
 //!   (Equation 3), PST (Equation 1), IST (Equation 2), plus Hellinger and KL
 //!   distances.
+//! * [`codec`] — the [`Encode`](codec::Encode)/[`Decode`](codec::Decode)
+//!   trait pair and little-endian primitives behind the workspace's
+//!   persistable-artifact format (`docs/FORMAT.md`); every crate implements
+//!   the pair for its own types.
 //!
 //! # Examples
 //!
@@ -33,6 +37,7 @@
 //! ```
 
 mod bitstring;
+pub mod codec;
 mod counts;
 pub mod hashing;
 pub mod metrics;

@@ -1,6 +1,12 @@
 //! Figures of merit from §5.5 of the paper: distribution distances
 //! (TVD / Hellinger / KL), Fidelity, Probability of a Successful Trial (PST)
 //! and Inference Strength (IST).
+//!
+//! Every accumulating metric walks its PMFs in canonical
+//! ([`Pmf::sorted_entries`]) order, so scores are pure functions of PMF
+//! *contents*: two histograms with equal entries produce bit-identical
+//! metrics regardless of how either map was populated (trial by trial, by
+//! reconstruction, or decoded from an archive).
 
 use crate::hashing::DetHashSet;
 
@@ -18,8 +24,10 @@ use crate::{BitString, Pmf};
 #[must_use]
 pub fn tvd(p: &Pmf, q: &Pmf) -> f64 {
     assert_eq!(p.n_bits(), q.n_bits(), "TVD requires PMFs of equal width");
-    let support: DetHashSet<BitString> =
+    let mut support: Vec<BitString> =
         p.iter().map(|(b, _)| *b).chain(q.iter().map(|(b, _)| *b)).collect();
+    support.sort_unstable();
+    support.dedup();
     0.5 * support.iter().map(|b| (p.prob(b) - q.prob(b)).abs()).sum::<f64>()
 }
 
@@ -58,7 +66,7 @@ pub fn fidelity(ideal: &Pmf, measured: &Pmf) -> f64 {
 #[must_use]
 pub fn hellinger(p: &Pmf, q: &Pmf) -> f64 {
     assert_eq!(p.n_bits(), q.n_bits(), "Hellinger requires PMFs of equal width");
-    let bc: f64 = p.iter().map(|(b, pp)| (pp * q.prob(b)).sqrt()).sum();
+    let bc: f64 = p.sorted_entries().iter().map(|(b, pp)| (pp * q.prob(b)).sqrt()).sum();
     (1.0 - bc.min(1.0)).max(0.0).sqrt()
 }
 
@@ -75,7 +83,11 @@ pub fn hellinger(p: &Pmf, q: &Pmf) -> f64 {
 pub fn kl_divergence(p: &Pmf, q: &Pmf) -> f64 {
     assert_eq!(p.n_bits(), q.n_bits(), "KL divergence requires PMFs of equal width");
     const FLOOR: f64 = 1e-12;
-    p.iter().filter(|(_, pp)| *pp > 0.0).map(|(b, pp)| pp * (pp / q.prob(b).max(FLOOR)).ln()).sum()
+    p.sorted_entries()
+        .iter()
+        .filter(|(_, pp)| *pp > 0.0)
+        .map(|(b, pp)| pp * (pp / q.prob(b).max(FLOOR)).ln())
+        .sum()
 }
 
 /// Probability of a Successful Trial (paper Equation 1): the total output

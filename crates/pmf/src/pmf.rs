@@ -114,12 +114,18 @@ impl Pmf {
     }
 
     /// Sum of all stored probabilities (1.0 for a normalised PMF).
+    ///
+    /// Accumulates in the canonical [`Self::sorted_entries`] order, so the
+    /// mass depends only on the PMF's *contents* — two PMFs with equal
+    /// entries report bit-identical masses regardless of how either was
+    /// built (e.g. one decoded from an archive, one grown trial by trial).
     #[must_use]
     pub fn total_mass(&self) -> f64 {
-        self.probs.values().sum()
+        self.sorted_entries().iter().map(|(_, p)| p).sum()
     }
 
     /// Rescales so the total mass is 1. No-op on an all-zero PMF.
+    /// Content-deterministic like [`Self::total_mass`].
     pub fn normalize(&mut self) {
         let mass = self.total_mass();
         if mass > 0.0 {
@@ -183,28 +189,35 @@ impl Pmf {
     /// Marginal PMF over a subset of qubits: probabilities of outcomes that
     /// agree on the subset are summed.
     ///
+    /// Projection walks the canonical [`Self::sorted_entries`] order, so
+    /// each marginal probability's floating-point accumulation is a pure
+    /// function of the PMF's contents — the property adaptive subset
+    /// selection (and any archive-resumed replay) relies on for
+    /// bit-identical results.
+    ///
     /// # Panics
     ///
     /// Panics if any subset index is out of range.
     #[must_use]
     pub fn marginal(&self, qubits: &[usize]) -> Self {
         let mut out = Self::new(qubits.len());
-        for (b, p) in self.iter() {
+        for (b, p) in self.sorted_entries() {
             out.add(b.project(qubits), p);
         }
         out
     }
 
     /// Adds `scale * other` into this PMF entry-wise (used by the final
-    /// "add each Ppost to P" step of Bayesian Reconstruction).
+    /// "add each Ppost to P" step of Bayesian Reconstruction). Walks
+    /// `other` in canonical order, so the result is content-deterministic.
     ///
     /// # Panics
     ///
     /// Panics if the widths differ.
     pub fn add_scaled(&mut self, other: &Self, scale: f64) {
         assert_eq!(self.n_bits, other.n_bits, "cannot add PMFs of different widths");
-        for (b, p) in other.iter() {
-            self.add(*b, scale * p);
+        for (b, p) in other.sorted_entries() {
+            self.add(b, scale * p);
         }
     }
 
@@ -244,6 +257,66 @@ impl Pmf {
                 cumulative[i.min(cumulative.len() - 1)].1
             })
             .collect()
+    }
+}
+
+/// Wire format: `n_bits` as `u64`, then the support in **canonical order**
+/// (`u64` entry count, then `(BitString, f64-bits)` pairs sorted ascending
+/// by outcome). Equal PMFs therefore always encode to identical bytes, no
+/// matter how they were built. Decode enforces the canonical invariants —
+/// matching widths, strictly ascending outcomes, positive finite
+/// probabilities — so corrupt archives surface typed errors instead of
+/// undefined PMFs.
+impl crate::codec::Encode for Pmf {
+    fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_usize(self.n_bits);
+        let entries = self.sorted_entries();
+        w.put_usize(entries.len());
+        for (b, p) in entries {
+            crate::codec::Encode::encode(&b, w);
+            w.put_f64(p);
+        }
+    }
+}
+
+impl crate::codec::Decode for Pmf {
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let n_bits = r.usize()?;
+        if n_bits > crate::MAX_BITS {
+            return Err(CodecError::InvalidValue {
+                what: "Pmf",
+                detail: format!("width {n_bits} exceeds the {}-bit capacity", crate::MAX_BITS),
+            });
+        }
+        let len = r.seq_len(2 + 8)?; // ≥ 2 bytes of BitString + 8 of f64
+        let mut pmf = Pmf::new(n_bits);
+        let mut prev: Option<BitString> = None;
+        for _ in 0..len {
+            let b = BitString::decode(r)?;
+            let p = r.f64()?;
+            if b.len() != n_bits {
+                return Err(CodecError::InvalidValue {
+                    what: "Pmf",
+                    detail: format!("entry width {} in a {n_bits}-bit PMF", b.len()),
+                });
+            }
+            if prev.is_some_and(|prev| prev >= b) {
+                return Err(CodecError::InvalidValue {
+                    what: "Pmf",
+                    detail: "support not in strictly ascending canonical order".into(),
+                });
+            }
+            if !(p > 0.0 && p.is_finite()) {
+                return Err(CodecError::InvalidValue {
+                    what: "Pmf",
+                    detail: format!("probability {p} of {b} is not positive and finite"),
+                });
+            }
+            pmf.set(b, p);
+            prev = Some(b);
+        }
+        Ok(pmf)
     }
 }
 
@@ -435,6 +508,66 @@ mod tests {
         assert_eq!(serial.len(), 3, "9000 entries → three fixed-size shards");
         for threads in [0, 2, 3, 8] {
             assert_eq!(masses(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn accumulating_ops_are_insertion_order_invariant() {
+        // Build the same contents along two very different insertion
+        // histories; every accumulating operation must agree bit for bit.
+        let entries: Vec<(BitString, f64)> = (0..500u64)
+            .map(|v| (BitString::from_u64(v * 7 % 1024, 10), 1.0 / (v + 3) as f64))
+            .collect();
+        let mut fwd = Pmf::new(10);
+        for (b, p) in &entries {
+            fwd.add(*b, *p);
+        }
+        let mut rev = Pmf::new(10);
+        for (b, p) in entries.iter().rev() {
+            rev.add(*b, *p);
+        }
+        assert_eq!(fwd.total_mass().to_bits(), rev.total_mass().to_bits());
+        assert_eq!(fwd.marginal(&[0, 3, 7]), rev.marginal(&[0, 3, 7]));
+        let mut nf = fwd.clone();
+        let mut nr = rev.clone();
+        nf.normalize();
+        nr.normalize();
+        assert_eq!(nf, nr);
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_identical() {
+        use crate::codec::{decode_from_slice, encode_to_vec};
+        let mut p = Pmf::new(9);
+        for v in [0u64, 5, 17, 400, 511] {
+            p.set(BitString::from_u64(v, 9), 1.0 / (v + 1) as f64);
+        }
+        let bytes = encode_to_vec(&p);
+        let back: Pmf = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, p);
+        // Canonical encoding: re-encoding the decoded value reproduces the
+        // original bytes exactly.
+        assert_eq!(encode_to_vec(&back), bytes);
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_pmfs() {
+        use crate::codec::{decode_from_slice, encode_to_vec, CodecError};
+        let mut p = Pmf::new(4);
+        p.set(bs("0011"), 0.5);
+        p.set(bs("1100"), 0.5);
+        let bytes = encode_to_vec(&p);
+        // Flipping the stored probability sign makes it non-positive.
+        let mut bad = bytes.clone();
+        let last8 = bad.len() - 8;
+        bad[last8 + 7] ^= 0x80;
+        assert!(matches!(
+            decode_from_slice::<Pmf>(&bad),
+            Err(CodecError::InvalidValue { what: "Pmf", .. })
+        ));
+        // Truncations are typed errors, never panics.
+        for len in 0..bytes.len() {
+            assert!(decode_from_slice::<Pmf>(&bytes[..len]).is_err());
         }
     }
 

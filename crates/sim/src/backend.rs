@@ -16,7 +16,7 @@
 //! exactly one `u64` draw, and both backends map a draw to the support
 //! element the dense inverse-CDF walk would pick (the stabilizer coset is
 //! enumerated in basis-index order; see
-//! [`OutcomeCoset`](crate::OutcomeCoset)). Identical draws therefore
+//! [`OutcomeCoset`]). Identical draws therefore
 //! produce identical histograms on both backends for any Clifford circuit
 //! that fits the dense cap — the property the backend-agreement tests pin
 //! down.
@@ -67,6 +67,52 @@ impl BackendKind {
 impl std::fmt::Display for BackendKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Wire format: one tag byte (`0` auto, `1` dense, `2` stabilizer).
+impl jigsaw_pmf::codec::Encode for BackendChoice {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_u8(match self {
+            Self::Auto => 0,
+            Self::Dense => 1,
+            Self::Stabilizer => 2,
+        });
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for BackendChoice {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        match r.u8()? {
+            0 => Ok(Self::Auto),
+            1 => Ok(Self::Dense),
+            2 => Ok(Self::Stabilizer),
+            tag => Err(jigsaw_pmf::codec::CodecError::InvalidTag { what: "BackendChoice", tag }),
+        }
+    }
+}
+
+/// Wire format: one tag byte (`0` dense, `1` stabilizer).
+impl jigsaw_pmf::codec::Encode for BackendKind {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_u8(match self {
+            Self::Dense => 0,
+            Self::Stabilizer => 1,
+        });
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for BackendKind {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        match r.u8()? {
+            0 => Ok(Self::Dense),
+            1 => Ok(Self::Stabilizer),
+            tag => Err(jigsaw_pmf::codec::CodecError::InvalidTag { what: "BackendKind", tag }),
+        }
     }
 }
 
@@ -128,7 +174,7 @@ pub fn select_backend(circuit: &Circuit, choice: BackendChoice) -> BackendKind {
 /// The lifecycle per trajectory is: [`reset`](SimBackend::reset) → gates
 /// and injected Paulis → [`prepare_sampling`](SimBackend::prepare_sampling)
 /// → [`resolve_draws`](SimBackend::resolve_draws). Backends keep their
-/// allocations across that cycle so a [`BufferPool`] can recycle them
+/// allocations across that cycle so a buffer pool can recycle them
 /// between trajectory batches.
 pub trait SimBackend: Send + Sync {
     /// Creates the backend in `|0…0⟩` over `n_qubits`.

@@ -122,6 +122,45 @@ impl RunConfig {
     }
 }
 
+/// Wire format: `batch`, `seed`, the three noise-channel switches, the
+/// worker-thread setting and the backend choice, in declaration order.
+/// Decode rejects a zero batch size (the executor's trajectory grouping
+/// needs at least one trial per batch).
+impl jigsaw_pmf::codec::Encode for RunConfig {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        w.put_u64(self.batch);
+        w.put_u64(self.seed);
+        w.put_bool(self.gate_noise);
+        w.put_bool(self.readout_noise);
+        w.put_bool(self.decoherence);
+        w.put_usize(self.threads);
+        jigsaw_pmf::codec::Encode::encode(&self.backend, w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for RunConfig {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let batch = r.u64()?;
+        if batch == 0 {
+            return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                what: "RunConfig",
+                detail: "batch size must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            batch,
+            seed: r.u64()?,
+            gate_noise: r.bool()?,
+            readout_noise: r.bool()?,
+            decoherence: r.bool()?,
+            threads: r.usize()?,
+            backend: crate::backend::BackendChoice::decode(r)?,
+        })
+    }
+}
+
 /// Executes compiled circuits against one device model.
 #[derive(Debug, Clone, Copy)]
 pub struct Executor<'d> {

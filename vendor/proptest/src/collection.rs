@@ -32,7 +32,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec`s with element strategy `S`; see [`vec`].
+/// Strategy for `Vec`s with element strategy `S`; see [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
