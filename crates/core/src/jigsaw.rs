@@ -129,7 +129,19 @@ impl jigsaw_pmf::codec::Decode for TrialAllocation {
     ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
         match r.u8()? {
             0 => Ok(Self::Equal),
-            1 => Ok(Self::CoverageWeighted { confidence: r.f64()? }),
+            1 => {
+                let confidence = r.f64()?;
+                // `trials::cpm_trials` asserts 0 < confidence < 1; an
+                // out-of-range (or NaN) value arriving over the wire must
+                // be a typed decode error, not a panic at selection time.
+                if !(confidence > 0.0 && confidence < 1.0) {
+                    return Err(jigsaw_pmf::codec::CodecError::InvalidValue {
+                        what: "TrialAllocation",
+                        detail: format!("coverage confidence {confidence} outside (0, 1)"),
+                    });
+                }
+                Ok(Self::CoverageWeighted { confidence })
+            }
             tag => Err(jigsaw_pmf::codec::CodecError::InvalidTag { what: "TrialAllocation", tag }),
         }
     }
@@ -218,6 +230,59 @@ impl PartialEq for JigsawResult {
             && self.rounds == other.rounds
             && self.trials_used == other.trials_used
             && self.backend == other.backend
+    }
+}
+
+/// Wire format: every field in declaration order. Like the stage archives,
+/// the encoding is **canonical and telemetry-free** — `StageRecord` walls
+/// are excluded on the wire — so two bit-identical runs encode to
+/// byte-identical payloads. This is what lets the job server's cache serve
+/// duplicate submissions with responses that are provably byte-equal.
+impl jigsaw_pmf::codec::Encode for JigsawResult {
+    fn encode(&self, w: &mut jigsaw_pmf::codec::Writer) {
+        self.output.encode(w);
+        self.global.encode(w);
+        self.marginals.encode(w);
+        w.put_f64(self.global_eps);
+        w.put_usize(self.rounds);
+        w.put_u64(self.trials_used);
+        self.backend.encode(w);
+        self.timings.encode(w);
+    }
+}
+
+impl jigsaw_pmf::codec::Decode for JigsawResult {
+    fn decode(
+        r: &mut jigsaw_pmf::codec::Reader<'_>,
+    ) -> Result<Self, jigsaw_pmf::codec::CodecError> {
+        let invalid = |detail: String| jigsaw_pmf::codec::CodecError::InvalidValue {
+            what: "JigsawResult",
+            detail,
+        };
+        let result = Self {
+            output: Pmf::decode(r)?,
+            global: Pmf::decode(r)?,
+            marginals: Vec::<Marginal>::decode(r)?,
+            global_eps: r.f64()?,
+            rounds: r.usize()?,
+            trials_used: r.u64()?,
+            backend: BackendKind::decode(r)?,
+            timings: StageTimings::decode(r)?,
+        };
+        if result.output.n_bits() != result.global.n_bits() {
+            return Err(invalid(format!(
+                "{}-bit output for a {}-bit global PMF",
+                result.output.n_bits(),
+                result.global.n_bits()
+            )));
+        }
+        if result.marginals.iter().any(|m| m.size() >= result.output.n_bits()) {
+            return Err(invalid("a marginal spans at least the whole program".into()));
+        }
+        if !(result.global_eps > 0.0 && result.global_eps <= 1.0) {
+            return Err(invalid(format!("global EPS {} outside (0, 1]", result.global_eps)));
+        }
+        Ok(result)
     }
 }
 
@@ -504,6 +569,40 @@ mod tests {
             .expect("size-5 layer present");
         assert!(size5_support > 4, "size-5 marginals resolved {size5_support} outcomes");
         assert!(result.trials_used <= 8000 + 16);
+    }
+
+    #[test]
+    fn result_round_trips_through_the_codec() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec, CodecError};
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let result = run_jigsaw(b.circuit(), &device, &quick_config(900).with_seed(2));
+        let bytes = encode_to_vec(&result);
+        let back: JigsawResult = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, result);
+        // Canonical: re-encoding the decoded value is byte-identical, and
+        // a second identical run encodes identically (walls excluded).
+        assert_eq!(encode_to_vec(&back), bytes);
+        let again = run_jigsaw(b.circuit(), &device, &quick_config(900).with_seed(2));
+        assert_eq!(encode_to_vec(&again), bytes);
+
+        // Validation: a corrupted EPS is a typed error.
+        let bad = encode_to_vec(&JigsawResult { global_eps: 2.0, ..result.clone() });
+        let err = decode_from_slice::<JigsawResult>(&bad).unwrap_err();
+        assert!(matches!(err, CodecError::InvalidValue { what: "JigsawResult", .. }), "{err}");
+    }
+
+    #[test]
+    fn coverage_confidence_is_validated_on_decode() {
+        use jigsaw_pmf::codec::{decode_from_slice, encode_to_vec, CodecError};
+        for bad in [f64::NAN, 0.0, 1.0, -3.0, f64::INFINITY] {
+            let bytes = encode_to_vec(&TrialAllocation::CoverageWeighted { confidence: bad });
+            let err = decode_from_slice::<TrialAllocation>(&bytes).unwrap_err();
+            assert!(
+                matches!(err, CodecError::InvalidValue { what: "TrialAllocation", .. }),
+                "confidence {bad} gave {err}"
+            );
+        }
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub mod pipeline;
 pub mod scalability;
 pub mod seed;
 pub mod subsets;
+pub mod telemetry;
 pub mod trials;
 
 pub use bayes::{
@@ -101,5 +102,5 @@ pub use jigsaw::{
     ReferenceConfig, TrialAllocation,
 };
 pub use persist::{PersistError, StageArtifact, StageKind};
-pub use pipeline::{JigsawPipeline, StageName, StageRecord, StageTimings};
+pub use pipeline::{JigsawPipeline, PlanError, StageName, StageRecord, StageTimings};
 pub use subsets::SubsetSelection;

@@ -194,6 +194,13 @@ pub enum PersistError {
         /// Stage the archive holds.
         found: StageKind,
     },
+    /// The header declares a payload longer than this platform can even
+    /// address — the length prefix is corrupt (or hostile), and no amount
+    /// of further input could satisfy it.
+    Oversized {
+        /// Payload length the header claims.
+        payload_len: u64,
+    },
     /// The payload bytes do not match their stored checksum.
     ChecksumMismatch {
         /// Checksum stored in the archive.
@@ -245,6 +252,9 @@ impl fmt::Display for PersistError {
             Self::UnknownStage { tag } => write!(f, "unknown stage tag {tag:#04x}"),
             Self::WrongStage { expected, found } => {
                 write!(f, "archive holds a {found} stage, expected {expected}")
+            }
+            Self::Oversized { payload_len } => {
+                write!(f, "header claims a {payload_len}-byte payload, beyond addressable memory")
             }
             Self::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -403,11 +413,11 @@ pub fn from_bytes<S: StageArtifact>(bytes: &[u8]) -> Result<S, PersistError> {
         return Err(PersistError::WrongStage { expected: S::KIND, found: header.stage });
     }
     let payload_len = usize::try_from(header.payload_len)
-        .map_err(|_| PersistError::Truncated { needed: usize::MAX, len: bytes.len() })?;
+        .map_err(|_| PersistError::Oversized { payload_len: header.payload_len })?;
     let total = HEADER_LEN
         .checked_add(payload_len)
         .and_then(|n| n.checked_add(8))
-        .ok_or(PersistError::Truncated { needed: usize::MAX, len: bytes.len() })?;
+        .ok_or(PersistError::Oversized { payload_len: header.payload_len })?;
     if bytes.len() < total {
         return Err(PersistError::Truncated { needed: total, len: bytes.len() });
     }
@@ -663,6 +673,16 @@ mod tests {
         assert!(matches!(
             from_bytes::<GlobalRun>(&bad),
             Err(PersistError::TrailingBytes { remaining: 1 })
+        ));
+
+        // Regression: a length prefix beyond addressable memory used to
+        // disguise itself as `Truncated { needed: usize::MAX }`; it is its
+        // own typed corruption now.
+        let mut bad = bytes.clone();
+        bad[19..27].copy_from_slice(&u64::MAX.to_le_bytes()); // payload length
+        assert!(matches!(
+            from_bytes::<GlobalRun>(&bad),
+            Err(PersistError::Oversized { payload_len: u64::MAX })
         ));
     }
 }

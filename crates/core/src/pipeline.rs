@@ -160,6 +160,49 @@ pub struct BudgetPlan {
     pub sizes: Vec<usize>,
 }
 
+/// Why [`JigsawPipeline::try_plan`] refused a job. These are the
+/// *request-shaped* failures — conditions a caller (interactive or remote)
+/// can produce with well-formed but unusable inputs, which therefore must
+/// surface as typed errors rather than panics. The panicking
+/// [`JigsawPipeline::plan`] wraps this with the historical messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The program already declares measurements; JigSaw chooses what to
+    /// measure, so the caller must pass the measurement-free program.
+    Premeasured,
+    /// The program does not fit on the device.
+    WiderThanDevice {
+        /// Program width in qubits.
+        program: usize,
+        /// Device width in qubits.
+        device: usize,
+    },
+    /// No configured subset size is at least 1 and smaller than the
+    /// program, so no CPM can be formed.
+    NoFittingSubsetSize {
+        /// Program width in qubits.
+        program: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Premeasured => {
+                f.write_str("pass the measurement-free program; JigSaw chooses what to measure")
+            }
+            Self::WiderThanDevice { program, device } => {
+                write!(f, "{program}-qubit program does not fit a {device}-qubit device")
+            }
+            Self::NoFittingSubsetSize { program } => {
+                write!(f, "no subset size fits a {program}-qubit program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 impl BudgetPlan {
     /// The plan a config resolves to for an `n`-qubit program, or `None`
     /// when no configured subset size fits — the fallible path archive
@@ -196,6 +239,11 @@ pub(crate) struct Ctx {
 
 impl Ctx {
     fn record(&mut self, record: StageRecord) {
+        // Promote the per-run record into the process-wide registry, so a
+        // long-running service aggregates stage walls across every job it
+        // has executed (see `crate::telemetry`). Purely observational:
+        // nothing feeds back into the run.
+        crate::telemetry::global().observe_stage(record.stage, record.wall);
         self.timings.push(record);
     }
 
@@ -260,16 +308,42 @@ impl JigsawPipeline {
     ///
     /// # Panics
     ///
-    /// Panics if the program declares measurements or no subset size fits
-    /// it — the same conditions as [`run_jigsaw`](crate::run_jigsaw).
+    /// Panics on any [`PlanError`] condition — the same conditions as
+    /// [`run_jigsaw`](crate::run_jigsaw). Services handling untrusted
+    /// requests use [`Self::try_plan`] instead.
     #[must_use]
     pub fn plan(program: &Circuit, device: &Device, config: &JigsawConfig) -> Planned {
+        Self::try_plan(program, device, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Stage 0, fallible: validates the program and splits the trial
+    /// budget, refusing unusable requests with a typed [`PlanError`].
+    ///
+    /// This is the entry point for callers whose inputs arrive over a wire
+    /// (the job server): a pre-measured program, an oversized program or a
+    /// subset-size list that fits nothing are *request* defects, and a
+    /// request defect must never be able to panic the process serving it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PlanError`] describing the first failed check.
+    pub fn try_plan(
+        program: &Circuit,
+        device: &Device,
+        config: &JigsawConfig,
+    ) -> Result<Planned, PlanError> {
         let t0 = Instant::now();
-        assert!(
-            program.measurements().is_empty(),
-            "pass the measurement-free program; JigSaw chooses what to measure"
-        );
-        let plan = BudgetPlan::for_config(config, program.n_qubits());
+        if !program.measurements().is_empty() {
+            return Err(PlanError::Premeasured);
+        }
+        if program.n_qubits() > device.n_qubits() {
+            return Err(PlanError::WiderThanDevice {
+                program: program.n_qubits(),
+                device: device.n_qubits(),
+            });
+        }
+        let plan = BudgetPlan::try_for_config(config, program.n_qubits())
+            .ok_or(PlanError::NoFittingSubsetSize { program: program.n_qubits() })?;
         let mut ctx = Ctx {
             program: program.clone(),
             device: device.clone(),
@@ -288,7 +362,7 @@ impl JigsawPipeline {
             backend: None,
             support: None,
         });
-        Planned { ctx }
+        Ok(Planned { ctx })
     }
 }
 
@@ -1254,6 +1328,40 @@ mod tests {
         // Display renders one line per record plus the total.
         let rendered = result.timings.to_string();
         assert_eq!(rendered.lines().count(), result.timings.records().len() + 1);
+    }
+
+    #[test]
+    fn try_plan_refuses_request_defects_with_typed_errors() {
+        let device = Device::toronto();
+        let config = quick_config(1000);
+
+        // Regression for the former `plan` assertion: a pre-measured
+        // program is a typed refusal, not a panic.
+        let mut measured = bench::ghz(4).circuit().clone();
+        measured.measure_all();
+        assert_eq!(
+            JigsawPipeline::try_plan(&measured, &device, &config).unwrap_err(),
+            PlanError::Premeasured
+        );
+
+        // Regression for the former `BudgetPlan::for_config` panic.
+        let no_fit = JigsawConfig { subset_sizes: vec![9, 0], ..config.clone() };
+        assert_eq!(
+            JigsawPipeline::try_plan(bench::ghz(4).circuit(), &device, &no_fit).unwrap_err(),
+            PlanError::NoFittingSubsetSize { program: 4 }
+        );
+
+        // A program wider than the device fails at plan time, before any
+        // placement search could panic deep in the compiler.
+        let wide = bench::ghz(40);
+        assert_eq!(
+            JigsawPipeline::try_plan(wide.circuit(), &device, &config).unwrap_err(),
+            PlanError::WiderThanDevice { program: 40, device: device.n_qubits() }
+        );
+
+        // The happy path matches the panicking entry point.
+        let planned = JigsawPipeline::try_plan(bench::ghz(4).circuit(), &device, &config).unwrap();
+        assert_eq!(planned, JigsawPipeline::plan(bench::ghz(4).circuit(), &device, &config));
     }
 
     #[test]

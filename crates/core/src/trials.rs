@@ -52,13 +52,20 @@ pub fn trials_for_full_coverage(n_outcomes: u64, confidence: f64) -> u64 {
 /// Trials a size-`s` CPM needs for full outcome coverage at `confidence`
 /// (the quantity Appendix A.2 estimates for the default design).
 ///
+/// The outcome count `2^s` saturates at [`u64::MAX`] for `s >= 63` rather
+/// than overflowing: the value is used as an allocation *weight* for
+/// configurations that can arrive over the wire (stabilizer-backend
+/// programs go up to 256 qubits), and a decoded-but-huge subset size must
+/// degrade to "effectively infinite trials wanted", never panic the
+/// process (see `tests/server_protocol_fuzz.rs` for the regression).
+///
 /// # Panics
 ///
-/// Panics if `s >= 63` or `confidence` is out of range.
+/// Panics if `confidence` is out of `(0, 1)`.
 #[must_use]
 pub fn cpm_trials(subset_size: usize, confidence: f64) -> u64 {
-    assert!(subset_size < 63, "subset size {subset_size} overflows the outcome count");
-    trials_for_full_coverage(1u64 << subset_size, confidence)
+    let n_outcomes = if subset_size >= 63 { u64::MAX } else { 1u64 << subset_size };
+    trials_for_full_coverage(n_outcomes, confidence)
 }
 
 #[cfg(test)]
@@ -108,5 +115,17 @@ mod tests {
     #[should_panic(expected = "confidence")]
     fn confidence_must_be_fractional() {
         let _ = trials_for_outcome(4, 1.0);
+    }
+
+    #[test]
+    fn huge_subset_sizes_saturate_instead_of_overflowing() {
+        // Regression: `1u64 << s` for s >= 63 used to panic (shift
+        // overflow in debug); sizes up to 255 are reachable from decoded
+        // configurations on wide stabilizer programs.
+        let t63 = cpm_trials(63, 0.9999);
+        let t255 = cpm_trials(255, 0.9999);
+        assert_eq!(t63, u64::MAX, "saturated weight");
+        assert_eq!(t255, u64::MAX, "saturated weight");
+        assert!(cpm_trials(30, 0.9999) > cpm_trials(10, 0.9999), "still monotone below the cap");
     }
 }

@@ -1,0 +1,407 @@
+//! Content-addressed stage cache with single-flight computation and
+//! archive-backed eviction.
+//!
+//! Entries are keyed by the persist layer's FNV config digest
+//! ([`jigsaw_core::persist::config_digest`]) — the same content address the
+//! on-disk archives use, so "this exact job" means the same thing in
+//! memory, on the wire and on disk.
+//!
+//! Three regimes, in lookup order:
+//!
+//! 1. **Ready** — the response bytes are in memory; serve immediately.
+//! 2. **In flight** — another thread is computing this digest right now;
+//!    *coalesce*: park on the flight's condvar and share its one result.
+//!    In-flight work is tracked separately from the ready map and never
+//!    counts against capacity, so a cache of capacity 1 can still have K
+//!    waiters without deadlocking (see `tests/server_dedup.rs`).
+//! 3. **Spilled** — a previous entry was evicted, but eviction wrote the
+//!    job's checkpoint archive (the stage the request hinted) to the spill
+//!    directory first. Rehydration resumes from that archive and replays
+//!    only the downstream stages — zero global compiles (see
+//!    `tests/server_eviction.rs`).
+//!
+//! Capacity is enforced on the ready map with least-recently-used
+//! eviction. The compute closure runs *outside* the cache lock and inside
+//! a [`catch_unwind`] fault barrier: a panicking job poisons nothing,
+//! fills its flight with a typed [`ErrorCode::ComputeFailed`] rejection,
+//! and every coalesced waiter sees that same rejection. Errors are never
+//! cached — a later resubmission retries.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+use jigsaw_core::telemetry::{self, Counter};
+
+use crate::protocol::{ErrorCode, JobRejection};
+
+/// Shared response bytes: one allocation serves every duplicate submitter.
+pub type SharedBytes = Arc<Vec<u8>>;
+
+/// What a compute/rehydrate closure yields: the encoded response payload
+/// plus the checkpoint archive bytes kept for eviction spill.
+pub type JobArtifacts = (Vec<u8>, Vec<u8>);
+
+/// How a request was satisfied (feeds the metrics registry; tests assert
+/// on it directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from the in-memory ready map.
+    Hit,
+    /// Parked on another thread's in-flight computation.
+    Coalesced,
+    /// Computed fresh.
+    Miss,
+    /// Recovered from a spilled eviction archive.
+    Rehydrated,
+}
+
+/// Counters the cache feeds in the process-wide registry.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    /// Ready-map hits.
+    pub hits: Counter,
+    /// Fresh computations.
+    pub misses: Counter,
+    /// Requests that parked on an in-flight duplicate.
+    pub coalesced: Counter,
+    /// Entries evicted to spill archives.
+    pub evictions: Counter,
+    /// Entries recovered from spill archives.
+    pub rehydrations: Counter,
+    /// Computations that returned or raised an error.
+    pub compute_errors: Counter,
+}
+
+impl CacheMetrics {
+    /// Registers (idempotently) the cache counter family in the global
+    /// registry.
+    #[must_use]
+    pub fn register() -> Self {
+        let registry = telemetry::global();
+        Self {
+            hits: registry.counter("jigsaw_server_cache_hits_total", &[]),
+            misses: registry.counter("jigsaw_server_cache_misses_total", &[]),
+            coalesced: registry.counter("jigsaw_server_cache_coalesced_total", &[]),
+            evictions: registry.counter("jigsaw_server_cache_evictions_total", &[]),
+            rehydrations: registry.counter("jigsaw_server_cache_rehydrations_total", &[]),
+            compute_errors: registry.counter("jigsaw_server_compute_errors_total", &[]),
+        }
+    }
+}
+
+/// One completed entry: the response to serve and the checkpoint to spill
+/// on eviction.
+struct ReadyEntry {
+    response: SharedBytes,
+    checkpoint: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+/// One in-flight computation: the eventual shared result plus the condvar
+/// duplicates park on.
+struct Flight {
+    slot: Mutex<Option<Result<SharedBytes, JobRejection>>>,
+    done: Condvar,
+}
+
+struct Inner {
+    ready: HashMap<u64, ReadyEntry>,
+    inflight: HashMap<u64, Arc<Flight>>,
+    /// LRU clock: bumped on every touch, copied into `last_used`.
+    tick: u64,
+}
+
+/// The content-addressed stage cache. See the module docs for semantics.
+pub struct StageCache {
+    capacity: usize,
+    spill_dir: PathBuf,
+    inner: Mutex<Inner>,
+    metrics: CacheMetrics,
+}
+
+impl StageCache {
+    /// Creates a cache holding at most `capacity` ready entries, spilling
+    /// evictions into `spill_dir` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when `spill_dir` cannot be created.
+    pub fn new(capacity: usize, spill_dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let spill_dir = spill_dir.into();
+        std::fs::create_dir_all(&spill_dir)?;
+        Ok(Self {
+            capacity,
+            spill_dir,
+            inner: Mutex::new(Inner { ready: HashMap::new(), inflight: HashMap::new(), tick: 0 }),
+            metrics: CacheMetrics::register(),
+        })
+    }
+
+    /// The counters this cache feeds.
+    #[must_use]
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
+    /// Where an evicted entry for `digest` is archived.
+    #[must_use]
+    pub fn spill_path(&self, digest: u64) -> PathBuf {
+        self.spill_dir.join(format!("{digest:016x}.jigsaw"))
+    }
+
+    /// Number of ready (in-memory) entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned (a bug: closures never run
+    /// under the lock).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").ready.len()
+    }
+
+    /// Whether the ready map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serves `digest` from the first regime that applies: ready memory,
+    /// an in-flight duplicate, a spill archive (via `rehydrate`), or a
+    /// fresh computation (via `compute`). Both closures run outside the
+    /// cache lock and inside a panic fault barrier, and must return the
+    /// encoded response plus the checkpoint archive bytes to keep for
+    /// eviction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the closure's rejection (or a `ComputeFailed` rejection
+    /// wrapping a contained panic). Errors are not cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the cache lock itself is poisoned, which the fault
+    /// barrier makes unreachable from job code.
+    pub fn get_or_compute(
+        &self,
+        digest: u64,
+        compute: impl FnOnce() -> Result<JobArtifacts, JobRejection>,
+        rehydrate: impl FnOnce(&Path) -> Result<JobArtifacts, JobRejection>,
+    ) -> (Result<SharedBytes, JobRejection>, Outcome) {
+        let flight = {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            if let Some(entry) = inner.ready.get_mut(&digest) {
+                let response = Arc::clone(&entry.response);
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.ready.get_mut(&digest).expect("just found").last_used = tick;
+                self.metrics.hits.inc();
+                return (Ok(response), Outcome::Hit);
+            }
+            if let Some(flight) = inner.inflight.get(&digest) {
+                let flight = Arc::clone(flight);
+                drop(inner);
+                self.metrics.coalesced.inc();
+                return (Self::wait(&flight), Outcome::Coalesced);
+            }
+            let flight = Arc::new(Flight { slot: Mutex::new(None), done: Condvar::new() });
+            inner.inflight.insert(digest, Arc::clone(&flight));
+            flight
+        };
+
+        // We own the flight. Compute outside the lock, behind the barrier.
+        let spill = self.spill_path(digest);
+        let (result, outcome) = if spill.is_file() {
+            self.metrics.rehydrations.inc();
+            (Self::contain(move || rehydrate(&spill)), Outcome::Rehydrated)
+        } else {
+            self.metrics.misses.inc();
+            (Self::contain(compute), Outcome::Miss)
+        };
+
+        let shared = match result {
+            Ok((response, checkpoint)) => {
+                let response = Arc::new(response);
+                self.install(digest, Arc::clone(&response), Arc::new(checkpoint));
+                Ok(response)
+            }
+            Err(rejection) => {
+                self.metrics.compute_errors.inc();
+                self.inner.lock().expect("cache lock poisoned").inflight.remove(&digest);
+                Err(rejection)
+            }
+        };
+
+        let mut slot = flight.slot.lock().expect("flight lock poisoned");
+        *slot = Some(shared.clone());
+        drop(slot);
+        flight.done.notify_all();
+        (shared, outcome)
+    }
+
+    /// Parks until the flight's owner fills the slot, then shares its
+    /// result.
+    fn wait(flight: &Flight) -> Result<SharedBytes, JobRejection> {
+        let mut slot = flight.slot.lock().expect("flight lock poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = flight.done.wait(slot).expect("flight lock poisoned");
+        }
+    }
+
+    /// The fault barrier: a panicking closure becomes a typed rejection.
+    fn contain(
+        job: impl FnOnce() -> Result<JobArtifacts, JobRejection>,
+    ) -> Result<JobArtifacts, JobRejection> {
+        catch_unwind(AssertUnwindSafe(job)).unwrap_or_else(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(JobRejection::new(
+                ErrorCode::ComputeFailed,
+                format!("job panicked (contained): {detail}"),
+            ))
+        })
+    }
+
+    /// Moves a finished flight into the ready map, evicting LRU entries to
+    /// spill archives until capacity holds.
+    fn install(&self, digest: u64, response: SharedBytes, checkpoint: Arc<Vec<u8>>) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.inflight.remove(&digest);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.ready.insert(digest, ReadyEntry { response, checkpoint, last_used: tick });
+        while inner.ready.len() > self.capacity {
+            let (&victim, _) = inner
+                .ready
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .expect("len > capacity >= 0 means non-empty");
+            let entry = inner.ready.remove(&victim).expect("just found");
+            // Spill under the lock: the archive must exist before anyone
+            // can observe the entry as gone, or a racing duplicate would
+            // recompute instead of rehydrating.
+            self.spill(victim, &entry.checkpoint);
+            self.metrics.evictions.inc();
+        }
+    }
+
+    /// Writes an eviction archive atomically (temp + rename), matching the
+    /// persist layer's crash discipline.
+    fn spill(&self, digest: u64, checkpoint: &[u8]) {
+        let path = self.spill_path(digest);
+        let tmp = path.with_extension("jigsaw.tmp");
+        let written = std::fs::write(&tmp, checkpoint).and_then(|()| std::fs::rename(&tmp, &path));
+        if written.is_err() {
+            // Spill failure is not fatal: the entry is simply gone and a
+            // resubmission recomputes. Leave no torn file behind.
+            let _ = std::fs::remove_file(&tmp);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("jigsaw-server-cache-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn artifacts(tag: u8) -> Result<JobArtifacts, JobRejection> {
+        Ok((vec![tag; 4], vec![0xC0, tag]))
+    }
+
+    #[test]
+    fn hits_serve_the_installed_bytes() {
+        let cache = StageCache::new(4, tmp_dir("hits")).expect("spill dir");
+        let (first, outcome) = cache.get_or_compute(7, || artifacts(1), |_| unreachable!());
+        assert_eq!(outcome, Outcome::Miss);
+        let (second, outcome) = cache.get_or_compute(7, || unreachable!(), |_| unreachable!());
+        assert_eq!(outcome, Outcome::Hit);
+        assert_eq!(first.expect("computed"), second.expect("cached"));
+    }
+
+    #[test]
+    fn capacity_evicts_lru_to_spill_and_rehydrates() {
+        let cache = StageCache::new(1, tmp_dir("evict")).expect("spill dir");
+        let _ = cache.get_or_compute(1, || artifacts(1), |_| unreachable!());
+        let _ = cache.get_or_compute(2, || artifacts(2), |_| unreachable!());
+        assert_eq!(cache.len(), 1, "capacity bound holds");
+        assert!(cache.spill_path(1).is_file(), "eviction archived digest 1");
+        // A resubmission of the evicted digest must go down the rehydrate
+        // path, not the compute path.
+        let (result, outcome) = cache.get_or_compute(
+            1,
+            || panic!("must not recompute"),
+            |path| {
+                assert!(path.is_file());
+                artifacts(1)
+            },
+        );
+        assert_eq!(outcome, Outcome::Rehydrated);
+        assert_eq!(*result.expect("rehydrated"), vec![1; 4]);
+        assert!(cache.metrics().evictions.get() >= 1);
+    }
+
+    #[test]
+    fn panics_become_typed_rejections_and_are_not_cached() {
+        let cache = StageCache::new(4, tmp_dir("panic")).expect("spill dir");
+        let (result, _) =
+            cache.get_or_compute(9, || panic!("boom at subset 3"), |_| unreachable!());
+        let rejection = result.expect_err("contained");
+        assert_eq!(rejection.code, ErrorCode::ComputeFailed);
+        assert!(rejection.message.contains("boom at subset 3"), "{rejection}");
+        // The failure was not installed: the next submission recomputes
+        // and can succeed.
+        let (result, outcome) = cache.get_or_compute(9, || artifacts(9), |_| unreachable!());
+        assert_eq!(outcome, Outcome::Miss);
+        assert!(result.is_ok());
+        assert!(cache.metrics().compute_errors.get() >= 1);
+    }
+
+    #[test]
+    fn duplicate_submitters_coalesce_on_one_computation() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cache = Arc::new(StageCache::new(4, tmp_dir("dedup")).expect("spill dir"));
+        let computes = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let workers: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computes = Arc::clone(&computes);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (result, _) = cache.get_or_compute(
+                        42,
+                        || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for peers
+                            // to pile onto it.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            artifacts(42)
+                        },
+                        |_| unreachable!(),
+                    );
+                    result.expect("shared result")
+                })
+            })
+            .collect();
+        let results: Vec<_> = workers.into_iter().map(|w| w.join().expect("no panic")).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one computation");
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "all waiters share it");
+    }
+}

@@ -1,0 +1,335 @@
+//! The threaded job server: accept loop, per-connection frame handlers,
+//! and the job execution path that feeds the stage cache.
+//!
+//! One thread accepts; each connection gets its own handler thread running
+//! a frame loop. Submissions resolve through [`StageCache::get_or_compute`]
+//! so concurrent identical jobs coalesce on one pipeline execution, and a
+//! response is always the same bytes `run_jigsaw` would produce solo — the
+//! staged pipeline is deterministic at every thread count, and the encoded
+//! `JigsawResult` excludes wall clocks.
+//!
+//! Shutdown is cooperative: a [`FrameKind::Shutdown`] frame (or
+//! [`ServerHandle::shutdown`]) raises a flag, a self-connection unblocks
+//! the acceptor, handler read loops notice the flag at their next read
+//! timeout, and every thread is joined before the listener drops.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jigsaw_core::persist;
+use jigsaw_core::pipeline::JigsawPipeline;
+use jigsaw_core::telemetry::{self, Counter};
+use jigsaw_core::StageKind;
+use jigsaw_pmf::codec::encode_to_vec;
+
+use crate::cache::{JobArtifacts, StageCache};
+use crate::protocol::{
+    decode_submit, ErrorCode, Frame, FrameKind, JobRejection, JobRequest, ProtocolError,
+};
+
+/// How often an idle handler re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free port.
+    pub addr: String,
+    /// Ready-entry capacity of the stage cache.
+    pub capacity: usize,
+    /// Directory eviction archives spill into.
+    pub spill_dir: PathBuf,
+}
+
+impl ServerConfig {
+    /// A loopback server on a free port with the given spill directory
+    /// and a default capacity of 8 ready entries.
+    #[must_use]
+    pub fn new(spill_dir: impl Into<PathBuf>) -> Self {
+        Self { addr: "127.0.0.1:0".to_owned(), capacity: 8, spill_dir: spill_dir.into() }
+    }
+
+    /// Overrides the cache capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for every connection handler to finish, and
+    /// returns once the process holds no server threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor: it only re-checks the flag per accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Counters the serving layer feeds (the cache registers its own).
+#[derive(Clone)]
+struct ServerMetrics {
+    jobs: Counter,
+}
+
+impl ServerMetrics {
+    fn register() -> Self {
+        Self { jobs: telemetry::global().counter("jigsaw_server_jobs_total", &[]) }
+    }
+}
+
+/// Binds and starts a job server.
+///
+/// # Errors
+///
+/// Propagates binding and spill-directory I/O failures.
+pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = Arc::new(StageCache::new(config.capacity, &config.spill_dir)?);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = ServerMetrics::register();
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let cache = Arc::clone(&cache);
+                        let shutdown = Arc::clone(&shutdown);
+                        let metrics = metrics.clone();
+                        handlers.push(std::thread::spawn(move || {
+                            handle_connection(stream, &cache, &shutdown, &metrics, addr);
+                        }));
+                    }
+                    Err(_) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            }
+            for handler in handlers {
+                let _ = handler.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor) })
+}
+
+/// One connection's frame loop.
+fn handle_connection(
+    mut stream: TcpStream,
+    cache: &StageCache,
+    shutdown: &Arc<AtomicBool>,
+    metrics: &ServerMetrics,
+    self_addr: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let stop = || shutdown.load(Ordering::SeqCst);
+    loop {
+        let frame = match Frame::read_interruptible(&mut stream, &stop) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, or shutdown while idle: the connection is done.
+            Ok(None) => break,
+            Err(error) => {
+                // Malformed framing leaves the stream position unknown:
+                // report and close rather than resynchronise.
+                let rejection = JobRejection::new(ErrorCode::Malformed, error.to_string());
+                let reply = Frame {
+                    kind: FrameKind::JobError,
+                    digest: 0,
+                    payload: encode_to_vec(&rejection),
+                };
+                let _ = reply.write_to(&mut stream);
+                break;
+            }
+        };
+        let keep_going = match frame.kind {
+            FrameKind::SubmitJob => handle_submit(&mut stream, &frame, cache, metrics),
+            FrameKind::MetricsRequest => {
+                let text = telemetry::global().render_text();
+                Frame { kind: FrameKind::MetricsText, digest: 0, payload: text.into_bytes() }
+                    .write_to(&mut stream)
+                    .is_ok()
+            }
+            FrameKind::Shutdown => {
+                let _ = Frame::empty(FrameKind::ShutdownAck).write_to(&mut stream);
+                shutdown.store(true, Ordering::SeqCst);
+                // Nudge the acceptor off its blocking accept.
+                let _ = TcpStream::connect(self_addr);
+                false
+            }
+            // Server-to-client kinds arriving here are a protocol misuse.
+            FrameKind::JobResult
+            | FrameKind::JobError
+            | FrameKind::MetricsText
+            | FrameKind::ShutdownAck => {
+                let rejection = JobRejection::new(
+                    ErrorCode::Malformed,
+                    format!("unexpected client frame kind {:?}", frame.kind),
+                );
+                Frame { kind: FrameKind::JobError, digest: 0, payload: encode_to_vec(&rejection) }
+                    .write_to(&mut stream)
+                    .is_ok()
+            }
+        };
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+/// Resolves one submission through the cache and writes the reply frame.
+/// Returns whether the connection should stay open.
+fn handle_submit(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    cache: &StageCache,
+    metrics: &ServerMetrics,
+) -> bool {
+    let request = match decode_submit(frame) {
+        Ok(request) => request,
+        Err(error) => {
+            let code = match error {
+                ProtocolError::DigestMismatch { .. } => ErrorCode::DigestMismatch,
+                _ => ErrorCode::Malformed,
+            };
+            let rejection = JobRejection::new(code, error.to_string());
+            return Frame {
+                kind: FrameKind::JobError,
+                digest: frame.digest,
+                payload: encode_to_vec(&rejection),
+            }
+            .write_to(stream)
+            .is_ok();
+        }
+    };
+    metrics.jobs.inc();
+    let digest = frame.digest;
+    let (result, _outcome) = cache.get_or_compute(
+        digest,
+        || compute_job(&request),
+        |path| rehydrate_job(path, &request),
+    );
+    let reply = match result {
+        Ok(response) => Frame { kind: FrameKind::JobResult, digest, payload: (*response).clone() },
+        Err(rejection) => {
+            Frame { kind: FrameKind::JobError, digest, payload: encode_to_vec(&rejection) }
+        }
+    };
+    reply.write_to(stream).is_ok()
+}
+
+/// Runs the full pipeline for a request, capturing the hinted stage as the
+/// eviction checkpoint along the way. Identical to `run_jigsaw` in result
+/// bytes: the same staged chain, and the result encoding excludes wall
+/// clocks.
+fn compute_job(request: &JobRequest) -> Result<JobArtifacts, JobRejection> {
+    let planned = JigsawPipeline::try_plan(&request.program, &request.device, &request.config)
+        .map_err(|e| JobRejection::new(ErrorCode::PlanRejected, e.to_string()))?;
+    let (checkpoint, result) = match request.hint {
+        StageKind::Planned => {
+            let checkpoint = persist::to_bytes(&planned);
+            let result =
+                planned.compile_global().run_global().select_subsets().run_cpms().reconstruct();
+            (checkpoint, result)
+        }
+        StageKind::GlobalCompiled => {
+            let stage = planned.compile_global();
+            let checkpoint = persist::to_bytes(&stage);
+            (checkpoint, stage.run_global().select_subsets().run_cpms().reconstruct())
+        }
+        StageKind::GlobalRun => {
+            let stage = planned.compile_global().run_global();
+            let checkpoint = persist::to_bytes(&stage);
+            (checkpoint, stage.select_subsets().run_cpms().reconstruct())
+        }
+        StageKind::SubsetsSelected => {
+            let stage = planned.compile_global().run_global().select_subsets();
+            let checkpoint = persist::to_bytes(&stage);
+            (checkpoint, stage.run_cpms().reconstruct())
+        }
+    };
+    Ok((encode_to_vec(&result), checkpoint))
+}
+
+/// Replays a job from its eviction archive: resume the spilled stage
+/// (digest-checked against the request) and run only the downstream
+/// stages. With a `GlobalRun`-or-later checkpoint this performs zero
+/// global compiles.
+fn rehydrate_job(
+    path: &std::path::Path,
+    request: &JobRequest,
+) -> Result<JobArtifacts, JobRejection> {
+    let reject =
+        |e: persist::PersistError| JobRejection::new(ErrorCode::ComputeFailed, e.to_string());
+    let bytes = std::fs::read(path).map_err(|e| {
+        JobRejection::new(ErrorCode::ComputeFailed, format!("spill archive unreadable: {e}"))
+    })?;
+    let header = persist::read_header(&bytes).map_err(reject)?;
+    let (program, device, config) = (&request.program, &request.device, &request.config);
+    let result = match header.stage {
+        StageKind::Planned => {
+            let stage: jigsaw_core::pipeline::Planned =
+                persist::resume_from(path, program, device, config).map_err(reject)?;
+            stage.compile_global().run_global().select_subsets().run_cpms().reconstruct()
+        }
+        StageKind::GlobalCompiled => {
+            let stage: jigsaw_core::pipeline::GlobalCompiled =
+                persist::resume_from(path, program, device, config).map_err(reject)?;
+            stage.run_global().select_subsets().run_cpms().reconstruct()
+        }
+        StageKind::GlobalRun => {
+            let stage: jigsaw_core::pipeline::GlobalRun =
+                persist::resume_from(path, program, device, config).map_err(reject)?;
+            stage.select_subsets().run_cpms().reconstruct()
+        }
+        StageKind::SubsetsSelected => {
+            let stage: jigsaw_core::pipeline::SubsetsSelected =
+                persist::resume_from(path, program, device, config).map_err(reject)?;
+            stage.run_cpms().reconstruct()
+        }
+    };
+    Ok((encode_to_vec(&result), bytes))
+}

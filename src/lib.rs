@@ -4,6 +4,7 @@ pub use jigsaw_compiler as compiler;
 pub use jigsaw_core as core;
 pub use jigsaw_device as device;
 pub use jigsaw_pmf as pmf;
+pub use jigsaw_server as server;
 pub use jigsaw_sim as sim;
 
 /// Trial budget for the `examples/`: the `JIGSAW_TRIALS` environment

@@ -1,0 +1,116 @@
+//! Eviction equivalence: filling the cache past capacity forces an
+//! archive-backed eviction; resubmitting the evicted digest must serve a
+//! **byte-identical** response with **zero** probe-counted global compiles
+//! — the rehydration path resumes the spilled `GlobalRun` archive and
+//! replays only the downstream stages.
+//!
+//! Probe-sensitive tests serialize on [`PROBE`] (the compile probe is
+//! process-global).
+
+use std::sync::Mutex;
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::compiler::probe;
+use jigsaw_repro::core::telemetry;
+use jigsaw_repro::core::{JigsawConfig, StageKind};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::server::client::Client;
+use jigsaw_repro::server::server::{serve, ServerConfig};
+
+static PROBE: Mutex<()> = Mutex::new(());
+
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("jigsaw-server-eviction-tests")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job(seed: u64) -> (jigsaw_repro::circuit::Circuit, Device, JigsawConfig) {
+    let mut config = JigsawConfig::jigsaw(1_200).without_recompilation().with_seed(seed);
+    config.compiler.max_seeds = 3;
+    (bench::ghz(6).circuit().clone(), Device::toronto(), config)
+}
+
+fn submit(client: &mut Client, seed: u64, hint: StageKind) -> Vec<u8> {
+    let (program, device, config) = job(seed);
+    client.submit_bytes(&program, &device, &config, hint).expect("job accepted")
+}
+
+#[test]
+fn evicted_digest_rehydrates_byte_identically_with_zero_compiles() {
+    let _probe_guard = PROBE.lock().expect("probe guard");
+    let spill = spill_dir("equivalence");
+    let handle = serve(&ServerConfig::new(spill.clone()).with_capacity(1)).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let rehydrations = telemetry::global().counter("jigsaw_server_cache_rehydrations_total", &[]);
+    let evictions = telemetry::global().counter("jigsaw_server_cache_evictions_total", &[]);
+
+    // Job A fills the single slot; job B forces A's eviction to disk.
+    let first_a = submit(&mut client, 1, StageKind::GlobalRun);
+    let evictions_before = evictions.get();
+    let _b = submit(&mut client, 2, StageKind::GlobalRun);
+    assert!(evictions.get() > evictions_before, "capacity 1 must evict A");
+    let spilled: Vec<_> = std::fs::read_dir(&spill)
+        .expect("spill dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "jigsaw"))
+        .collect();
+    assert!(!spilled.is_empty(), "eviction must leave an archive behind");
+
+    // Resubmit A: zero compiles, identical bytes, counted as rehydration.
+    let compiles_before = probe::compile_count();
+    let rehydrations_before = rehydrations.get();
+    let second_a = submit(&mut client, 1, StageKind::GlobalRun);
+    let compiles = probe::compile_count() - compiles_before;
+
+    assert_eq!(compiles, 0, "rehydration must not recompile anything");
+    assert_eq!(first_a, second_a, "rehydrated response must be byte-identical");
+    assert_eq!(rehydrations.get(), rehydrations_before + 1, "served via the rehydrate path");
+    handle.shutdown();
+}
+
+/// The same equivalence holds for a `SubsetsSelected` checkpoint hint —
+/// rehydration replays even less of the pipeline.
+#[test]
+fn subsets_selected_hint_rehydrates_equivalently() {
+    let _probe_guard = PROBE.lock().expect("probe guard");
+    let handle =
+        serve(&ServerConfig::new(spill_dir("subsets-hint")).with_capacity(1)).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let first = submit(&mut client, 11, StageKind::SubsetsSelected);
+    let _evictor = submit(&mut client, 12, StageKind::GlobalRun);
+    let compiles_before = probe::compile_count();
+    let second = submit(&mut client, 11, StageKind::SubsetsSelected);
+    assert_eq!(probe::compile_count() - compiles_before, 0, "no compiles on rehydrate");
+    assert_eq!(first, second, "byte-identical across the eviction round-trip");
+    handle.shutdown();
+}
+
+/// Rehydration is observable in the metrics exposition the server serves
+/// over its own protocol.
+#[test]
+fn rehydration_counter_shows_in_the_metrics_frame() {
+    let _probe_guard = PROBE.lock().expect("probe guard");
+    let handle = serve(&ServerConfig::new(spill_dir("metrics")).with_capacity(1)).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let _a = submit(&mut client, 21, StageKind::GlobalRun);
+    let _b = submit(&mut client, 22, StageKind::GlobalRun);
+    let _a_again = submit(&mut client, 21, StageKind::GlobalRun);
+
+    let text = client.metrics().expect("metrics frame");
+    let value = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with("# "))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+    };
+    assert!(value("jigsaw_server_cache_evictions_total") >= 1, "evictions counted");
+    assert!(value("jigsaw_server_cache_rehydrations_total") >= 1, "rehydrations counted");
+    assert!(value("jigsaw_server_jobs_total") >= 3, "jobs counted");
+    handle.shutdown();
+}

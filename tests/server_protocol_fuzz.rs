@@ -1,0 +1,205 @@
+//! Fault-injection battery for the job-frame protocol: strided bit-flips
+//! and truncations over **every region** of request and response frames
+//! must surface as typed `ProtocolError`/`CodecError` values — never a
+//! panic and never a wrong-but-valid decode.
+//!
+//! The guarantee extends `tests/persist_roundtrip.rs`'s FNV-checksum
+//! argument: FNV-1a64 updates with a per-byte bijection, and the frame
+//! checksum spans *everything after the magic* (version, kind, digest,
+//! length and payload in one run), so any single-bit flip past the magic
+//! provably changes the checksum. Flips inside the magic fail the magic
+//! comparison itself. Either way: typed error, no silent acceptance.
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::core::{run_jigsaw, JigsawConfig, StageKind};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::codec::encode_to_vec;
+use jigsaw_repro::server::client::Client;
+use jigsaw_repro::server::protocol::{
+    decode_submit, Frame, FrameKind, JobRequest, ProtocolError, HEADER_LEN,
+};
+use jigsaw_repro::server::server::{serve, ServerConfig};
+use jigsaw_repro::server::ErrorCode;
+
+fn sample_request() -> JobRequest {
+    let mut config = JigsawConfig::jigsaw(1_000).without_recompilation().with_seed(5);
+    config.compiler.max_seeds = 3;
+    JobRequest::new(bench::ghz(5).circuit().clone(), Device::toronto(), config)
+}
+
+/// A real response frame: the encoded result of actually running the
+/// sample job, framed the way the server frames it.
+fn sample_response_frame() -> Frame {
+    let request = sample_request();
+    let result = run_jigsaw(&request.program, &request.device, &request.config);
+    Frame { kind: FrameKind::JobResult, digest: request.digest(), payload: encode_to_vec(&result) }
+}
+
+/// ~97 evenly-strided positions over `len` (every position for short
+/// buffers), matching the persistence suite's sampling discipline.
+fn stride_positions(len: usize) -> impl Iterator<Item = usize> {
+    let step = (len / 97).max(1);
+    (0..len).step_by(step)
+}
+
+#[test]
+fn truncated_request_frames_fail_typed_at_every_stride() {
+    let bytes = Frame::submit(&sample_request()).to_bytes();
+    for cut in stride_positions(bytes.len()) {
+        let err = Frame::from_bytes(&bytes[..cut]).expect_err("truncation must not parse");
+        assert!(
+            matches!(err, ProtocolError::Truncated { .. }),
+            "cut at {cut} gave {err:?}, expected Truncated"
+        );
+    }
+}
+
+#[test]
+fn flipped_request_frames_fail_typed_at_every_stride() {
+    let request = sample_request();
+    let bytes = Frame::submit(&request).to_bytes();
+    for offset in stride_positions(bytes.len()) {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = bytes.clone();
+            bad[offset] ^= bit;
+            // A flip may still yield a *parsable frame shape* only if it
+            // cannot reach the digest-bound decode with different
+            // content, which the checksum span forbids; assert the full
+            // decode path errors.
+            let outcome = Frame::from_bytes(&bad).and_then(|frame| decode_submit(&frame));
+            assert!(
+                outcome.is_err(),
+                "flip {bit:#04x} at offset {offset} decoded to a valid request"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_response_frames_fail_typed_at_every_stride() {
+    let bytes = sample_response_frame().to_bytes();
+    for cut in stride_positions(bytes.len()) {
+        assert!(Frame::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+    for offset in stride_positions(bytes.len()) {
+        let mut bad = bytes.clone();
+        bad[offset] ^= 0x01;
+        assert!(Frame::from_bytes(&bad).is_err(), "flip at offset {offset} must not parse");
+    }
+}
+
+/// The per-region error taxonomy: each header field's corruption maps to
+/// its own variant (after the checksum, which the flip tests above pin).
+#[test]
+fn corruption_maps_to_the_right_variant_per_region() {
+    let good = Frame::submit(&sample_request()).to_bytes();
+
+    let mut bad = good.clone();
+    bad[3] ^= 0xFF; // magic
+    assert!(matches!(Frame::from_bytes(&bad), Err(ProtocolError::BadMagic { .. })));
+
+    let mut bad = good.clone();
+    bad[8..10].copy_from_slice(&7u16.to_le_bytes()); // version
+    assert!(matches!(Frame::from_bytes(&bad), Err(ProtocolError::UnsupportedVersion { found: 7 })));
+
+    let mut bad = good.clone();
+    bad[10] = 0x99; // kind tag
+    assert!(matches!(Frame::from_bytes(&bad), Err(ProtocolError::UnknownKind { tag: 0x99 })));
+
+    let mut bad = good.clone();
+    bad[19..27].copy_from_slice(&(u64::MAX / 2).to_le_bytes()); // length
+    assert!(matches!(Frame::from_bytes(&bad), Err(ProtocolError::Oversized { .. })));
+
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x10; // checksum itself
+    assert!(matches!(Frame::from_bytes(&bad), Err(ProtocolError::ChecksumMismatch { .. })));
+}
+
+/// Digest binding survives an attacker who *recomputes* the checksum: a
+/// frame whose digest field was rewritten (checksum valid) is refused
+/// because the server re-derives the digest from the decoded payload.
+#[test]
+fn digest_spoofing_with_valid_checksum_is_refused() {
+    let request = sample_request();
+    let mut frame = Frame::submit(&request);
+    frame.digest ^= 0xDEAD_BEEF;
+    // to_bytes recomputes the checksum over the tampered header, so the
+    // frame itself parses cleanly...
+    let reparsed = Frame::from_bytes(&frame.to_bytes()).expect("frame shape is valid");
+    // ...but the binding check refuses it.
+    assert!(matches!(decode_submit(&reparsed), Err(ProtocolError::DigestMismatch { .. })));
+}
+
+/// A payload that decodes to a *semantically invalid* value is refused by
+/// the type's decoder even under a valid checksum: the codec layer's
+/// invariant validation backstops the transport layer.
+#[test]
+fn semantically_invalid_payloads_are_refused_under_valid_checksums() {
+    use jigsaw_repro::core::TrialAllocation;
+    let mut request = sample_request();
+    // Encodes fine; the decoder's invariant validation must refuse a
+    // confidence outside (0, 1).
+    request.config.allocation = TrialAllocation::CoverageWeighted { confidence: f64::NAN };
+    let frame = Frame::submit(&request);
+    let reparsed = Frame::from_bytes(&frame.to_bytes()).expect("frame shape is valid");
+    match decode_submit(&reparsed) {
+        Err(ProtocolError::Codec(_)) => {}
+        other => panic!("expected a codec refusal, got {other:?}"),
+    }
+}
+
+/// The live server survives hostile bytes: a connection feeding garbage
+/// gets a typed `JobError` (or a closed stream), and the *next* connection
+/// still completes a real job — no panic took the process down.
+#[test]
+fn live_server_survives_garbage_and_keeps_serving() {
+    let spill = std::env::temp_dir()
+        .join("jigsaw-server-fuzz-tests")
+        .join(format!("live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    let handle = serve(&ServerConfig::new(spill)).expect("bind");
+    let addr = handle.addr();
+    let request = sample_request();
+    let good_bytes = Frame::submit(&request).to_bytes();
+
+    // Volley 1: bit-flipped frames, one connection each.
+    for offset in stride_positions(good_bytes.len()).take(24) {
+        let mut bad = good_bytes.clone();
+        bad[offset] ^= 0x01;
+        let mut client = Client::connect(addr).expect("connect");
+        client.send_raw(&bad).expect("write garbage");
+        // Either a typed refusal frame comes back, or the server closed
+        // the torn connection; a hang or a result frame would fail here.
+        if let Ok(Some(frame)) = client.read_frame() {
+            assert_eq!(frame.kind, FrameKind::JobError, "offset {offset}");
+        }
+    }
+
+    // Volley 2: truncated frames followed by a dropped connection.
+    for cut in [0, 5, HEADER_LEN - 1, HEADER_LEN + 3] {
+        let mut client = Client::connect(addr).expect("connect");
+        client.send_raw(&good_bytes[..cut]).expect("write truncation");
+        drop(client);
+    }
+
+    // Volley 3: a spoofed digest gets the typed rejection code.
+    let mut spoofed = Frame::submit(&request);
+    spoofed.digest ^= 1;
+    let mut client = Client::connect(addr).expect("connect");
+    client.send_raw(&spoofed.to_bytes()).expect("write spoofed");
+    let reply = client.read_frame().expect("reply frame").expect("server replied");
+    assert_eq!(reply.kind, FrameKind::JobError);
+    let rejection: jigsaw_repro::server::JobRejection =
+        jigsaw_repro::pmf::codec::decode_from_slice(&reply.payload).expect("typed rejection");
+    assert_eq!(rejection.code, ErrorCode::DigestMismatch);
+
+    // The server is still alive and correct.
+    let mut client = Client::connect(addr).expect("connect");
+    let payload = client
+        .submit_bytes(&request.program, &request.device, &request.config, StageKind::GlobalRun)
+        .expect("server still serves real jobs");
+    let solo = encode_to_vec(&run_jigsaw(&request.program, &request.device, &request.config));
+    assert_eq!(payload, solo, "post-fuzz response still bit-identical to solo run");
+    handle.shutdown();
+}
