@@ -11,18 +11,23 @@
 //! ```
 //!
 //! The smoke round additionally drives a duplicate + a distinct job over
-//! three concurrent clients, checks the metrics frame, and exercises the
-//! clean shutdown path — the CI workflow asserts on the PASS lines.
+//! three concurrent clients, checks the metrics frame, exercises the
+//! clean shutdown path, and saturates a capacity-1 server to prove the
+//! surplus surfaces as a typed `Overloaded` refusal instead of a hang —
+//! the CI workflow asserts on the PASS lines.
 
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use jigsaw_bench::cli::Args;
 use jigsaw_circuit::bench;
 use jigsaw_compiler::probe;
+use jigsaw_core::sched::SchedConfig;
 use jigsaw_core::{run_jigsaw, JigsawConfig, StageKind};
 use jigsaw_device::Device;
 use jigsaw_pmf::codec::encode_to_vec;
-use jigsaw_server::client::Client;
+use jigsaw_server::client::{Client, ClientError};
+use jigsaw_server::protocol::ErrorCode;
 use jigsaw_server::server::{serve, ServerConfig};
 
 /// A fresh spill directory per round so rounds never share cache state.
@@ -76,6 +81,57 @@ fn duplicate_round(clients: usize, trials: u64, expected: &[u8]) -> (u64, f64) {
     let compiles = probe::compile_count() - before;
     handle.shutdown();
     (compiles, wall)
+}
+
+/// Saturates a workers=1, capacity=1 server with simultaneous *distinct*
+/// jobs. Every client must observe a typed outcome — a result or an
+/// `Overloaded` rejection — within the deadline; a hang fails the round.
+fn saturation_round(trials: u64) {
+    const CLIENTS: usize = 6;
+    let sched = SchedConfig::default().with_workers(1).with_capacity(1);
+    let handle = serve(&ServerConfig::new(spill_dir("saturate")).with_sched(sched))
+        .expect("bind loopback server");
+    let addr = handle.addr();
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS as u64)
+        .map(|seed| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let program = bench::ghz(6).circuit().clone();
+                let device = Device::toronto();
+                // Distinct seeds: no digest coalescing, so the surplus has
+                // to go through admission rather than the stage cache.
+                let config = job_config(trials, 100 + seed);
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                client.submit_bytes(&program, &device, &config, StageKind::GlobalRun)
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let (mut ok, mut overloaded) = (0usize, 0usize);
+    for worker in workers {
+        assert!(Instant::now() < deadline, "saturated server hung past the deadline");
+        match worker.join().expect("client thread") {
+            Ok(_) => ok += 1,
+            Err(ClientError::Rejected(rejection)) => {
+                assert_eq!(
+                    rejection.code,
+                    ErrorCode::Overloaded,
+                    "saturation must refuse with Overloaded, got {rejection}"
+                );
+                overloaded += 1;
+            }
+            Err(other) => panic!("expected result or typed Overloaded, got {other}"),
+        }
+    }
+    handle.shutdown();
+    assert_eq!(ok + overloaded, CLIENTS, "every client observed a typed outcome");
+    assert!(ok >= 1, "at least the admitted job completes");
+    assert!(overloaded >= 1, "capacity 1 under {CLIENTS} simultaneous jobs must refuse some");
+    println!("PASS saturation: {CLIENTS} clients -> {ok} served, {overloaded} typed Overloaded");
 }
 
 fn smoke() {
@@ -138,6 +194,8 @@ fn smoke() {
     client.shutdown_server().expect("shutdown acknowledged");
     handle.shutdown();
     println!("PASS smoke-shutdown: clean");
+
+    saturation_round(20_000);
 }
 
 fn main() {
@@ -165,4 +223,6 @@ fn main() {
     }
     println!();
     println!("PASS: 1 compile and bit-identical responses at every client count");
+
+    saturation_round(40_000);
 }

@@ -86,6 +86,7 @@ pub mod mbm;
 pub mod persist;
 pub mod pipeline;
 pub mod scalability;
+pub mod sched;
 pub mod seed;
 pub mod subsets;
 pub mod telemetry;
@@ -102,5 +103,9 @@ pub use jigsaw::{
     ReferenceConfig, TrialAllocation,
 };
 pub use persist::{PersistError, StageArtifact, StageKind};
-pub use pipeline::{JigsawPipeline, PlanError, StageName, StageRecord, StageTimings};
+pub use pipeline::{
+    CpmWork, JigsawPipeline, PlanError, StageName, StageOutcome, StageRecord, StageTask,
+    StageTimings,
+};
+pub use sched::{JobError, JobOutput, JobTicket, Priority, SchedConfig, Scheduler};
 pub use subsets::SubsetSelection;

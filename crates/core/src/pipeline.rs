@@ -744,47 +744,93 @@ impl SubsetsSelected {
         &self.ctx.timings
     }
 
+    /// The CPM execution work list this stage will fan out: one item per
+    /// CPM, in work-list order (largest sizes first), each carrying its
+    /// per-CPM trial budget and its index-pinned RNG seed.
+    ///
+    /// External executors — the multi-job stage scheduler merges work lists
+    /// from many jobs into one fan-out — compute each item with
+    /// [`Self::run_cpm_item`] and hand the marginals back through
+    /// [`Self::finish_cpms`]; [`Self::run_cpms`] is exactly that chain, so
+    /// any schedule that preserves item order reproduces it bit-for-bit.
+    #[must_use]
+    pub fn cpm_work(&self) -> Vec<CpmWork> {
+        let mut work = Vec::new();
+        let mut cpm_index = 0u64;
+        for layer in &self.layers {
+            let per_cpm = (layer.budget / layer.subsets.len().max(1) as u64).max(1);
+            for subset in &layer.subsets {
+                work.push(CpmWork {
+                    subset: subset.clone(),
+                    trials: per_cpm,
+                    seed: seed::cpm(self.ctx.config.seed, cpm_index),
+                });
+                cpm_index += 1;
+            }
+        }
+        work
+    }
+
+    /// Compiles (or derives from the global artifact) and executes one CPM
+    /// work item. Pure in `(self, item)`: the seed rides on the item, so
+    /// the result is independent of when, where or alongside what the item
+    /// runs — the property cross-job batching rests on.
+    #[must_use]
+    pub fn run_cpm_item(&self, item: &CpmWork) -> Marginal {
+        let config = &self.ctx.config;
+        // Inner executor runs and CPM placement searches stay serial: the
+        // fan-out already uses the worker team, and nested teams would
+        // oversubscribe cores.
+        let cpm_compiler = CompilerOptions { threads: 1, ..config.compiler };
+        let cpm_run = config.run.with_seed(item.seed).with_threads(1);
+        let artifact = if config.recompile_cpms {
+            CpmArtifact::recompiled(
+                &self.ctx.program,
+                &item.subset,
+                &self.ctx.device,
+                &cpm_compiler,
+            )
+        } else {
+            CpmArtifact::reusing(&self.global, &item.subset)
+        };
+        let counts = Executor::new(&self.ctx.device).run(&artifact.circuit, item.trials, &cpm_run);
+        Marginal::new(item.subset.clone(), counts.to_pmf())
+    }
+
     /// Stage 4: compiles (or derives from the global artifact) and executes
     /// every CPM, fanning across the worker team. Per-CPM seeds are pinned
     /// to the CPM index and results keep work-list order, so any thread
     /// count reproduces the serial histograms bit-for-bit.
     #[must_use]
-    pub fn run_cpms(mut self) -> CpmsRun {
-        let t0 = Instant::now();
-        let mut work: Vec<(Vec<usize>, u64, u64)> = Vec::new();
-        let mut cpm_index = 0u64;
-        for layer in &self.layers {
-            let per_cpm = (layer.budget / layer.subsets.len().max(1) as u64).max(1);
-            for subset in &layer.subsets {
-                work.push((subset.clone(), per_cpm, seed::cpm(self.ctx.config.seed, cpm_index)));
-                cpm_index += 1;
-            }
-        }
-        let cpm_trials: u64 = work.iter().map(|(_, per_cpm, _)| per_cpm).sum();
-        let trials_used = self.ctx.plan.global_trials + cpm_trials;
-
-        let executor = Executor::new(&self.ctx.device);
-        // Inner executor runs and CPM placement searches stay serial: the
-        // fan-out already uses the worker team, and nested teams would
-        // oversubscribe cores.
-        let cpm_compiler = CompilerOptions { threads: 1, ..self.ctx.config.compiler };
-        let config = &self.ctx.config;
-        let program = &self.ctx.program;
-        let device = &self.ctx.device;
-        let global = &self.global;
-        let run_cpm = |(subset, per_cpm, run_seed): (Vec<usize>, u64, u64)| -> Marginal {
-            let cpm_run = config.run.with_seed(run_seed).with_threads(1);
-            let artifact = if config.recompile_cpms {
-                CpmArtifact::recompiled(program, &subset, device, &cpm_compiler)
-            } else {
-                CpmArtifact::reusing(global, &subset)
-            };
-            let counts = executor.run(&artifact.circuit, per_cpm, &cpm_run);
-            Marginal::new(subset, counts.to_pmf())
-        };
+    pub fn run_cpms(self) -> CpmsRun {
+        let work = self.cpm_work();
         let marginals: Vec<Marginal> =
-            jigsaw_pmf::parallel::fan_out(work, self.ctx.config.run.threads, run_cpm);
+            jigsaw_pmf::parallel::fan_out(work, self.ctx.config.run.threads, |item| {
+                self.run_cpm_item(&item)
+            });
+        self.finish_cpms(marginals)
+    }
 
+    /// Stage 4 completion: installs externally computed CPM marginals —
+    /// which must be [`Self::run_cpm_item`] applied to [`Self::cpm_work`]
+    /// in work-list order — and records the stage. The semantic stage
+    /// record (trials, items) is derived from the work list, so a batched
+    /// execution encodes byte-identically to [`Self::run_cpms`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `marginals` does not have one entry per work item.
+    #[must_use]
+    pub fn finish_cpms(mut self, marginals: Vec<Marginal>) -> CpmsRun {
+        let t0 = Instant::now();
+        let work = self.cpm_work();
+        assert_eq!(
+            marginals.len(),
+            work.len(),
+            "finish_cpms needs exactly one marginal per work item"
+        );
+        let cpm_trials: u64 = work.iter().map(|w| w.trials).sum();
+        let trials_used = self.ctx.plan.global_trials + cpm_trials;
         let items = marginals.len();
         self.ctx.record(StageRecord {
             stage: StageName::RunCpms,
@@ -804,6 +850,18 @@ impl SubsetsSelected {
             trials_used,
         }
     }
+}
+
+/// One CPM execution work item: the subset to measure, its trial budget,
+/// and its index-pinned RNG seed (see [`SubsetsSelected::cpm_work`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpmWork {
+    /// The qubit subset this CPM measures (sorted).
+    pub subset: Vec<usize>,
+    /// Trials allocated to this CPM.
+    pub trials: u64,
+    /// The CPM's derived RNG stream (pinned to its work-list index).
+    pub seed: u64,
 }
 
 /// Stage result of [`SubsetsSelected::run_cpms`]: every CPM's local PMF.
@@ -875,6 +933,101 @@ impl CpmsRun {
             trials_used: self.trials_used,
             backend: self.backend,
             timings: self.ctx.timings,
+        }
+    }
+}
+
+/// A pipeline stage value with its type erased: any mid-pipeline artifact
+/// boxed as one unit of schedulable work.
+///
+/// The typestate API ([`Planned`] → … → [`CpmsRun`]) is what makes solo
+/// drivers safe, but a multi-job scheduler needs to hold *many jobs at
+/// different stages* in one queue. `StageTask` is that common currency:
+/// [`Self::advance`] runs exactly one stage transition, so a scheduler can
+/// interleave stage execution across jobs at will — every transition calls
+/// the same typestate method a solo driver would, and stage seeds depend
+/// only on `(experiment seed, stage identity)`, so *any* interleaving
+/// replays bit-identically to [`run_jigsaw`](crate::run_jigsaw).
+///
+/// The two trial-fan-out stages additionally expose their inner values
+/// ([`GlobalCompiled`], [`SubsetsSelected`]) so `jigsaw_core::sched` can
+/// merge compatible work across jobs instead of advancing them one by one.
+#[derive(Debug, Clone)]
+pub enum StageTask {
+    /// Planned; next transition is [`Planned::compile_global`].
+    Planned(Planned),
+    /// Compiled; next transition is [`GlobalCompiled::run_global`]
+    /// (batchable across jobs).
+    GlobalCompiled(GlobalCompiled),
+    /// Global mode ran; next transition is [`GlobalRun::select_subsets`].
+    GlobalRun(GlobalRun),
+    /// Subsets chosen; next transition is [`SubsetsSelected::run_cpms`]
+    /// (batchable across jobs via [`SubsetsSelected::cpm_work`]).
+    SubsetsSelected(SubsetsSelected),
+    /// CPMs ran; next transition is [`CpmsRun::reconstruct`].
+    CpmsRun(CpmsRun),
+}
+
+/// What one [`StageTask::advance`] produced: the next stage, or the final
+/// result.
+#[derive(Debug)]
+pub enum StageOutcome {
+    /// The job has more stages to run.
+    Next(Box<StageTask>),
+    /// The job is complete.
+    Done(Box<JigsawResult>),
+}
+
+impl StageTask {
+    /// The stage [`Self::advance`] will execute next.
+    #[must_use]
+    pub fn next_stage(&self) -> StageName {
+        match self {
+            Self::Planned(_) => StageName::CompileGlobal,
+            Self::GlobalCompiled(_) => StageName::RunGlobal,
+            Self::GlobalRun(_) => StageName::SelectSubsets,
+            Self::SubsetsSelected(_) => StageName::RunCpms,
+            Self::CpmsRun(_) => StageName::Reconstruct,
+        }
+    }
+
+    /// The persistable face of the held stage, where one exists (the four
+    /// upstream stages; a [`CpmsRun`] is past the last checkpoint).
+    #[must_use]
+    pub fn kind(&self) -> Option<crate::persist::StageKind> {
+        match self {
+            Self::Planned(_) => Some(crate::persist::StageKind::Planned),
+            Self::GlobalCompiled(_) => Some(crate::persist::StageKind::GlobalCompiled),
+            Self::GlobalRun(_) => Some(crate::persist::StageKind::GlobalRun),
+            Self::SubsetsSelected(_) => Some(crate::persist::StageKind::SubsetsSelected),
+            Self::CpmsRun(_) => None,
+        }
+    }
+
+    /// Runs exactly one stage transition — the same typestate method a
+    /// solo driver would call.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the advanced stage's panics (compilation failures, a
+    /// `Random` selection requesting more subsets than exist, …); a
+    /// scheduler executing untrusted jobs wraps this in its fault barrier.
+    #[must_use]
+    pub fn advance(self) -> StageOutcome {
+        match self {
+            Self::Planned(stage) => {
+                StageOutcome::Next(Box::new(Self::GlobalCompiled(stage.compile_global())))
+            }
+            Self::GlobalCompiled(stage) => {
+                StageOutcome::Next(Box::new(Self::GlobalRun(stage.run_global())))
+            }
+            Self::GlobalRun(stage) => {
+                StageOutcome::Next(Box::new(Self::SubsetsSelected(stage.select_subsets())))
+            }
+            Self::SubsetsSelected(stage) => {
+                StageOutcome::Next(Box::new(Self::CpmsRun(stage.run_cpms())))
+            }
+            Self::CpmsRun(stage) => StageOutcome::Done(Box::new(stage.reconstruct())),
         }
     }
 }
@@ -1362,6 +1515,73 @@ mod tests {
         // The happy path matches the panicking entry point.
         let planned = JigsawPipeline::try_plan(bench::ghz(4).circuit(), &device, &config).unwrap();
         assert_eq!(planned, JigsawPipeline::plan(bench::ghz(4).circuit(), &device, &config));
+    }
+
+    #[test]
+    fn stage_task_chain_matches_run_jigsaw() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let config = quick_config(1600).with_seed(11);
+        let mut task = StageTask::Planned(JigsawPipeline::plan(b.circuit(), &device, &config));
+        assert_eq!(task.kind(), Some(crate::persist::StageKind::Planned));
+        let mut stages = Vec::new();
+        let result = loop {
+            stages.push(task.next_stage());
+            match task.advance() {
+                StageOutcome::Next(next) => task = *next,
+                StageOutcome::Done(result) => break *result,
+            }
+        };
+        assert_eq!(
+            stages,
+            vec![
+                StageName::CompileGlobal,
+                StageName::RunGlobal,
+                StageName::SelectSubsets,
+                StageName::RunCpms,
+                StageName::Reconstruct,
+            ]
+        );
+        assert_eq!(result, run_jigsaw(b.circuit(), &device, &config));
+    }
+
+    #[test]
+    fn externally_driven_cpms_match_run_cpms() {
+        let device = Device::toronto();
+        let b = bench::ghz(6);
+        let config = quick_config(2000).with_seed(4);
+        let selected = JigsawPipeline::plan(b.circuit(), &device, &config)
+            .compile_global()
+            .run_global()
+            .select_subsets();
+        // Drive the work list by hand — serially, in order — exactly as an
+        // external scheduler merging many jobs would per job.
+        let work = selected.cpm_work();
+        assert!(!work.is_empty());
+        let marginals: Vec<Marginal> =
+            work.iter().map(|item| selected.run_cpm_item(item)).collect();
+        let external = selected.finish_cpms(marginals).reconstruct();
+        assert_eq!(external, run_jigsaw(b.circuit(), &device, &config));
+        // And the *encoded* results agree byte for byte (the serving
+        // invariant): semantic stage records are derived from the work
+        // list, not from who executed it.
+        use jigsaw_pmf::codec::encode_to_vec;
+        assert_eq!(
+            encode_to_vec(&external),
+            encode_to_vec(&run_jigsaw(b.circuit(), &device, &config))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one marginal per work item")]
+    fn finish_cpms_rejects_a_short_marginal_list() {
+        let device = Device::toronto();
+        let b = bench::ghz(5);
+        let selected = JigsawPipeline::plan(b.circuit(), &device, &quick_config(1000))
+            .compile_global()
+            .run_global()
+            .select_subsets();
+        let _ = selected.finish_cpms(Vec::new());
     }
 
     #[test]

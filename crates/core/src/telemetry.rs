@@ -230,6 +230,29 @@ impl Registry {
     }
 }
 
+/// The scheduler's per-lane queue-wait histogram
+/// (`jigsaw_sched_queue_wait_seconds{lane=...}`): time from enqueue at a
+/// stage boundary to dispatch, observed once per dispatched stage.
+#[must_use]
+pub fn sched_queue_wait(lane: &str) -> Histogram {
+    global().histogram("jigsaw_sched_queue_wait_seconds", &[("lane", lane)])
+}
+
+/// The scheduler's per-lane admission counter
+/// (`jigsaw_sched_jobs_total{lane=...}`): jobs accepted into each lane.
+#[must_use]
+pub fn sched_lane_jobs(lane: &str) -> Counter {
+    global().counter("jigsaw_sched_jobs_total", &[("lane", lane)])
+}
+
+/// Counter of jobs whose fan-out stage ran inside a merged cross-job batch
+/// (`jigsaw_sched_batched_jobs_total`); incremented by the batch size
+/// whenever two or more jobs share one fan-out.
+#[must_use]
+pub fn sched_batched_jobs() -> Counter {
+    global().counter("jigsaw_sched_batched_jobs_total", &[])
+}
+
 /// The process-wide registry singleton.
 #[must_use]
 pub fn global() -> &'static Registry {

@@ -105,7 +105,20 @@ impl Client {
     ) -> Result<Vec<u8>, ClientError> {
         let mut request = JobRequest::new(program.clone(), device.clone(), config.clone());
         request.hint = hint;
-        Frame::submit(&request).write_to(&mut self.stream)?;
+        self.submit_request(&request)
+    }
+
+    /// Submits a fully specified [`JobRequest`] — the path that exposes the
+    /// scheduling lane ([`JobRequest::priority`]) and the spill hint
+    /// together — returning the raw encoded result payload.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Self::submit`]; a saturated server surfaces as
+    /// [`ClientError::Rejected`] carrying
+    /// [`ErrorCode::Overloaded`](crate::protocol::ErrorCode::Overloaded).
+    pub fn submit_request(&mut self, request: &JobRequest) -> Result<Vec<u8>, ClientError> {
+        Frame::submit(request).write_to(&mut self.stream)?;
         let reply = self.expect_frame()?;
         match reply.kind {
             FrameKind::JobResult => Ok(reply.payload),

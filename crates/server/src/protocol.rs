@@ -10,7 +10,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  89 4A 53 4A 0D 0A 1A 0A   ("\x89JSJ\r\n\x1a\n")
-//! 8       2     protocol version (u16 LE, currently 1)
+//! 8       2     protocol version (u16 LE, currently 2)
 //! 10      1     frame kind tag (see FrameKind)
 //! 11      8     config digest (u64 LE; 0 where not applicable)
 //! 19      8     payload length N (u64 LE)
@@ -37,6 +37,7 @@ use std::io::{self, Read, Write};
 
 use jigsaw_circuit::Circuit;
 use jigsaw_core::persist::config_digest;
+use jigsaw_core::sched::Priority;
 use jigsaw_core::{JigsawConfig, StageKind};
 use jigsaw_device::Device;
 use jigsaw_pmf::codec::{
@@ -50,7 +51,13 @@ use jigsaw_pmf::codec::{
 pub const MAGIC: [u8; 8] = *b"\x89JSJ\r\n\x1a\x0a";
 
 /// Version this build speaks. Bump on any layout change.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// **Version history.** v1: initial job frames. v2: the SubmitJob payload
+/// grew a trailing scheduling-priority byte (see [`JobRequest::priority`]),
+/// so a v1 `SubmitJob` payload no longer decodes — the version field exists
+/// precisely to refuse it with a typed [`ProtocolError::UnsupportedVersion`]
+/// instead of a payload decode error deep inside the codec.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Fixed-size frame prefix: magic + version + kind + digest + length.
 pub const HEADER_LEN: usize = 8 + 2 + 1 + 8 + 8;
@@ -449,13 +456,32 @@ pub struct JobRequest {
     /// [`StageKind::SubsetsSelected`]; hinting `Planned` makes rehydration
     /// recompile from scratch.
     pub hint: StageKind,
+    /// Scheduling lane for this job (protocol v2). Excluded from
+    /// [`Self::digest`] — results are priority-invariant, so identical
+    /// submissions at different priorities still coalesce on one compute;
+    /// the lane of the submission that *starts* the compute wins.
+    pub priority: Priority,
 }
 
 impl JobRequest {
-    /// A request with the default [`StageKind::GlobalRun`] spill hint.
+    /// A request with the default [`StageKind::GlobalRun`] spill hint and
+    /// [`Priority::Interactive`] lane.
     #[must_use]
     pub fn new(program: Circuit, device: Device, config: JigsawConfig) -> Self {
-        Self { program, device, config, hint: StageKind::GlobalRun }
+        Self {
+            program,
+            device,
+            config,
+            hint: StageKind::GlobalRun,
+            priority: Priority::Interactive,
+        }
+    }
+
+    /// The same request in a different scheduling lane.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// The content address of this job — the same FNV config digest the
@@ -472,6 +498,7 @@ impl Encode for JobRequest {
         self.device.encode(w);
         self.config.encode(w);
         w.put_u8(self.hint.code());
+        w.put_u8(self.priority.code());
     }
 }
 
@@ -483,7 +510,10 @@ impl Decode for JobRequest {
         let tag = r.u8()?;
         let hint =
             StageKind::from_code(tag).ok_or(CodecError::InvalidTag { what: "StageKind", tag })?;
-        Ok(Self { program, device, config, hint })
+        let tag = r.u8()?;
+        let priority =
+            Priority::from_code(tag).ok_or(CodecError::InvalidTag { what: "Priority", tag })?;
+        Ok(Self { program, device, config, hint, priority })
     }
 }
 
@@ -498,6 +528,9 @@ pub enum ErrorCode {
     PlanRejected,
     /// The computation itself failed (including a contained panic).
     ComputeFailed,
+    /// The server is at capacity — its connection queue or job scheduler
+    /// is full. Nothing is wrong with the job; resubmit later.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -509,6 +542,7 @@ impl ErrorCode {
             Self::DigestMismatch => 2,
             Self::PlanRejected => 3,
             Self::ComputeFailed => 4,
+            Self::Overloaded => 5,
         }
     }
 
@@ -520,6 +554,7 @@ impl ErrorCode {
             2 => Some(Self::DigestMismatch),
             3 => Some(Self::PlanRejected),
             4 => Some(Self::ComputeFailed),
+            5 => Some(Self::Overloaded),
             _ => None,
         }
     }
@@ -674,6 +709,20 @@ mod tests {
             bad[offset] ^= 0x01;
             assert!(Frame::from_bytes(&bad).is_err(), "flip at offset {offset} must not parse");
         }
+    }
+
+    #[test]
+    fn priority_byte_round_trips_and_rejects_unknown_lanes() {
+        let request = sample_request().with_priority(Priority::Background);
+        let frame = Frame::submit(&request);
+        assert_eq!(decode_submit(&frame).expect("decodes"), request);
+        // Same digest at every priority: lanes must not split the cache key.
+        assert_eq!(request.digest(), sample_request().digest());
+        // An unknown lane tag is a typed codec refusal, not a panic.
+        let mut bytes = encode_to_vec(&request);
+        *bytes.last_mut().expect("non-empty") = 9;
+        let err = decode_from_slice::<JobRequest>(&bytes).expect_err("bad lane");
+        assert!(matches!(err, CodecError::InvalidTag { what: "Priority", .. }));
     }
 
     #[test]

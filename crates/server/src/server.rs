@@ -1,28 +1,44 @@
-//! The threaded job server: accept loop, per-connection frame handlers,
-//! and the job execution path that feeds the stage cache.
+//! The threaded job server: accept loop, a *fixed* pool of connection
+//! handlers fed by a bounded queue, and the job execution path that hands
+//! compute to the multi-job stage scheduler through the stage cache.
 //!
-//! One thread accepts; each connection gets its own handler thread running
-//! a frame loop. Submissions resolve through [`StageCache::get_or_compute`]
-//! so concurrent identical jobs coalesce on one pipeline execution, and a
-//! response is always the same bytes `run_jigsaw` would produce solo — the
-//! staged pipeline is deterministic at every thread count, and the encoded
-//! `JigsawResult` excludes wall clocks.
+//! One thread accepts and enqueues connections; a fixed pool of
+//! [`ServerConfig::handlers`] threads drains the queue and runs the frame
+//! loop — the server's thread count is a constant, not a function of how
+//! many peers connect. When the queue already holds
+//! [`ServerConfig::queue_depth`] connections the acceptor refuses the
+//! newcomer with a typed [`ErrorCode::Overloaded`] frame and closes it:
+//! saturation is an explicit, machine-readable condition, never an
+//! unbounded thread spawn or a silent hang.
+//!
+//! Submissions resolve through [`StageCache::get_or_compute`], so
+//! concurrent identical jobs still coalesce on one computation — but the
+//! computation itself is no longer run on the connection thread. It is
+//! submitted to the process-wide [`Scheduler`] in the lane the request's
+//! priority byte names, where its stages interleave with every other
+//! admitted job and its fan-out stages batch with digest-adjacent peers
+//! (see `jigsaw_core::sched`). A response is always the same bytes
+//! `run_jigsaw` would produce solo — the staged pipeline is deterministic
+//! at every thread count and the encoded `JigsawResult` excludes wall
+//! clocks — regardless of lane, interleaving or batching.
 //!
 //! Shutdown is cooperative: a [`FrameKind::Shutdown`] frame (or
 //! [`ServerHandle::shutdown`]) raises a flag, a self-connection unblocks
 //! the acceptor, handler read loops notice the flag at their next read
-//! timeout, and every thread is joined before the listener drops.
+//! timeout, every thread is joined, and the scheduler drains before the
+//! listener drops.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use jigsaw_core::persist;
-use jigsaw_core::pipeline::JigsawPipeline;
+use jigsaw_core::sched::{JobError, SchedConfig, Scheduler};
 use jigsaw_core::telemetry::{self, Counter};
 use jigsaw_core::StageKind;
 use jigsaw_pmf::codec::encode_to_vec;
@@ -44,14 +60,30 @@ pub struct ServerConfig {
     pub capacity: usize,
     /// Directory eviction archives spill into.
     pub spill_dir: PathBuf,
+    /// Fixed number of connection-handler threads (min 1).
+    pub handlers: usize,
+    /// Accepted connections waiting for a free handler beyond this bound
+    /// are refused with [`ErrorCode::Overloaded`].
+    pub queue_depth: usize,
+    /// Stage-scheduler configuration (worker pool, admission capacity,
+    /// cross-job batching).
+    pub sched: SchedConfig,
 }
 
 impl ServerConfig {
-    /// A loopback server on a free port with the given spill directory
-    /// and a default capacity of 8 ready entries.
+    /// A loopback server on a free port with the given spill directory,
+    /// a default capacity of 8 ready cache entries, 8 handler threads over
+    /// a 64-deep connection queue, and a default scheduler.
     #[must_use]
     pub fn new(spill_dir: impl Into<PathBuf>) -> Self {
-        Self { addr: "127.0.0.1:0".to_owned(), capacity: 8, spill_dir: spill_dir.into() }
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            capacity: 8,
+            spill_dir: spill_dir.into(),
+            handlers: 8,
+            queue_depth: 64,
+            sched: SchedConfig::default(),
+        }
     }
 
     /// Overrides the cache capacity.
@@ -60,13 +92,79 @@ impl ServerConfig {
         self.capacity = capacity;
         self
     }
+
+    /// Overrides the handler-pool size.
+    #[must_use]
+    pub fn with_handlers(mut self, handlers: usize) -> Self {
+        self.handlers = handlers;
+        self
+    }
+
+    /// Overrides the pending-connection queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the scheduler configuration.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+}
+
+/// The bounded queue of accepted-but-unhandled connections.
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        Self { pending: Mutex::new(VecDeque::new()), ready: Condvar::new(), depth: depth.max(1) }
+    }
+
+    /// Enqueues a connection; a full queue hands the stream back so the
+    /// caller can refuse it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut pending = self.pending.lock().expect("connection queue poisoned");
+        if pending.len() >= self.depth {
+            return Err(stream);
+        }
+        pending.push_back(stream);
+        drop(pending);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next connection, or `None` once `shutdown` is set and
+    /// the queue is drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut pending = self.pending.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(stream) = pending.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) =
+                self.ready.wait_timeout(pending, POLL_INTERVAL).expect("connection queue poisoned");
+            pending = guard;
+        }
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    conns: Arc<ConnQueue>,
     acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -76,8 +174,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, waits for every connection handler to finish, and
-    /// returns once the process holds no server threads.
+    /// Stops accepting, waits for every connection handler and in-flight
+    /// job to finish, and returns once the process holds no server
+    /// threads.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -89,26 +188,37 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        self.conns.ready.notify_all();
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+        // The scheduler (shared by the handlers) drops with its last Arc,
+        // joining its workers after any in-flight jobs complete.
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() {
+        if self.acceptor.is_some() || !self.handlers.is_empty() {
             self.stop();
         }
     }
 }
 
-/// Counters the serving layer feeds (the cache registers its own).
+/// Counters the serving layer feeds (the cache and scheduler register
+/// their own).
 #[derive(Clone)]
 struct ServerMetrics {
     jobs: Counter,
+    refused: Counter,
 }
 
 impl ServerMetrics {
     fn register() -> Self {
-        Self { jobs: telemetry::global().counter("jigsaw_server_jobs_total", &[]) }
+        Self {
+            jobs: telemetry::global().counter("jigsaw_server_jobs_total", &[]),
+            refused: telemetry::global().counter("jigsaw_server_overloaded_total", &[]),
+        }
     }
 }
 
@@ -121,46 +231,67 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let cache = Arc::new(StageCache::new(config.capacity, &config.spill_dir)?);
+    let scheduler = Arc::new(Scheduler::new(config.sched.clone()));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let conns = Arc::new(ConnQueue::new(config.queue_depth));
     let metrics = ServerMetrics::register();
 
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || {
-            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let cache = Arc::clone(&cache);
-                        let shutdown = Arc::clone(&shutdown);
-                        let metrics = metrics.clone();
-                        handlers.push(std::thread::spawn(move || {
-                            handle_connection(stream, &cache, &shutdown, &metrics, addr);
-                        }));
+        let conns = Arc::clone(&conns);
+        let metrics = metrics.clone();
+        std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(_) => {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
+                    if let Err(mut refused) = conns.push(stream) {
+                        metrics.refused.inc();
+                        refuse_connection(&mut refused);
                     }
                 }
-            }
-            for handler in handlers {
-                let _ = handler.join();
+                Err(_) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
             }
         })
     };
 
-    Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor) })
+    let handlers = (0..config.handlers.max(1))
+        .map(|_| {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let cache = Arc::clone(&cache);
+            let scheduler = Arc::clone(&scheduler);
+            let metrics = metrics.clone();
+            std::thread::spawn(move || {
+                while let Some(stream) = conns.pop(&shutdown) {
+                    handle_connection(stream, &cache, &scheduler, &shutdown, &metrics, addr);
+                }
+            })
+        })
+        .collect();
+
+    Ok(ServerHandle { addr, shutdown, conns, acceptor: Some(acceptor), handlers })
+}
+
+/// Writes the typed overload refusal to a connection the queue cannot
+/// admit, then drops it.
+fn refuse_connection(stream: &mut TcpStream) {
+    let rejection =
+        JobRejection::new(ErrorCode::Overloaded, "server connection queue is full; retry later");
+    let frame = Frame { kind: FrameKind::JobError, digest: 0, payload: encode_to_vec(&rejection) };
+    let _ = frame.write_to(stream);
 }
 
 /// One connection's frame loop.
 fn handle_connection(
     mut stream: TcpStream,
     cache: &StageCache,
+    scheduler: &Scheduler,
     shutdown: &Arc<AtomicBool>,
     metrics: &ServerMetrics,
     self_addr: SocketAddr,
@@ -186,7 +317,7 @@ fn handle_connection(
             }
         };
         let keep_going = match frame.kind {
-            FrameKind::SubmitJob => handle_submit(&mut stream, &frame, cache, metrics),
+            FrameKind::SubmitJob => handle_submit(&mut stream, &frame, cache, scheduler, metrics),
             FrameKind::MetricsRequest => {
                 let text = telemetry::global().render_text();
                 Frame { kind: FrameKind::MetricsText, digest: 0, payload: text.into_bytes() }
@@ -226,6 +357,7 @@ fn handle_submit(
     stream: &mut TcpStream,
     frame: &Frame,
     cache: &StageCache,
+    scheduler: &Scheduler,
     metrics: &ServerMetrics,
 ) -> bool {
     let request = match decode_submit(frame) {
@@ -249,7 +381,7 @@ fn handle_submit(
     let digest = frame.digest;
     let (result, _outcome) = cache.get_or_compute(
         digest,
-        || compute_job(&request),
+        || compute_job(scheduler, &request),
         |path| rehydrate_job(path, &request),
     );
     let reply = match result {
@@ -261,37 +393,36 @@ fn handle_submit(
     reply.write_to(stream).is_ok()
 }
 
-/// Runs the full pipeline for a request, capturing the hinted stage as the
-/// eviction checkpoint along the way. Identical to `run_jigsaw` in result
-/// bytes: the same staged chain, and the result encoding excludes wall
-/// clocks.
-fn compute_job(request: &JobRequest) -> Result<JobArtifacts, JobRejection> {
-    let planned = JigsawPipeline::try_plan(&request.program, &request.device, &request.config)
-        .map_err(|e| JobRejection::new(ErrorCode::PlanRejected, e.to_string()))?;
-    let (checkpoint, result) = match request.hint {
-        StageKind::Planned => {
-            let checkpoint = persist::to_bytes(&planned);
-            let result =
-                planned.compile_global().run_global().select_subsets().run_cpms().reconstruct();
-            (checkpoint, result)
-        }
-        StageKind::GlobalCompiled => {
-            let stage = planned.compile_global();
-            let checkpoint = persist::to_bytes(&stage);
-            (checkpoint, stage.run_global().select_subsets().run_cpms().reconstruct())
-        }
-        StageKind::GlobalRun => {
-            let stage = planned.compile_global().run_global();
-            let checkpoint = persist::to_bytes(&stage);
-            (checkpoint, stage.select_subsets().run_cpms().reconstruct())
-        }
-        StageKind::SubsetsSelected => {
-            let stage = planned.compile_global().run_global().select_subsets();
-            let checkpoint = persist::to_bytes(&stage);
-            (checkpoint, stage.run_cpms().reconstruct())
-        }
+/// Maps a scheduler refusal or failure onto the wire's error codes.
+fn reject_job(error: &JobError) -> JobRejection {
+    let code = match error {
+        JobError::Overloaded { .. } => ErrorCode::Overloaded,
+        JobError::Plan(_) => ErrorCode::PlanRejected,
+        JobError::Failed(_) | JobError::Shutdown => ErrorCode::ComputeFailed,
     };
-    Ok((encode_to_vec(&result), checkpoint))
+    JobRejection::new(code, error.to_string())
+}
+
+/// Submits the request to the stage scheduler in its priority lane and
+/// waits for the result, capturing the hinted stage as the eviction
+/// checkpoint along the way. Identical to `run_jigsaw` in result bytes:
+/// the scheduler preserves per-job bit-identity under interleaving and
+/// batching, and the result encoding excludes wall clocks.
+fn compute_job(scheduler: &Scheduler, request: &JobRequest) -> Result<JobArtifacts, JobRejection> {
+    let ticket = scheduler
+        .submit(
+            &request.program,
+            &request.device,
+            &request.config,
+            request.priority,
+            Some(request.hint),
+        )
+        .map_err(|e| reject_job(&e))?;
+    let output = ticket.wait().map_err(|e| reject_job(&e))?;
+    let checkpoint = output.checkpoint.ok_or_else(|| {
+        JobRejection::new(ErrorCode::ComputeFailed, "scheduler returned no checkpoint")
+    })?;
+    Ok((encode_to_vec(&output.result), checkpoint))
 }
 
 /// Replays a job from its eviction archive: resume the spilled stage
