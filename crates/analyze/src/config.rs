@@ -1,0 +1,104 @@
+//! What the analyzer enforces, and where.
+//!
+//! Everything here is the *declared* policy of this workspace: which
+//! crates must stay deterministic, which files face untrusted bytes, and
+//! the total lock-acquisition order. [`Config::workspace`] builds the
+//! canonical policy for the repository root; tests build narrower configs
+//! pointed at fixture directories.
+//!
+//! The lock table mirrors the `jigsaw_core::lockcheck` mutex names — the
+//! runtime checker and this static table must agree, and
+//! `crates/analyze/tests/analyzer.rs` cross-checks the two never drift.
+
+use std::path::PathBuf;
+
+/// One named mutex the lock-order rule knows about: the source identifier
+/// it is locked through, in which file, and its declared rank. Locks must
+/// be acquired in strictly ascending rank order.
+#[derive(Debug, Clone)]
+pub struct LockDef {
+    /// Workspace-relative file the mutex lives in.
+    pub file: String,
+    /// The final path segment a `.lock()` call names (`state` in
+    /// `self.inner.state.lock()`).
+    pub ident: String,
+    /// Human-readable lock name (matches the `jigsaw_core::lockcheck`
+    /// `Mutex::new` constructor argument).
+    pub name: String,
+    /// Position in the total acquisition order (ascending = later).
+    pub rank: u32,
+}
+
+/// Full analyzer policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root every relative path below hangs off.
+    pub root: PathBuf,
+    /// Directories to walk for `.rs` files (relative to `root`).
+    pub scan_dirs: Vec<String>,
+    /// Crate directory names (under `crates/`) whose output feeds result
+    /// bytes; the determinism rules apply to these.
+    pub result_crates: Vec<String>,
+    /// Files exempt from the `det-map` rule (the canonical deterministic
+    /// hashing implementation itself).
+    pub det_map_exempt: Vec<String>,
+    /// Untrusted-surface files where panics are banned outright.
+    pub panic_free_files: Vec<String>,
+    /// The declared lock-order table.
+    pub locks: Vec<LockDef>,
+    /// Whether every `lib.rs` must carry `#![forbid(unsafe_code)]`.
+    pub require_forbid_unsafe: bool,
+}
+
+impl Config {
+    /// The canonical policy for this workspace.
+    #[must_use]
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        let lock = |file: &str, ident: &str, name: &str, rank: u32| LockDef {
+            file: file.to_owned(),
+            ident: ident.to_owned(),
+            name: name.to_owned(),
+            rank,
+        };
+        Self {
+            root: root.into(),
+            scan_dirs: vec!["crates".to_owned(), "src".to_owned()],
+            result_crates: ["circuit", "compiler", "core", "device", "pmf", "server", "sim"]
+                .map(str::to_owned)
+                .to_vec(),
+            det_map_exempt: vec!["crates/pmf/src/hashing.rs".to_owned()],
+            panic_free_files: [
+                "crates/server/src/protocol.rs",
+                "crates/server/src/cache.rs",
+                "crates/server/src/server.rs",
+                "crates/pmf/src/codec.rs",
+                "crates/core/src/persist.rs",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
+            locks: vec![
+                lock("crates/server/src/server.rs", "pending", "server.conn_queue", 10),
+                lock("crates/server/src/cache.rs", "inner", "cache.inner", 20),
+                lock("crates/core/src/sched.rs", "state", "sched.state", 30),
+                lock("crates/core/src/sched.rs", "slot", "sched.cell.slot", 40),
+                lock("crates/server/src/cache.rs", "slot", "cache.flight.slot", 50),
+                lock("crates/core/src/telemetry.rs", "counters", "telemetry.counters", 60),
+                lock("crates/core/src/telemetry.rs", "histograms", "telemetry.histograms", 61),
+            ],
+            require_forbid_unsafe: true,
+        }
+    }
+
+    /// Whether `rel_path` (workspace-relative, `/`-separated) belongs to a
+    /// result-producing crate.
+    #[must_use]
+    pub fn in_result_crate(&self, rel_path: &str) -> bool {
+        self.result_crates.iter().any(|c| rel_path.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// The lock definitions that apply to `rel_path`.
+    #[must_use]
+    pub fn locks_for(&self, rel_path: &str) -> Vec<&LockDef> {
+        self.locks.iter().filter(|l| l.file == rel_path).collect()
+    }
+}

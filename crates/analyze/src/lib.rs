@@ -1,0 +1,221 @@
+#![forbid(unsafe_code)]
+//! `jigsaw-analyze`: the workspace invariant linter.
+//!
+//! Every guarantee this repository sells — bit-identical reconstruction
+//! across thread counts, backends, processes and scheduler lane mixes —
+//! is enforced dynamically by the test batteries. This crate adds the
+//! static gate: an offline, dependency-free, line-level scan of
+//! `crates/*/src` that fails CI the moment a PR reintroduces one of the
+//! known ways to break those guarantees. See `docs/ANALYSIS.md` for the
+//! rule catalogue and rationale.
+//!
+//! The rules (detailed in [`rules`]):
+//!
+//! * `det-map` — no `std::collections::HashMap`/`HashSet` in
+//!   result-producing crates; the sanctioned paths are
+//!   `jigsaw_pmf::hashing::{DetHashMap, DetHashSet}` and sorted
+//!   structures.
+//! * `wallclock` — no `Instant::now`/`SystemTime` in a module that
+//!   defines a codec `Encode` impl.
+//! * `panic-free` — no `unwrap`/`expect`/panicking macros/direct indexing
+//!   in files that parse untrusted bytes.
+//! * `lock-order` — named mutexes must be acquired in the declared rank
+//!   order (the static half of `jigsaw_core::lockcheck`).
+//! * `forbid-unsafe` — every crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Suppression is explicit and audited: `// analyze:allow(rule, reason)`
+//! on the offending line or the line above, with a non-empty reason. An
+//! allow with an empty reason is itself a violation (`bad-allow`).
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, LockDef};
+pub use rules::Violation;
+
+/// Outcome of one analyzer run.
+#[derive(Debug)]
+pub struct Report {
+    /// Files scanned, in walk order.
+    pub files: Vec<String>,
+    /// Surviving (non-suppressed) violations, in file-then-line order.
+    pub violations: Vec<Violation>,
+}
+
+/// Runs every rule over the configured scan roots.
+///
+/// # Errors
+///
+/// Propagates I/O failures walking the tree or reading a source file.
+pub fn run(cfg: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for dir in &cfg.scan_dirs {
+        collect_rs_files(&cfg.root.join(dir), &mut files)?;
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    let mut rel_files = Vec::new();
+    for path in &files {
+        let rel = relative_to(path, &cfg.root);
+        let source = std::fs::read_to_string(path)?;
+        violations.extend(check_source(&rel, &source, cfg));
+        rel_files.push(rel);
+    }
+    Ok(Report { files: rel_files, violations })
+}
+
+/// Analyzes one file's source text under the policy, applying the
+/// allowlist. `rel` is the workspace-relative path rules match against.
+#[must_use]
+pub fn check_source(rel: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let lines = scan::scan(source);
+    let mut raw = Vec::new();
+    raw.extend(rules::det_map(rel, &lines, cfg));
+    raw.extend(rules::wallclock(rel, &lines));
+    raw.extend(rules::panic_free(rel, &lines, cfg));
+    raw.extend(rules::lock_order(rel, &lines, cfg));
+    raw.extend(rules::forbid_unsafe(rel, &lines, cfg));
+    raw.sort_by_key(|v| (v.line, v.rule));
+    apply_allows(raw, &lines)
+}
+
+/// An `analyze:allow(rule, reason)` annotation parsed from a comment.
+struct Allow {
+    rule: String,
+    reason: String,
+}
+
+/// Parses every allow annotation in a comment string.
+fn parse_allows(comment: &str) -> Vec<Allow> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("analyze:allow(") {
+        rest = &rest[at + "analyze:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let inner = &rest[..close];
+        rest = &rest[close + 1..];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((rule, reason)) => (rule, reason),
+            None => (inner, ""),
+        };
+        out.push(Allow {
+            rule: rule.trim().to_owned(),
+            reason: reason.trim().trim_matches('"').trim().to_owned(),
+        });
+    }
+    out
+}
+
+/// Filters `raw` through the allowlist: a violation is suppressed by a
+/// well-formed allow for its rule on the same line or the line above; an
+/// allow with an empty reason becomes a `bad-allow` violation instead of
+/// suppressing anything.
+fn apply_allows(raw: Vec<Violation>, lines: &[scan::SourceLine]) -> Vec<Violation> {
+    let comment_at = |number: usize| lines.get(number.wrapping_sub(1)).map(|l| l.comment.as_str());
+    let mut out = Vec::new();
+    for violation in raw {
+        let mut allows = Vec::new();
+        if let Some(c) = comment_at(violation.line) {
+            allows.extend(parse_allows(c));
+        }
+        if violation.line > 1 {
+            if let Some(c) = comment_at(violation.line - 1) {
+                allows.extend(parse_allows(c));
+            }
+        }
+        let matching: Vec<&Allow> = allows.iter().filter(|a| a.rule == violation.rule).collect();
+        if matching.is_empty() {
+            out.push(violation);
+            continue;
+        }
+        if matching.iter().all(|a| a.reason.is_empty()) {
+            out.push(Violation {
+                file: violation.file.clone(),
+                line: violation.line,
+                rule: "bad-allow",
+                message: format!(
+                    "analyze:allow({}) without a reason: suppressions must justify \
+                     themselves in-line",
+                    violation.rule
+                ),
+            });
+        }
+        // A matching allow with a non-empty reason suppresses silently.
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted by the caller).
+/// Missing directories are skipped, not errors — `src/` exists at the
+/// workspace root but fixtures may configure narrower roots.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            // Only crate sources are policed: skip fixture corpora, build
+            // output and vendored stand-ins.
+            let name = entry.file_name();
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Config {
+        let mut cfg = Config::workspace(".");
+        cfg.require_forbid_unsafe = false;
+        cfg
+    }
+
+    #[test]
+    fn det_map_fires_and_det_alias_does_not() {
+        let cfg = tiny_cfg();
+        let bad = "use std::collections::HashMap;\n";
+        let v = check_source("crates/core/src/x.rs", bad, &cfg);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "det-map");
+        let good = "use jigsaw_pmf::hashing::DetHashMap;\nlet m: DetHashMap<u8, u8>;\n";
+        assert!(check_source("crates/core/src/x.rs", good, &cfg).is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_with_reason_and_flag_without() {
+        let cfg = tiny_cfg();
+        let with = "// analyze:allow(det-map, insert-only, never iterated)\nuse std::collections::HashSet;\n";
+        assert!(check_source("crates/core/src/x.rs", with, &cfg).is_empty());
+        let without = "use std::collections::HashSet; // analyze:allow(det-map)\n";
+        let v = check_source("crates/core/src/x.rs", without, &cfg);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "bad-allow");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let cfg = tiny_cfg();
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(check_source("crates/core/src/x.rs", src, &cfg).is_empty());
+    }
+}

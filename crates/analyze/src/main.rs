@@ -1,0 +1,46 @@
+//! CLI entry point: `cargo run -p jigsaw-analyze [--release] [ROOT]`.
+//!
+//! Scans the workspace (default: the current directory, so CI can run it
+//! from the checkout root), prints every violation as `file:line: [rule]
+//! message`, and exits nonzero when any survive the allowlist.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+    let cfg = jigsaw_analyze::Config::workspace(&root);
+    let report = match jigsaw_analyze::run(&cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("jigsaw-analyze: cannot scan {root}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files.is_empty() {
+        eprintln!(
+            "jigsaw-analyze: no Rust sources under {root} (expected crates/*/src); \
+             pass the workspace root as the first argument"
+        );
+        return ExitCode::from(2);
+    }
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "jigsaw-analyze: {} files clean (det-map, wallclock, panic-free, \
+             lock-order, forbid-unsafe)",
+            report.files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "jigsaw-analyze: {} violation(s) in {} files",
+            report.violations.len(),
+            report.files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

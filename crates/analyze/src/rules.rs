@@ -1,0 +1,276 @@
+//! The invariant rules.
+//!
+//! Each rule walks the classified lines of one file (see [`crate::scan`])
+//! and emits [`Violation`]s. Suppression via `// analyze:allow(rule,
+//! reason)` is handled by the driver in [`crate::check_source`], not here —
+//! rules always report what they see.
+
+use std::fmt;
+
+use crate::config::Config;
+use crate::scan::SourceLine;
+
+/// One finding: a file, a line, the rule that fired, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`det-map`, `wallclock`, `panic-free`,
+    /// `lock-order`, `forbid-unsafe`, `bad-allow`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// `det-map`: result-producing crates must not touch
+/// `std::collections::HashMap`/`HashSet` — iteration order is seeded per
+/// map, so a single stray use can silently break bit-identity. The
+/// canonical paths are `jigsaw_pmf::hashing::{DetHashMap, DetHashSet}`
+/// (or sorted/`BTreeMap` structures).
+pub fn det_map(rel: &str, lines: &[SourceLine], cfg: &Config) -> Vec<Violation> {
+    if !cfg.in_result_crate(rel) || cfg.det_map_exempt.iter().any(|e| e == rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for line in lines.iter().filter(|l| !l.in_test) {
+        for token in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(at) = line.code[from..].find(token) {
+                let idx = from + at;
+                from = idx + token.len();
+                // `DetHashMap` / `DetHashSet` are the sanctioned aliases.
+                if line.code[..idx].ends_with("Det") {
+                    continue;
+                }
+                // Part of a longer identifier (`MyHashMapLike`)?
+                let after = line.code[idx + token.len()..].chars().next();
+                if after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: line.number,
+                    rule: "det-map",
+                    message: format!(
+                        "`{token}` in a result-producing crate: std hashing is randomly \
+                         seeded per map, which breaks bit-identical reconstruction; use \
+                         `jigsaw_pmf::hashing::Det{token}` or a sorted structure"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `wallclock`: a module that defines a codec `Encode` impl must not read
+/// wall clocks (`Instant::now`, `SystemTime`) without a justification —
+/// a timestamp that leaks into encoded bytes destroys content addressing
+/// and replay identity.
+pub fn wallclock(rel: &str, lines: &[SourceLine]) -> Vec<Violation> {
+    let defines_encode = lines
+        .iter()
+        .filter(|l| !l.in_test)
+        .any(|l| l.code.contains("impl") && l.code.contains("Encode for"));
+    if !defines_encode {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for line in lines.iter().filter(|l| !l.in_test) {
+        for token in ["Instant::now", "SystemTime"] {
+            if line.code.contains(token) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: line.number,
+                    rule: "wallclock",
+                    message: format!(
+                        "`{token}` in a module defining a codec `Encode` impl: wall-clock \
+                         readings must never reach encoded bytes (content addresses and \
+                         replay identity depend on it)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `panic-free`: files that parse untrusted bytes (wire frames, archives)
+/// must not contain reachable panics — no `unwrap`/`expect`, no panicking
+/// macros, no direct slice indexing. Hostile input must map to typed
+/// errors.
+pub fn panic_free(rel: &str, lines: &[SourceLine], cfg: &Config) -> Vec<Violation> {
+    if !cfg.panic_free_files.iter().any(|f| f == rel) {
+        return Vec::new();
+    }
+    const TOKENS: [(&str, &str); 6] = [
+        (".unwrap()", "`unwrap()` on an untrusted surface"),
+        (".expect(", "`expect()` on an untrusted surface"),
+        ("panic!", "`panic!` on an untrusted surface"),
+        ("unreachable!", "`unreachable!` on an untrusted surface"),
+        ("todo!", "`todo!` on an untrusted surface"),
+        ("unimplemented!", "`unimplemented!` on an untrusted surface"),
+    ];
+    let mut out = Vec::new();
+    for line in lines.iter().filter(|l| !l.in_test) {
+        for (token, what) in TOKENS {
+            if line.code.contains(token) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: line.number,
+                    rule: "panic-free",
+                    message: format!(
+                        "{what}: untrusted bytes must map to a typed error, never a panic"
+                    ),
+                });
+            }
+        }
+        for idx in indexing_sites(&line.code) {
+            let snippet: String = line.code[idx..].chars().take(12).collect();
+            out.push(Violation {
+                file: rel.to_owned(),
+                line: line.number,
+                rule: "panic-free",
+                message: format!(
+                    "direct indexing (`…{snippet}`) on an untrusted surface: use \
+                     `get`/`split` and map the miss to a typed error"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Byte offsets of `[` characters that look like slice/array indexing: the
+/// previous character ends an expression (identifier, `)`, `]`). Excludes
+/// attributes (`#[…]`), macro bangs (`vec![…]`), types (`&[u8]`,
+/// `: [u8; 8]`) and array literals (`= [0; 8]`), whose `[` never follows
+/// an expression character.
+fn indexing_sites(code: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut prev = ' ';
+    for (offset, c) in code.char_indices() {
+        if c == '[' && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            out.push(offset);
+        }
+        prev = c;
+    }
+    out
+}
+
+/// `lock-order`: within one function, a named mutex may only be acquired
+/// while every live guard has a strictly lower rank. The table of named
+/// mutexes and ranks is [`Config::locks`]; the runtime complement is
+/// `jigsaw_core::lockcheck`.
+pub fn lock_order(rel: &str, lines: &[SourceLine], cfg: &Config) -> Vec<Violation> {
+    let table = cfg.locks_for(rel);
+    if table.is_empty() {
+        return Vec::new();
+    }
+    struct Guard {
+        var: String,
+        name: String,
+        rank: u32,
+        line: usize,
+        depth: usize,
+    }
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    for line in lines.iter().filter(|l| !l.in_test) {
+        // Guards whose binding block has closed are dead. `depth` is the
+        // depth at line start, so a guard bound at depth d dies on the
+        // first line that starts at depth < d.
+        guards.retain(|g| line.depth >= g.depth);
+        // Explicit `drop(var)` kills a guard early.
+        for g in guards.iter().map(|g| g.var.clone()).collect::<Vec<_>>() {
+            if line.code.contains(&format!("drop({g})")) {
+                guards.retain(|k| k.var != g);
+            }
+        }
+        // Acquisitions on this line.
+        let mut from = 0;
+        while let Some(at) = line.code[from..].find(".lock()") {
+            let idx = from + at;
+            from = idx + ".lock()".len();
+            let Some(ident) = trailing_segment(&line.code[..idx]) else { continue };
+            let Some(def) = table.iter().find(|d| d.ident == ident) else { continue };
+            for held in &guards {
+                if held.rank >= def.rank {
+                    out.push(Violation {
+                        file: rel.to_owned(),
+                        line: line.number,
+                        rule: "lock-order",
+                        message: format!(
+                            "acquiring `{}` (rank {}) while `{}` (rank {}, locked at line \
+                             {}) is held: the declared order requires strictly ascending \
+                             ranks",
+                            def.name, def.rank, held.name, held.rank, held.line
+                        ),
+                    });
+                }
+            }
+            // Track the guard when the acquisition is bound with `let`;
+            // a temporary guard dies at the end of its statement.
+            if let Some(var) = let_binding(&line.code) {
+                guards.push(Guard {
+                    var,
+                    name: def.name.clone(),
+                    rank: def.rank,
+                    line: line.number,
+                    depth: line.depth,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The last `.`-separated path segment of an expression suffix
+/// (`self.inner.state` → `state`).
+fn trailing_segment(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    let end = trimmed.len();
+    let start = trimmed.rfind(|c: char| !(c.is_alphanumeric() || c == '_')).map_or(0, |i| i + 1);
+    let segment = &trimmed[start..end];
+    (!segment.is_empty()).then(|| segment.to_owned())
+}
+
+/// The variable a `let` statement on this line binds (`let mut x = …` →
+/// `x`), tolerating tuple patterns by taking the first identifier.
+fn let_binding(code: &str) -> Option<String> {
+    let at = code.find("let ")?;
+    let rest = code[at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let rest = rest.strip_prefix('(').unwrap_or(rest).trim_start();
+    let end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(rest.len());
+    let var = &rest[..end];
+    (!var.is_empty()).then(|| var.to_owned())
+}
+
+/// `forbid-unsafe`: every crate root must carry `#![forbid(unsafe_code)]`
+/// so the analyzer (and every reader) can assume safe-Rust semantics.
+pub fn forbid_unsafe(rel: &str, lines: &[SourceLine], cfg: &Config) -> Vec<Violation> {
+    if !cfg.require_forbid_unsafe || !rel.ends_with("src/lib.rs") {
+        return Vec::new();
+    }
+    let has = lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+    if has {
+        return Vec::new();
+    }
+    vec![Violation {
+        file: rel.to_owned(),
+        line: 1,
+        rule: "forbid-unsafe",
+        message: "crate root lacks `#![forbid(unsafe_code)]`: the analyzer assumes \
+                  safe-Rust semantics workspace-wide"
+            .to_owned(),
+    }]
+}

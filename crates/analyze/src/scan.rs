@@ -1,0 +1,281 @@
+//! Line-level Rust source scanner.
+//!
+//! The analyzer deliberately avoids a full parser (the workspace is
+//! vendored-offline, so no `syn`): every rule operates on *classified
+//! lines* instead of an AST. Classification strips what a lexer would —
+//! comments (line and nested block), string/char literal *contents*, raw
+//! strings — so rules can match tokens like `.unwrap()` or `HashMap`
+//! without being fooled by occurrences inside strings or docs. Literal
+//! delimiters are kept and contents are blanked with spaces, so column
+//! positions and shapes like `.expect("…")` survive classification.
+//!
+//! The scanner also tracks `#[cfg(test)]` items: rules only police
+//! shipping code, and a unit-test module is free to `unwrap()` at will.
+
+/// One classified source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and literal contents blanked.
+    pub code: String,
+    /// The comment text found on this line (line + block comments).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Brace depth at the *start* of the line (over code text only).
+    pub depth: usize,
+}
+
+/// Lexer state carried across lines.
+enum Mode {
+    Code,
+    /// Nested block comment at the given depth.
+    Block(usize),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string with this many `#` marks.
+    RawStr(usize),
+}
+
+/// Splits `source` into classified lines. Never fails: unterminated
+/// constructs simply classify the remainder accordingly.
+#[must_use]
+pub fn scan(source: &str) -> Vec<SourceLine> {
+    let mut mode = Mode::Code;
+    let mut classified: Vec<(String, String)> = Vec::new();
+    for line in source.lines() {
+        classified.push(classify_line(line, &mut mode));
+    }
+    mark_tests(classified)
+}
+
+/// Classifies one line under the running lexer `mode`, returning
+/// `(code, comment)` text.
+#[allow(clippy::too_many_lines)]
+fn classify_line(line: &str, mode: &mut Mode) -> (String, String) {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match mode {
+            Mode::Block(depth) => {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    *depth -= 1;
+                    i += 2;
+                    if *depth == 0 {
+                        *mode = Mode::Code;
+                        code.push(' ');
+                    }
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    *depth += 1;
+                    i += 2;
+                } else {
+                    comment.push(bytes[i]);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if bytes[i] == '\\' {
+                    code.push(' ');
+                    if i + 1 < bytes.len() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if bytes[i] == '"' {
+                    code.push('"');
+                    *mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if bytes[i] == '"' && closes_raw(&bytes, i, *hashes) {
+                    code.push('"');
+                    for _ in 0..*hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + *hashes;
+                    *mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                let c = bytes[i];
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    comment.push_str(&bytes[i + 2..].iter().collect::<String>());
+                    break;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    *mode = Mode::Block(1);
+                    i += 2;
+                    continue;
+                }
+                if let Some(hashes) = raw_string_open(&bytes, i) {
+                    // Keep the `r#…"` opener shape, blank nothing yet.
+                    code.push('r');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    i += 1 + hashes + 1;
+                    *mode = Mode::RawStr(hashes);
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    *mode = Mode::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime: a char
+                    // literal closes within a few chars (`'x'`, `'\n'`,
+                    // `'\u{1F600}'`); a lifetime never has a closing quote
+                    // before a non-ident char.
+                    if let Some(end) = char_literal_end(&bytes, i) {
+                        code.push('\'');
+                        for _ in i + 1..end {
+                            code.push(' ');
+                        }
+                        code.push('\'');
+                        i = end + 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Whether `bytes[i] == '"'` followed by `hashes` `#` marks closes a raw
+/// string.
+fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// If a raw string starts at `i` (`r"`, `r#"`, `br"`, …), returns its hash
+/// count. The caller sits on the `r` (a leading `b` is consumed as code).
+fn raw_string_open(bytes: &[char], i: usize) -> Option<usize> {
+    if bytes[i] != 'r' {
+        return None;
+    }
+    // `r` must not terminate an identifier (`for`, `var`, …).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return None;
+    }
+    let mut hashes = 0;
+    while bytes.get(i + 1 + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    (bytes.get(i + 1 + hashes) == Some(&'"')).then_some(hashes)
+}
+
+/// End index (at the closing `'`) of a char literal starting at `i`, or
+/// `None` when `'` introduces a lifetime.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escape: scan to the next unescaped quote (bounded).
+            (i + 2..bytes.len().min(i + 12)).find(|&k| bytes[k] == '\'')
+        }
+        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+/// Second pass: compute brace depth and `#[cfg(test)]` spans.
+fn mark_tests(classified: Vec<(String, String)>) -> Vec<SourceLine> {
+    let mut out = Vec::with_capacity(classified.len());
+    let mut depth = 0usize;
+    // Depth the pending `#[cfg(test)]` item was introduced at, plus whether
+    // the attribute is still waiting for its item to open a brace.
+    let mut pending_test_attr = false;
+    let mut test_block_depth: Option<usize> = None;
+    for (idx, (code, comment)) in classified.into_iter().enumerate() {
+        let line_start_depth = depth;
+        let mut in_test = test_block_depth.is_some();
+        if test_block_depth.is_none() && code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        if pending_test_attr {
+            in_test = true;
+        }
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        if pending_test_attr && opens > 0 {
+            test_block_depth = Some(line_start_depth);
+            pending_test_attr = false;
+        } else if pending_test_attr
+            && code.trim_end().ends_with(';')
+            && !code.contains("#[cfg(test)]")
+        {
+            // Braceless item (`#[cfg(test)] use …;`): the attribute covers
+            // only this line.
+            pending_test_attr = false;
+        }
+        depth = depth + opens - closes.min(depth + opens);
+        if let Some(open_depth) = test_block_depth {
+            if depth <= open_depth && closes > 0 {
+                test_block_depth = None;
+            }
+        }
+        out.push(SourceLine { number: idx + 1, code, comment, in_test, depth: line_start_depth });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = scan("let x = \"unwrap()\"; // .expect(\nfoo.unwrap();\n");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains(".expect("));
+        assert!(lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let lines = scan("a /* x /* y */\nstill comment */ b.unwrap();\n");
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[1].code.contains(".unwrap()"));
+        assert!(lines[1].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = scan("let p = r#\"panic!(\"no\")\"#;\nb.expect(\"x\");\n");
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[1].code.contains(".expect("));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(lines[0].code.contains("str"));
+        assert!(lines[1].code.contains('\''));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "fn ship() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn after() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line itself is test code");
+        assert!(lines[3].in_test, "body is test code");
+        assert!(!lines[5].in_test, "after the module, shipping code again");
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end analyzer battery: the fixture corpus must light up every
+//! rule (with exact file/line anchors), the allowlist must round-trip,
+//! and the real workspace must scan clean.
+
+use jigsaw_analyze::{run, Config, LockDef, Violation};
+
+/// Policy pointed at the fixture corpus: the `demo` crate is
+/// result-producing, `panic_bad.rs` is an untrusted surface, and
+/// `lock_bad.rs` declares `journal (10) < table (20)`.
+fn fixture_config() -> Config {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut cfg = Config::workspace(root);
+    cfg.scan_dirs = vec!["crates".to_owned()];
+    cfg.result_crates = vec!["demo".to_owned()];
+    cfg.det_map_exempt.clear();
+    cfg.panic_free_files = vec!["crates/demo/src/panic_bad.rs".to_owned()];
+    cfg.locks = vec![
+        LockDef {
+            file: "crates/demo/src/lock_bad.rs".to_owned(),
+            ident: "journal".to_owned(),
+            name: "store.journal".to_owned(),
+            rank: 10,
+        },
+        LockDef {
+            file: "crates/demo/src/lock_bad.rs".to_owned(),
+            ident: "table".to_owned(),
+            name: "store.table".to_owned(),
+            rank: 20,
+        },
+    ];
+    cfg
+}
+
+fn fixture_violations() -> Vec<Violation> {
+    run(&fixture_config()).expect("fixture corpus scans").violations
+}
+
+fn rule_hits<'a>(violations: &'a [Violation], rule: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.rule == rule).collect()
+}
+
+#[test]
+fn every_rule_fires_on_its_fixture() {
+    let violations = fixture_violations();
+    for rule in ["det-map", "wallclock", "panic-free", "lock-order", "forbid-unsafe", "bad-allow"] {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "rule {rule} found nothing; got {violations:#?}"
+        );
+    }
+}
+
+#[test]
+fn findings_name_file_and_line() {
+    let violations = fixture_violations();
+    for v in &violations {
+        assert!(v.file.starts_with("crates/demo/src/"), "unexpected file in {v}");
+        assert!(v.line >= 1, "line numbers are 1-based: {v}");
+        let rendered = v.to_string();
+        assert!(
+            rendered.contains(&format!("{}:{}: [{}]", v.file, v.line, v.rule)),
+            "display format drifted: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn det_map_flags_shipping_code_only() {
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "det-map");
+    assert!(
+        hits.iter().all(|v| v.file == "crates/demo/src/det_map_bad.rs"),
+        "det-map must fire only in det_map_bad.rs (test modules and allows exempt): {hits:#?}"
+    );
+    // `use` line and two constructor/type mentions; the #[cfg(test)]
+    // HashSet must not appear.
+    assert!(hits.iter().all(|v| v.line < 14), "cfg(test) HashSet leaked through: {hits:#?}");
+}
+
+#[test]
+fn wallclock_requires_encode_impl_in_module() {
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "wallclock");
+    assert!(!hits.is_empty());
+    assert!(hits.iter().all(|v| v.file == "crates/demo/src/wallclock_bad.rs"), "{hits:#?}");
+}
+
+#[test]
+fn panic_free_catches_each_shape() {
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "panic-free");
+    assert!(hits.iter().all(|v| v.file == "crates/demo/src/panic_bad.rs"), "{hits:#?}");
+    let messages: Vec<&str> = hits.iter().map(|v| v.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("indexing")), "indexing missed: {messages:#?}");
+    assert!(messages.iter().any(|m| m.contains("expect")), "expect missed: {messages:#?}");
+    assert!(messages.iter().any(|m| m.contains("unwrap")), "unwrap missed: {messages:#?}");
+    assert!(messages.iter().any(|m| m.contains("panic!")), "panic! missed: {messages:#?}");
+}
+
+#[test]
+fn lock_order_flags_only_the_inverted_function() {
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "lock-order");
+    assert_eq!(hits.len(), 1, "exactly the inverted acquisition in replay(): {hits:#?}");
+    let hit = hits[0];
+    assert_eq!(hit.file, "crates/demo/src/lock_bad.rs");
+    assert!(
+        hit.message.contains("store.journal") && hit.message.contains("store.table"),
+        "message must name both locks: {hit}"
+    );
+    assert!(
+        hit.message.contains("rank 10") && hit.message.contains("rank 20"),
+        "message must name both ranks: {hit}"
+    );
+}
+
+#[test]
+fn forbid_unsafe_flags_the_crate_root() {
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "forbid-unsafe");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert_eq!(hits[0].file, "crates/demo/src/lib.rs");
+}
+
+#[test]
+fn allowlist_round_trips() {
+    let violations = fixture_violations();
+    // Well-formed allows suppress everything in allow_ok.rs.
+    assert!(
+        violations.iter().all(|v| v.file != "crates/demo/src/allow_ok.rs"),
+        "reasoned allow failed to suppress: {violations:#?}"
+    );
+    // A reason-less allow surfaces as bad-allow (and nothing else) in
+    // allow_bad.rs.
+    let in_bad: Vec<&Violation> =
+        violations.iter().filter(|v| v.file == "crates/demo/src/allow_bad.rs").collect();
+    assert_eq!(in_bad.len(), 1, "{in_bad:#?}");
+    assert_eq!(in_bad[0].rule, "bad-allow");
+    assert!(in_bad[0].message.contains("det-map"), "{}", in_bad[0]);
+}
+
+#[test]
+fn workspace_scans_clean() {
+    // The analyzer's own acceptance gate: the real workspace (two levels
+    // up from this crate) must produce zero violations under the shipped
+    // policy.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let report = run(&Config::workspace(root)).expect("workspace scans");
+    assert!(
+        report.files.len() > 100,
+        "walker lost the workspace (saw {} files)",
+        report.files.len()
+    );
+    assert!(report.violations.is_empty(), "workspace not clean:\n{:#?}", report.violations);
+}
+
+#[test]
+fn lock_table_matches_runtime_names() {
+    // The static table and jigsaw_core::lockcheck must agree on lock
+    // names: every declared name appears verbatim as a Mutex::new("…")
+    // constructor argument somewhere in its declared file.
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let cfg = Config::workspace(root);
+    for lock in &cfg.locks {
+        let source = std::fs::read_to_string(root.join(&lock.file))
+            .unwrap_or_else(|e| panic!("read {}: {e}", lock.file));
+        assert!(
+            source.contains(&format!("\"{}\"", lock.name)),
+            "lock `{}` (rank {}) not constructed by name in {}",
+            lock.name,
+            lock.rank,
+            lock.file
+        );
+    }
+    // Ranks are unique and the declared order is total.
+    let mut ranks: Vec<u32> = cfg.locks.iter().map(|l| l.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    assert_eq!(ranks.len(), cfg.locks.len(), "duplicate ranks in the lock table");
+}

@@ -1,0 +1,20 @@
+//! Allowlist round-trip, bad half: an `analyze:allow` with an empty
+//! reason. Must surface as `bad-allow`, not as a suppression.
+
+use std::collections::BTreeMap;
+
+/// Sorted storage so only the bogus allow below is reported.
+pub struct Index {
+    map: BTreeMap<u64, u64>,
+}
+
+impl Index {
+    /// Reads one entry. The allow names the right rule but gives no
+    /// reason, which the analyzer must reject.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        // analyze:allow(det-map)
+        let probe = std::collections::HashMap::<u64, u64>::new();
+        let _ = probe;
+        self.map.get(&key).copied()
+    }
+}

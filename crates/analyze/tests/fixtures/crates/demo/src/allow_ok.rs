@@ -1,0 +1,12 @@
+//! Allowlist round-trip, good half: a real violation suppressed by a
+//! well-formed `analyze:allow` with a reason. Must produce no findings.
+
+// analyze:allow(det-map, insert-only duplicate check; never iterated)
+use std::collections::HashSet;
+
+/// Rejects duplicate values.
+pub fn all_unique(values: &[u64]) -> bool {
+    // analyze:allow(det-map, insert-only duplicate check; never iterated)
+    let mut seen = HashSet::new();
+    values.iter().all(|v| seen.insert(*v))
+}

@@ -1,0 +1,23 @@
+//! Known-bad: std `HashMap` in a result-producing crate.
+
+use std::collections::HashMap;
+
+/// Tallies occurrences with a randomly seeded map (the bug under test).
+pub fn tally(values: &[u64]) -> usize {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this must NOT be reported.
+    use std::collections::HashSet;
+
+    #[test]
+    fn exempt() {
+        let _ = HashSet::<u8>::new();
+    }
+}

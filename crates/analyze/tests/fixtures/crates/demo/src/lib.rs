@@ -1,0 +1,9 @@
+//! Fixture crate root, deliberately missing `#![forbid(unsafe_code)]`
+//! so the `forbid-unsafe` rule has a known-bad input.
+
+pub mod allow_bad;
+pub mod allow_ok;
+pub mod det_map_bad;
+pub mod lock_bad;
+pub mod panic_bad;
+pub mod wallclock_bad;

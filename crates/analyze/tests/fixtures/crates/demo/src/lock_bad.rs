@@ -1,0 +1,38 @@
+//! Known-bad: acquires `table` (rank 20) and then `journal` (rank 10)
+//! while the first guard is still live — the declared order is
+//! `journal < table`.
+
+use std::sync::Mutex;
+
+/// Two named locks with a declared order.
+pub struct Store {
+    /// Rank 10 in the fixture lock table.
+    pub journal: Mutex<Vec<u64>>,
+    /// Rank 20 in the fixture lock table.
+    pub table: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    /// Correct order: journal before table. Not flagged.
+    pub fn record(&self) {
+        let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        let mut table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        table.extend(journal.iter().copied());
+    }
+
+    /// Inverted order: table held while journal is acquired. Flagged.
+    pub fn replay(&self) {
+        let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.extend(table.iter().copied());
+    }
+
+    /// Guard dropped before the lower-ranked acquisition. Not flagged.
+    pub fn replay_safely(&self) {
+        let table = self.table.lock().unwrap_or_else(|e| e.into_inner());
+        let snapshot: Vec<u64> = table.iter().copied().collect();
+        drop(table);
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.extend(snapshot);
+    }
+}

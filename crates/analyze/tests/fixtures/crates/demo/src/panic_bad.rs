@@ -1,0 +1,18 @@
+//! Known-bad: panics and direct indexing on an untrusted decode surface.
+
+/// Parses a header the panicking way (every line here is a finding).
+pub fn parse(bytes: &[u8]) -> (u8, u64) {
+    let tag = bytes[0];
+    let word: [u8; 8] = bytes[1..9].try_into().expect("length checked");
+    let value = u64::from_le_bytes(word);
+    assert!(tag != 0xFF, "reserved tag");
+    if value == 0 {
+        panic!("zero value");
+    }
+    (tag, value)
+}
+
+/// `unwrap()` on a parse result.
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}

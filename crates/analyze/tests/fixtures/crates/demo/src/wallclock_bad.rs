@@ -1,0 +1,34 @@
+//! Known-bad: a module that defines an `Encode` impl *and* reads a wall
+//! clock.
+
+use std::time::Instant;
+
+/// A record whose bytes must be content-addressable.
+pub struct Stamped {
+    /// Milliseconds captured at construction (the bug under test).
+    pub millis: u64,
+}
+
+impl Stamped {
+    /// Captures the current time — flagged, because this module encodes.
+    pub fn now(start: Instant) -> Self {
+        Self { millis: start.elapsed().as_millis() as u64 }
+    }
+}
+
+impl Encode for Stamped {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.millis.to_le_bytes());
+    }
+}
+
+/// Minimal stand-in for the workspace codec trait.
+pub trait Encode {
+    /// Appends the encoding of `self`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// The flagged call site.
+pub fn stamp() -> Stamped {
+    Stamped::now(Instant::now())
+}

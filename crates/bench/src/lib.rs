@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness for the JigSaw (MICRO 2021) reproduction.
 //!
 //! One binary per table/figure of the paper's evaluation lives in

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Quantum-circuit IR and NISQ benchmark programs for the JigSaw
 //! (MICRO 2021) reproduction.
 //!

@@ -34,7 +34,7 @@ impl Graph {
     /// Panics on self-loops, duplicate edges, or out-of-range endpoints.
     #[must_use]
     pub fn new(n_vertices: usize, edges: Vec<(usize, usize)>) -> Self {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = jigsaw_pmf::hashing::DetHashSet::default();
         for &(u, v) in &edges {
             assert!(u < n_vertices && v < n_vertices, "edge ({u},{v}) out of range");
             assert_ne!(u, v, "self-loop at vertex {u}");

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Noise-aware NISQ compilation for the JigSaw (MICRO 2021) reproduction.
 //!
 //! From-scratch implementations of the paper's compilation substrates:

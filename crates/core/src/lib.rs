@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! JigSaw: measurement subsetting and Bayesian reconstruction for NISQ
 //! fidelity — the primary contribution of Das, Tannu & Qureshi (MICRO 2021),
 //! reproduced in Rust.
@@ -82,6 +83,7 @@ pub mod bayes;
 mod evaluate;
 #[allow(clippy::module_inception)]
 mod jigsaw;
+pub mod lockcheck;
 pub mod mbm;
 pub mod persist;
 pub mod pipeline;

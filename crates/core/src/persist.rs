@@ -384,20 +384,32 @@ pub fn read_header(bytes: &[u8]) -> Result<ArchiveHeader, PersistError> {
     if bytes.len() < HEADER_LEN {
         return Err(PersistError::Truncated { needed: HEADER_LEN, len: bytes.len() });
     }
-    if bytes[..8] != MAGIC {
-        return Err(PersistError::BadMagic {
-            found: bytes[..8].try_into().expect("length checked"),
-        });
+    let magic: [u8; 8] = field(bytes, 0)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic { found: magic });
     }
-    let version = u16::from_le_bytes(bytes[8..10].try_into().expect("length checked"));
+    let version = u16::from_le_bytes(field(bytes, 8)?);
     if version != FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion { found: version });
     }
-    let stage =
-        StageKind::from_code(bytes[10]).ok_or(PersistError::UnknownStage { tag: bytes[10] })?;
-    let config_digest = u64::from_le_bytes(bytes[11..19].try_into().expect("length checked"));
-    let payload_len = u64::from_le_bytes(bytes[19..27].try_into().expect("length checked"));
+    let tag = bytes
+        .get(10)
+        .copied()
+        .ok_or(PersistError::Truncated { needed: HEADER_LEN, len: bytes.len() })?;
+    let stage = StageKind::from_code(tag).ok_or(PersistError::UnknownStage { tag })?;
+    let config_digest = u64::from_le_bytes(field(bytes, 11)?);
+    let payload_len = u64::from_le_bytes(field(bytes, 19)?);
     Ok(ArchiveHeader { version, stage, config_digest, payload_len })
+}
+
+/// Reads the `N`-byte field at offset `at`, reporting truncation as a
+/// typed error (unreachable once the caller has length-checked, but this
+/// decode path never panics on principle).
+fn field<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], PersistError> {
+    bytes
+        .get(at..at.saturating_add(N))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(PersistError::Truncated { needed: at.saturating_add(N), len: bytes.len() })
 }
 
 /// Decodes a stage from a standalone archive, verifying the frame end to
@@ -424,8 +436,10 @@ pub fn from_bytes<S: StageArtifact>(bytes: &[u8]) -> Result<S, PersistError> {
     if bytes.len() > total {
         return Err(PersistError::TrailingBytes { remaining: bytes.len() - total });
     }
-    let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
-    let stored = u64::from_le_bytes(bytes[total - 8..].try_into().expect("length checked"));
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + payload_len)
+        .ok_or(PersistError::Truncated { needed: total, len: bytes.len() })?;
+    let stored = u64::from_le_bytes(field(bytes, total - 8)?);
     let computed = codec::fnv1a64(payload);
     if stored != computed {
         return Err(PersistError::ChecksumMismatch { stored, computed });

@@ -332,6 +332,7 @@ impl JigsawPipeline {
         device: &Device,
         config: &JigsawConfig,
     ) -> Result<Planned, PlanError> {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         if !program.measurements().is_empty() {
             return Err(PlanError::Premeasured);
@@ -400,6 +401,7 @@ impl Planned {
     /// succeeds.
     #[must_use]
     pub fn compile_global(mut self) -> GlobalCompiled {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         let mut global_logical = self.ctx.program.clone();
         global_logical.measure_all();
@@ -471,6 +473,7 @@ impl GlobalCompiled {
     /// Stage 2: executes the global mode and produces the prior PMF.
     #[must_use]
     pub fn run_global(mut self) -> GlobalRun {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         let executor = Executor::new(&self.ctx.device);
         let backend = executor.backend_for(self.global.circuit(), &self.ctx.config.run);
@@ -600,6 +603,7 @@ impl GlobalRun {
     /// exist.
     #[must_use]
     pub fn select_subsets(self) -> SubsetsSelected {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         let n = self.ctx.program.n_qubits();
         let config_seed = self.ctx.config.seed;
@@ -629,6 +633,7 @@ impl GlobalRun {
     /// or out-of-range qubits, or measures the whole program.
     #[must_use]
     pub fn override_subsets(self, subsets: Vec<Vec<usize>>) -> SubsetsSelected {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         let n = self.ctx.program.n_qubits();
         assert!(!subsets.is_empty(), "override_subsets needs at least one subset");
@@ -822,6 +827,7 @@ impl SubsetsSelected {
     /// Panics if `marginals` does not have one entry per work item.
     #[must_use]
     pub fn finish_cpms(mut self, marginals: Vec<Marginal>) -> CpmsRun {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         let work = self.cpm_work();
         assert_eq!(
@@ -899,6 +905,7 @@ impl CpmsRun {
     /// first (§4.4.2), producing the final [`JigsawResult`].
     #[must_use]
     pub fn reconstruct(mut self) -> JigsawResult {
+        // analyze:allow(wallclock, stage wall time feeds StageTimings/telemetry only; no Encode impl touches it)
         let t0 = Instant::now();
         // The sharded reconstruction passes run on the same worker-team
         // setting as the rest of the pipeline: RunConfig::threads overrides

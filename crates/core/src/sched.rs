@@ -69,7 +69,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -80,6 +80,7 @@ use jigsaw_pmf::parallel::{fan_out, fan_out_groups};
 
 use crate::bayes::Marginal;
 use crate::jigsaw::{JigsawConfig, JigsawResult};
+use crate::lockcheck::{Condvar, Mutex};
 use crate::persist::{self, StageKind};
 use crate::pipeline::{JigsawPipeline, PlanError, StageOutcome, StageTask};
 use crate::telemetry;
@@ -274,7 +275,10 @@ struct CellState {
 
 impl JobCell {
     fn new() -> Arc<Self> {
-        Arc::new(Self { slot: Mutex::new(CellState::default()), done: Condvar::new() })
+        Arc::new(Self {
+            slot: Mutex::new("sched.cell.slot", CellState::default()),
+            done: Condvar::new(),
+        })
     }
 }
 
@@ -286,7 +290,7 @@ pub struct JobTicket {
 
 impl fmt::Debug for JobTicket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let decided = self.cell.slot.lock().is_ok_and(|slot| slot.verdict.is_some());
+        let decided = self.cell.slot.lock().verdict.is_some();
         f.debug_struct("JobTicket").field("decided", &decided).finish()
     }
 }
@@ -303,9 +307,9 @@ impl JobTicket {
     /// Panics if the completion lock is poisoned (a scheduler bug: job
     /// code never runs under it).
     pub fn wait(self) -> Result<JobOutput, JobError> {
-        let mut slot = self.cell.slot.lock().expect("job cell poisoned");
+        let mut slot = self.cell.slot.lock();
         while slot.verdict.is_none() {
-            slot = self.cell.done.wait(slot).expect("job cell poisoned");
+            slot = self.cell.done.wait(slot);
         }
         let verdict = slot.verdict.take().expect("just checked");
         let checkpoint = slot.checkpoint.take();
@@ -382,12 +386,15 @@ impl Scheduler {
     #[must_use]
     pub fn new(config: SchedConfig) -> Self {
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-                admitted: 0,
-                picks: 0,
-                shutdown: false,
-            }),
+            state: Mutex::new(
+                "sched.state",
+                State {
+                    lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                    admitted: 0,
+                    picks: 0,
+                    shutdown: false,
+                },
+            ),
             work: Condvar::new(),
             metrics: Metrics::register(),
             config,
@@ -415,7 +422,7 @@ impl Scheduler {
     /// runs under it).
     #[must_use]
     pub fn admitted(&self) -> usize {
-        self.inner.state.lock().expect("scheduler lock poisoned").admitted
+        self.inner.state.lock().admitted
     }
 
     /// Submits one job into `priority`'s lane. `checkpoint` names the
@@ -448,8 +455,7 @@ impl Scheduler {
         // A `Planned` hint is satisfiable right now, before any stage runs.
         let mut hint = checkpoint;
         if hint == Some(StageKind::Planned) {
-            cell.slot.lock().expect("job cell poisoned").checkpoint =
-                Some(persist::to_bytes(&planned));
+            cell.slot.lock().checkpoint = Some(persist::to_bytes(&planned));
             hint = None;
         }
         let pending = Pending {
@@ -461,7 +467,7 @@ impl Scheduler {
             enqueued: Instant::now(),
         };
         {
-            let mut state = self.inner.state.lock().expect("scheduler lock poisoned");
+            let mut state = self.inner.state.lock();
             if state.shutdown {
                 return Err(JobError::Shutdown);
             }
@@ -484,7 +490,7 @@ impl Scheduler {
 
     fn stop(&mut self) {
         let drained: Vec<Pending> = {
-            let mut state = self.inner.state.lock().expect("scheduler lock poisoned");
+            let mut state = self.inner.state.lock();
             state.shutdown = true;
             state.lanes.iter_mut().flat_map(std::mem::take).collect()
         };
@@ -543,7 +549,7 @@ impl Scheduler {
     fn worker_loop(inner: &Arc<Inner>) {
         loop {
             let batch = {
-                let mut state = inner.state.lock().expect("scheduler lock poisoned");
+                let mut state = inner.state.lock();
                 loop {
                     if let Some(batch) = Self::pick(&mut state, &inner.config) {
                         break batch;
@@ -551,7 +557,7 @@ impl Scheduler {
                     if state.shutdown {
                         return;
                     }
-                    state = inner.work.wait(state).expect("scheduler lock poisoned");
+                    state = inner.work.wait(state);
                 }
             };
             Self::execute(inner, batch);
@@ -614,8 +620,7 @@ impl Scheduler {
             match outcome {
                 Ok(StageOutcome::Next(task)) => {
                     if pending.hint.is_some() && task.kind() == pending.hint {
-                        pending.cell.slot.lock().expect("job cell poisoned").checkpoint =
-                            Some(checkpoint_bytes(&task));
+                        pending.cell.slot.lock().checkpoint = Some(checkpoint_bytes(&task));
                         pending.hint = None;
                     }
                     pending.signature = Self::signature_of(&task);
@@ -633,7 +638,7 @@ impl Scheduler {
         }
         if !requeue.is_empty() {
             let failed: Vec<Pending> = {
-                let mut state = inner.state.lock().expect("scheduler lock poisoned");
+                let mut state = inner.state.lock();
                 if state.shutdown {
                     drop(state);
                     requeue
@@ -682,10 +687,10 @@ impl Scheduler {
 
     fn complete(inner: &Arc<Inner>, cell: &Arc<JobCell>, verdict: JobVerdict) {
         {
-            let mut state = inner.state.lock().expect("scheduler lock poisoned");
+            let mut state = inner.state.lock();
             state.admitted = state.admitted.saturating_sub(1);
         }
-        let mut slot = cell.slot.lock().expect("job cell poisoned");
+        let mut slot = cell.slot.lock();
         slot.verdict = Some(verdict);
         drop(slot);
         cell.done.notify_all();

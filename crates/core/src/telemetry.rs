@@ -40,9 +40,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use crate::lockcheck::Mutex;
 use crate::pipeline::StageName;
 
 /// Upper bounds (seconds) of the wall-clock histogram buckets, ascending.
@@ -128,10 +129,19 @@ impl Histogram {
 type MetricKey = (String, String);
 
 /// The process-wide registry. Obtain the singleton via [`global`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     counters: Mutex<BTreeMap<MetricKey, Counter>>,
     histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            counters: Mutex::new("telemetry.counters", BTreeMap::new()),
+            histograms: Mutex::new("telemetry.histograms", BTreeMap::new()),
+        }
+    }
 }
 
 /// Renders `labels` as `key="value"` pairs joined by commas (empty string
@@ -156,7 +166,6 @@ impl Registry {
         let key = (name.to_owned(), render_labels(labels));
         self.counters
             .lock()
-            .expect("telemetry registry poisoned")
             .entry(key)
             .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
             .clone()
@@ -166,12 +175,7 @@ impl Registry {
     /// empty on first use. All histograms share the [`WALL_BUCKETS`] bounds.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let key = (name.to_owned(), render_labels(labels));
-        self.histograms
-            .lock()
-            .expect("telemetry registry poisoned")
-            .entry(key)
-            .or_insert_with(Histogram::new)
-            .clone()
+        self.histograms.lock().entry(key).or_insert_with(Histogram::new).clone()
     }
 
     /// Observes one pipeline stage transition. The pipeline calls this for
@@ -188,7 +192,7 @@ impl Registry {
     #[must_use]
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters = self.counters.lock().expect("telemetry registry poisoned");
+        let counters = self.counters.lock();
         let mut last_family = "";
         for ((name, labels), counter) in counters.iter() {
             if name != last_family {
@@ -202,7 +206,7 @@ impl Registry {
             }
         }
         drop(counters);
-        let histograms = self.histograms.lock().expect("telemetry registry poisoned");
+        let histograms = self.histograms.lock();
         let mut last_family = "";
         for ((name, labels), histogram) in histograms.iter() {
             if name != last_family {

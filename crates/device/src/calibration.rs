@@ -9,7 +9,7 @@
 //! Toronto's published readout mean 4.70% / median 2.76% / max 22.2%
 //! (paper Fig. 3) — deterministically, not just in expectation.
 
-use std::collections::HashMap;
+use jigsaw_pmf::hashing::DetHashMap;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -44,7 +44,7 @@ impl ReadoutError {
 pub struct Calibration {
     readout: Vec<ReadoutError>,
     gate_1q: Vec<f64>,
-    gate_2q: HashMap<(usize, usize), f64>,
+    gate_2q: DetHashMap<(usize, usize), f64>,
     idle: Vec<f64>,
 }
 
@@ -59,7 +59,7 @@ impl Calibration {
     pub fn new(
         readout: Vec<ReadoutError>,
         gate_1q: Vec<f64>,
-        gate_2q: HashMap<(usize, usize), f64>,
+        gate_2q: DetHashMap<(usize, usize), f64>,
         idle: Vec<f64>,
     ) -> Self {
         let n = readout.len();
@@ -221,7 +221,7 @@ impl jigsaw_pmf::codec::Decode for Calibration {
                 return Err(invalid(format!("gate/idle error {e} outside [0, 1]")));
             }
         }
-        let mut gate_2q = HashMap::with_capacity(couplers.len());
+        let mut gate_2q = DetHashMap::default();
         let mut prev = None;
         for ((a, b), e) in couplers {
             if a >= b || b >= n {

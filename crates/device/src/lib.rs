@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! NISQ device models for the JigSaw (MICRO 2021) reproduction.
 //!
 //! The paper evaluates on real IBM hardware; this crate builds the

@@ -35,7 +35,7 @@ impl Topology {
     #[must_use]
     pub fn new(n_qubits: usize, edges: Vec<(usize, usize)>) -> Self {
         let mut adjacency = vec![Vec::new(); n_qubits];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = jigsaw_pmf::hashing::DetHashSet::default();
         for &(u, v) in &edges {
             assert!(u < n_qubits && v < n_qubits, "edge ({u},{v}) out of range");
             assert_ne!(u, v, "self-loop at qubit {u}");
@@ -236,7 +236,7 @@ impl jigsaw_pmf::codec::Decode for Topology {
             )));
         }
         let edges = Vec::<(usize, usize)>::decode(r)?;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = jigsaw_pmf::hashing::DetHashSet::default();
         for &(u, v) in &edges {
             if u >= n_qubits || v >= n_qubits {
                 return Err(invalid(format!("edge ({u},{v}) out of range for {n_qubits} qubits")));

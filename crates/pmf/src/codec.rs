@@ -205,12 +205,22 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Eof`] if fewer than `n` bytes remain.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Eof { needed: n, remaining: self.remaining() });
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(CodecError::Eof { needed: n, remaining: self.remaining() })?;
         self.pos += n;
         Ok(slice)
+    }
+
+    /// Takes the next `N` bytes as a fixed-size array (the panic-free
+    /// bridge between [`Self::take`] and `from_le_bytes`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Eof`] if fewer than `N` bytes remain.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        self.take(N)?.try_into().map_err(|_| CodecError::Eof { needed: N, remaining: 0 })
     }
 
     /// Reads one byte.
@@ -219,7 +229,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Eof`] on empty input.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(self.take_array::<1>()?))
     }
 
     /// Reads a little-endian `u16`.
@@ -228,7 +238,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Eof`] on truncated input.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("length checked")))
+        Ok(u16::from_le_bytes(self.take_array::<2>()?))
     }
 
     /// Reads a little-endian `u32`.
@@ -237,7 +247,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Eof`] on truncated input.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+        Ok(u32::from_le_bytes(self.take_array::<4>()?))
     }
 
     /// Reads a little-endian `u64`.
@@ -246,7 +256,7 @@ impl<'a> Reader<'a> {
     ///
     /// Returns [`CodecError::Eof`] on truncated input.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+        Ok(u64::from_le_bytes(self.take_array::<8>()?))
     }
 
     /// Reads a `usize` stored as a `u64`, rejecting values that do not fit

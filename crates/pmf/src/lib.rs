@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Outcome histograms, probability mass functions and fidelity metrics for
 //! the JigSaw (MICRO 2021) reproduction.
 //!

@@ -27,12 +27,13 @@
 //! and every coalesced waiter sees that same rejection. Errors are never
 //! cached — a later resubmission retries.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
+use jigsaw_core::lockcheck::{Condvar, Mutex};
 use jigsaw_core::telemetry::{self, Counter};
+use jigsaw_pmf::hashing::DetHashMap;
 
 use crate::protocol::{ErrorCode, JobRejection};
 
@@ -107,8 +108,8 @@ struct Flight {
 }
 
 struct Inner {
-    ready: HashMap<u64, ReadyEntry>,
-    inflight: HashMap<u64, Arc<Flight>>,
+    ready: DetHashMap<u64, ReadyEntry>,
+    inflight: DetHashMap<u64, Arc<Flight>>,
     /// LRU clock: bumped on every touch, copied into `last_used`.
     tick: u64,
 }
@@ -134,7 +135,10 @@ impl StageCache {
         Ok(Self {
             capacity,
             spill_dir,
-            inner: Mutex::new(Inner { ready: HashMap::new(), inflight: HashMap::new(), tick: 0 }),
+            inner: Mutex::new(
+                "cache.inner",
+                Inner { ready: DetHashMap::default(), inflight: DetHashMap::default(), tick: 0 },
+            ),
             metrics: CacheMetrics::register(),
         })
     }
@@ -159,7 +163,7 @@ impl StageCache {
     /// under the lock).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").ready.len()
+        self.inner.lock().ready.len()
     }
 
     /// Whether the ready map is empty.
@@ -191,12 +195,12 @@ impl StageCache {
         rehydrate: impl FnOnce(&Path) -> Result<JobArtifacts, JobRejection>,
     ) -> (Result<SharedBytes, JobRejection>, Outcome) {
         let flight = {
-            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
             if let Some(entry) = inner.ready.get_mut(&digest) {
+                entry.last_used = tick;
                 let response = Arc::clone(&entry.response);
-                inner.tick += 1;
-                let tick = inner.tick;
-                inner.ready.get_mut(&digest).expect("just found").last_used = tick;
                 self.metrics.hits.inc();
                 return (Ok(response), Outcome::Hit);
             }
@@ -206,7 +210,10 @@ impl StageCache {
                 self.metrics.coalesced.inc();
                 return (Self::wait(&flight), Outcome::Coalesced);
             }
-            let flight = Arc::new(Flight { slot: Mutex::new(None), done: Condvar::new() });
+            let flight = Arc::new(Flight {
+                slot: Mutex::new("cache.flight.slot", None),
+                done: Condvar::new(),
+            });
             inner.inflight.insert(digest, Arc::clone(&flight));
             flight
         };
@@ -229,12 +236,12 @@ impl StageCache {
             }
             Err(rejection) => {
                 self.metrics.compute_errors.inc();
-                self.inner.lock().expect("cache lock poisoned").inflight.remove(&digest);
+                self.inner.lock().inflight.remove(&digest);
                 Err(rejection)
             }
         };
 
-        let mut slot = flight.slot.lock().expect("flight lock poisoned");
+        let mut slot = flight.slot.lock();
         *slot = Some(shared.clone());
         drop(slot);
         flight.done.notify_all();
@@ -244,12 +251,12 @@ impl StageCache {
     /// Parks until the flight's owner fills the slot, then shares its
     /// result.
     fn wait(flight: &Flight) -> Result<SharedBytes, JobRejection> {
-        let mut slot = flight.slot.lock().expect("flight lock poisoned");
+        let mut slot = flight.slot.lock();
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = flight.done.wait(slot).expect("flight lock poisoned");
+            slot = flight.done.wait(slot);
         }
     }
 
@@ -273,18 +280,19 @@ impl StageCache {
     /// Moves a finished flight into the ready map, evicting LRU entries to
     /// spill archives until capacity holds.
     fn install(&self, digest: u64, response: SharedBytes, checkpoint: Arc<Vec<u8>>) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock();
         inner.inflight.remove(&digest);
         inner.tick += 1;
         let tick = inner.tick;
         inner.ready.insert(digest, ReadyEntry { response, checkpoint, last_used: tick });
         while inner.ready.len() > self.capacity {
-            let (&victim, _) = inner
+            let victim = inner
                 .ready
                 .iter()
                 .min_by_key(|(_, entry)| entry.last_used)
-                .expect("len > capacity >= 0 means non-empty");
-            let entry = inner.ready.remove(&victim).expect("just found");
+                .map(|(&digest, _)| digest);
+            let Some(victim) = victim else { break };
+            let Some(entry) = inner.ready.remove(&victim) else { break };
             // Spill under the lock: the archive must exist before anyone
             // can observe the entry as gone, or a racing duplicate would
             // recompute instead of rehydrating.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! JigSaw as a service: a concurrent reconstruction job server with a
 //! content-addressed stage cache.
 //!

@@ -267,7 +267,7 @@ impl Frame {
         out.extend_from_slice(&self.digest.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.payload);
-        let checksum = fnv1a64(&out[8..]);
+        let checksum = fnv1a64(out.get(8..).unwrap_or_default());
         out.extend_from_slice(&checksum.to_le_bytes());
         out
     }
@@ -283,7 +283,7 @@ impl Frame {
         if bytes.len() < HEADER_LEN {
             return Err(ProtocolError::Truncated { needed: HEADER_LEN, len: bytes.len() });
         }
-        let header = parse_header(bytes[..HEADER_LEN].try_into().expect("sliced to length"))?;
+        let header = parse_header(bytes)?;
         let Some(total) = header.frame_len() else {
             return Err(ProtocolError::Oversized { payload_len: header.payload_len });
         };
@@ -294,16 +294,18 @@ impl Frame {
             return Err(ProtocolError::TrailingBytes { remaining: bytes.len() - total });
         }
         let payload_end = total - 8;
-        let found = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8 bytes"));
-        let expected = fnv1a64(&bytes[8..payload_end]);
+        let found = u64::from_le_bytes(field(bytes, payload_end)?);
+        let hashed = bytes
+            .get(8..payload_end)
+            .ok_or(ProtocolError::Truncated { needed: total, len: bytes.len() })?;
+        let expected = fnv1a64(hashed);
         if found != expected {
             return Err(ProtocolError::ChecksumMismatch { expected, found });
         }
-        Ok(Self {
-            kind: header.kind,
-            digest: header.digest,
-            payload: bytes[HEADER_LEN..payload_end].to_vec(),
-        })
+        let payload = bytes
+            .get(HEADER_LEN..payload_end)
+            .ok_or(ProtocolError::Truncated { needed: total, len: bytes.len() })?;
+        Ok(Self { kind: header.kind, digest: header.digest, payload: payload.to_vec() })
     }
 
     /// Writes the frame to a stream.
@@ -345,19 +347,25 @@ impl Frame {
         if read_full(r, &mut header_bytes, true, stop)?.is_none() {
             return Ok(None);
         }
-        let header = parse_header(header_bytes)?;
+        let header = parse_header(&header_bytes)?;
         let Some(total) = header.frame_len() else {
             return Err(ProtocolError::Oversized { payload_len: header.payload_len });
         };
         let mut rest = vec![0u8; total - HEADER_LEN];
         if read_full(r, &mut rest, false, stop)?.is_none() {
-            unreachable!("read_full only yields None when EOF at offset 0 is allowed");
+            // `read_full` yields `None` only when EOF at offset 0 is
+            // allowed, which it is not here; report it as a torn frame
+            // rather than asserting.
+            return Err(ProtocolError::Truncated { needed: total, len: HEADER_LEN });
         }
-        let payload_len = rest.len() - 8;
-        let found = u64::from_le_bytes(rest[payload_len..].try_into().expect("8 bytes"));
+        let payload_len = rest.len().saturating_sub(8);
+        let found = u64::from_le_bytes(field(&rest, payload_len)?);
+        let body = rest
+            .get(..payload_len)
+            .ok_or(ProtocolError::Truncated { needed: total, len: HEADER_LEN })?;
         let mut hashed = Vec::with_capacity(HEADER_LEN - 8 + payload_len);
-        hashed.extend_from_slice(&header_bytes[8..]);
-        hashed.extend_from_slice(&rest[..payload_len]);
+        hashed.extend_from_slice(header_bytes.get(8..).unwrap_or_default());
+        hashed.extend_from_slice(body);
         let expected = fnv1a64(&hashed);
         if found != expected {
             return Err(ProtocolError::ChecksumMismatch { expected, found });
@@ -386,20 +394,35 @@ impl FrameHeader {
     }
 }
 
-/// Validates magic, version and kind of a header block.
-fn parse_header(bytes: [u8; HEADER_LEN]) -> Result<FrameHeader, ProtocolError> {
-    if bytes[..8] != MAGIC {
-        return Err(ProtocolError::BadMagic { found: bytes[..8].try_into().expect("8 bytes") });
+/// Validates magic, version and kind of a header block (the caller
+/// guarantees at least `HEADER_LEN` bytes; shorter input reports
+/// truncation, never panics).
+fn parse_header(bytes: &[u8]) -> Result<FrameHeader, ProtocolError> {
+    let magic: [u8; 8] = field(bytes, 0)?;
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic { found: magic });
     }
-    let version = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes"));
+    let version = u16::from_le_bytes(field(bytes, 8)?);
     if version != PROTOCOL_VERSION {
         return Err(ProtocolError::UnsupportedVersion { found: version });
     }
-    let kind =
-        FrameKind::from_code(bytes[10]).ok_or(ProtocolError::UnknownKind { tag: bytes[10] })?;
-    let digest = u64::from_le_bytes(bytes[11..19].try_into().expect("8 bytes"));
-    let payload_len = u64::from_le_bytes(bytes[19..27].try_into().expect("8 bytes"));
+    let tag = bytes
+        .get(10)
+        .copied()
+        .ok_or(ProtocolError::Truncated { needed: HEADER_LEN, len: bytes.len() })?;
+    let kind = FrameKind::from_code(tag).ok_or(ProtocolError::UnknownKind { tag })?;
+    let digest = u64::from_le_bytes(field(bytes, 11)?);
+    let payload_len = u64::from_le_bytes(field(bytes, 19)?);
     Ok(FrameHeader { kind, digest, payload_len })
+}
+
+/// Reads the `N`-byte field at offset `at`, reporting truncation as a
+/// typed error — this parse path never indexes raw wire bytes.
+fn field<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], ProtocolError> {
+    bytes
+        .get(at..at.saturating_add(N))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(ProtocolError::Truncated { needed: at.saturating_add(N), len: bytes.len() })
 }
 
 /// Fills `buf` from `r`, retrying on `WouldBlock`/`TimedOut`/`Interrupted`.
@@ -413,7 +436,8 @@ fn read_full(
 ) -> Result<Option<()>, ProtocolError> {
     let mut filled = 0;
     while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+        let Some(dst) = buf.get_mut(filled..) else { break };
+        match r.read(dst) {
             Ok(0) => {
                 return if filled == 0 && allow_empty_eof {
                     Ok(None)

@@ -33,10 +33,11 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use jigsaw_core::lockcheck::{Condvar, Mutex};
 use jigsaw_core::persist;
 use jigsaw_core::sched::{JobError, SchedConfig, Scheduler};
 use jigsaw_core::telemetry::{self, Counter};
@@ -124,13 +125,17 @@ struct ConnQueue {
 
 impl ConnQueue {
     fn new(depth: usize) -> Self {
-        Self { pending: Mutex::new(VecDeque::new()), ready: Condvar::new(), depth: depth.max(1) }
+        Self {
+            pending: Mutex::new("server.conn_queue", VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
     }
 
     /// Enqueues a connection; a full queue hands the stream back so the
     /// caller can refuse it.
     fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut pending = self.pending.lock().expect("connection queue poisoned");
+        let mut pending = self.pending.lock();
         if pending.len() >= self.depth {
             return Err(stream);
         }
@@ -143,7 +148,7 @@ impl ConnQueue {
     /// Dequeues the next connection, or `None` once `shutdown` is set and
     /// the queue is drained.
     fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
-        let mut pending = self.pending.lock().expect("connection queue poisoned");
+        let mut pending = self.pending.lock();
         loop {
             if let Some(stream) = pending.pop_front() {
                 return Some(stream);
@@ -151,8 +156,7 @@ impl ConnQueue {
             if shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            let (guard, _) =
-                self.ready.wait_timeout(pending, POLL_INTERVAL).expect("connection queue poisoned");
+            let (guard, _) = self.ready.wait_timeout(pending, POLL_INTERVAL);
             pending = guard;
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Noisy quantum-circuit simulation — the hardware stand-in for the JigSaw
 //! (MICRO 2021) reproduction.
 //!

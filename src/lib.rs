@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Facade crate re-exporting the JigSaw reproduction workspace.
 pub use jigsaw_circuit as circuit;
 pub use jigsaw_compiler as compiler;
