@@ -1,0 +1,421 @@
+//! The `seed-flow` pass: seed-discipline dataflow.
+//!
+//! Bit-identity across threads, machines and processes rests on every RNG
+//! stream being *derived* — `seed_from_u64(mix(seed, SALT))` with the salt
+//! drawn from the audited bases in `core::seed` — never improvised at the
+//! construction site. This pass is a lightweight intra-file dataflow check
+//! over classified lines (see [`crate::scan`]):
+//!
+//! * a `seed_from_u64(…)` whose argument contains a bare integer literal
+//!   (or a `let`-bound integer literal) is a **literal seed** — the stream
+//!   is untracked by the experiment seed and silently decorrelates from
+//!   every derived stream;
+//! * a raw `mix(…, salt)` whose salt expression contains a bare integer
+//!   literal outside the derivation modules is an **inline salt constant**
+//!   — unauditable against the reserved ranges, one typo away from
+//!   colliding with a reserved stage stream.
+//!
+//! Shift *amounts* (`x << 20`) are not salts and are exempt. The
+//! sanctioned escape hatch is a named `const`: constants are greppable,
+//! documentable, and what the companion salt-range check audits. The
+//! range check itself ([`salt_ranges`]) parses the salt-base constants out
+//! of the configured salt file and verifies the declared index ranges
+//! (`[base, base + width)`, widths from [`Config::salts`]) are pairwise
+//! disjoint, including the ranges reserved without a named constant.
+
+use crate::config::Config;
+use crate::rules::Violation;
+use crate::scan::SourceLine;
+use crate::FileSource;
+
+/// `seed-flow` over one file. Only fires where
+/// [`Config::seed_flow_applies`].
+pub fn seed_flow(rel: &str, lines: &[SourceLine], cfg: &Config) -> Vec<Violation> {
+    if !cfg.seed_flow_applies(rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // `let x = 42;` bindings seen so far (intra-file, flow-insensitive).
+    let mut literal_lets: Vec<String> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if let Some(var) = literal_let_binding(&line.code) {
+            literal_lets.push(var);
+        }
+        for arg in call_args(lines, idx, "seed_from_u64") {
+            if arg.contains("mix(") {
+                continue; // derived; the mix call is checked below
+            }
+            if let Some(lit) = bare_int_literal(&arg) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: line.number,
+                    rule: "seed-flow",
+                    message: format!(
+                        "literal seed `{lit}` in `seed_from_u64({})`: RNG streams must be \
+                         derived from the experiment seed via `core::seed` (or name the \
+                         constant so the salt map stays auditable)",
+                        arg.trim()
+                    ),
+                });
+            } else if literal_lets.iter().any(|v| arg.trim() == v) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: line.number,
+                    rule: "seed-flow",
+                    message: format!(
+                        "`seed_from_u64({})` where `{}` is a `let`-bound integer literal: \
+                         the stream is untracked by the experiment seed",
+                        arg.trim(),
+                        arg.trim()
+                    ),
+                });
+            }
+        }
+        for arg in call_args(lines, idx, "mix") {
+            let Some(salt) = second_top_level_arg(&arg) else { continue };
+            if let Some(lit) = bare_int_literal(salt) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: line.number,
+                    rule: "seed-flow",
+                    message: format!(
+                        "inline salt constant `{lit}` in `mix(…, {})` outside the \
+                         derivation modules: salts must be named constants so the \
+                         reserved ranges stay auditable",
+                        salt.trim()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Balanced argument texts of every `name(` call starting on line `idx`
+/// (arguments may continue onto following lines; bounded lookahead).
+fn call_args(lines: &[SourceLine], idx: usize, name: &str) -> Vec<String> {
+    let code = &lines[idx].code;
+    let mut out = Vec::new();
+    let mut from = 0;
+    let pat = format!("{name}(");
+    while let Some(at) = code[from..].find(&pat) {
+        let start = from + at;
+        from = start + pat.len();
+        let before = code[..start].chars().next_back();
+        if before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue; // part of a longer identifier
+        }
+        // A definition (`fn mix(`), not a call.
+        if code[..start].trim_end().ends_with("fn") {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut arg = String::new();
+        let mut pos = from;
+        let mut line_at = idx;
+        let mut text: &str = code;
+        'scan: for _ in 0..4096 {
+            let chars: Vec<char> = text[pos..].chars().collect();
+            for c in chars {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+                arg.push(c);
+            }
+            line_at += 1;
+            let Some(next) = lines.get(line_at) else { break };
+            arg.push(' ');
+            text = &next.code;
+            pos = 0;
+        }
+        out.push(arg);
+    }
+    out
+}
+
+/// The text after the first top-level comma of an argument list, if any.
+fn second_top_level_arg(args: &str) -> Option<&str> {
+    let mut depth = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => return Some(&args[i + 1..]),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The first bare integer-literal token in an expression, or `None`.
+/// Tokens directly preceded by a shift operator are exempt — `x << 20`
+/// shifts, it does not name a stream.
+pub(crate) fn bare_int_literal(expr: &str) -> Option<String> {
+    let chars: Vec<char> = expr.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphanumeric() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            if chars[start].is_ascii_digit() {
+                let before: String = chars[..start].iter().filter(|c| !c.is_whitespace()).collect();
+                if !(before.ends_with("<<") || before.ends_with(">>")) {
+                    return Some(chars[start..i].iter().collect());
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// `let x = 42;` → `Some("x")` when the initialiser is a pure integer
+/// literal (named `const`s deliberately do *not* match: a named constant
+/// is the sanctioned, auditable form).
+fn literal_let_binding(code: &str) -> Option<String> {
+    let at = code.find("let ")?;
+    let rest = code[at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name_end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_'))?;
+    let name = &rest[..name_end];
+    let after = rest[name_end..].trim_start();
+    // Tolerate a type ascription.
+    let after = match after.strip_prefix(':') {
+        Some(t) => t.split_once('=').map(|(_, v)| v)?,
+        None => after.strip_prefix('=')?,
+    };
+    let value = after.trim().trim_end_matches(';').trim();
+    (!name.is_empty() && is_int_literal(value)).then(|| name.to_owned())
+}
+
+/// Whether `text` is one integer literal (`42`, `50_000`, `0xC0FFEE`,
+/// optionally with a type suffix).
+fn is_int_literal(text: &str) -> bool {
+    let body = text.trim_end_matches("u64").trim_end_matches("u32").trim_end_matches("usize");
+    if let Some(hex) = body.strip_prefix("0x") {
+        return !hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit() || c == '_');
+    }
+    !body.is_empty()
+        && body.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && body.chars().all(|c| c.is_ascii_digit() || c == '_')
+}
+
+/// One parsed salt range.
+struct Range {
+    label: String,
+    base: u64,
+    width: u64,
+    line: usize,
+}
+
+/// Static salt-range audit over the configured salt file: every declared
+/// base's `[base, base + width)` must be disjoint from every other,
+/// including ranges reserved without a named constant.
+#[must_use]
+pub fn salt_ranges(cfg: &Config, files: &[FileSource]) -> Vec<Violation> {
+    let Some(salt_rel) = &cfg.salt_file else { return Vec::new() };
+    let Some(file) = files.iter().find(|f| &f.rel == salt_rel) else {
+        return vec![Violation {
+            file: salt_rel.clone(),
+            line: 1,
+            rule: "seed-flow",
+            message: "configured salt file was not found in the scanned set: the \
+                      salt-range audit cannot run"
+                .to_owned(),
+        }];
+    };
+    let mut out = Vec::new();
+    let mut ranges: Vec<Range> = cfg
+        .reserved_salts
+        .iter()
+        .map(|r| Range { label: r.what.clone(), base: r.base, width: r.width, line: 1 })
+        .collect();
+    for def in &cfg.salts {
+        match const_value(&file.lines, &def.ident) {
+            Some((value, line)) => {
+                ranges.push(Range {
+                    label: format!("`{}`", def.ident),
+                    base: value,
+                    width: def.width,
+                    line,
+                });
+            }
+            None => out.push(Violation {
+                file: salt_rel.clone(),
+                line: 1,
+                rule: "seed-flow",
+                message: format!(
+                    "declared salt base `{}` was not found as a parseable `const` in \
+                     this file: the range audit covers every base or none",
+                    def.ident
+                ),
+            }),
+        }
+    }
+    ranges.sort_by_key(|r| r.base);
+    for pair in ranges.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if a.base.saturating_add(a.width) > b.base {
+            out.push(Violation {
+                file: salt_rel.clone(),
+                line: a.line.max(b.line),
+                rule: "seed-flow",
+                message: format!(
+                    "salt ranges overlap: {} reserves [{}, {}) and {} reserves \
+                     [{}, {}) — two stages would share an RNG stream and silently \
+                     correlate",
+                    a.label,
+                    a.base,
+                    a.base.saturating_add(a.width),
+                    b.label,
+                    b.base,
+                    b.base.saturating_add(b.width),
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Value and line of `const IDENT: u64 = <int>;` or `= <int> << <int>;`.
+pub(crate) fn const_value(lines: &[SourceLine], ident: &str) -> Option<(u64, usize)> {
+    let pat = format!("const {ident}:");
+    for line in lines {
+        let Some(at) = line.code.find(&pat) else { continue };
+        let rest = line.code[at..].split_once('=')?.1;
+        let expr = rest.trim().trim_end_matches(';').trim();
+        let value = match expr.split_once("<<") {
+            Some((lhs, rhs)) => {
+                let l = parse_int(lhs.trim())?;
+                let r = parse_int(rhs.trim())?;
+                l.checked_shl(u32::try_from(r).ok()?)?
+            }
+            None => parse_int(expr)?,
+        };
+        return Some((value, line.number));
+    }
+    None
+}
+
+/// Parses `42`, `50_000` or `0xED0` (with optional type suffix).
+pub(crate) fn parse_int(text: &str) -> Option<u64> {
+    let body = text.trim().trim_end_matches("u64").trim_end_matches("u32");
+    let cleaned: String = body.chars().filter(|c| *c != '_').collect();
+    match cleaned.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => cleaned.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        let cfg = Config::workspace(".");
+        seed_flow(rel, &scan(src), &cfg)
+    }
+
+    #[test]
+    fn literal_seed_is_flagged() {
+        let v = check("crates/core/src/x.rs", "let mut rng = StdRng::seed_from_u64(42);\n");
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("literal seed `42`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn derived_and_param_seeds_pass() {
+        let ok = "let a = StdRng::seed_from_u64(crate::seed::mix(cfg.seed, index));\nlet b = StdRng::seed_from_u64(seed);\n";
+        assert!(check("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn let_bound_literal_seed_is_flagged() {
+        let v = check("crates/core/src/x.rs", "let s = 7;\nlet rng = StdRng::seed_from_u64(s);\n");
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn inline_salt_constant_is_flagged_but_named_const_passes() {
+        let v = check(
+            "crates/bench/src/bin/x.rs",
+            "let r = StdRng::seed_from_u64(seed::mix(exp, 50_000 + r));\n",
+        );
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("inline salt constant `50_000`"), "{}", v[0].message);
+        let ok = "const TRIAL_BASE: u64 = 50_000;\nlet r = StdRng::seed_from_u64(seed::mix(exp, TRIAL_BASE + r));\n";
+        assert!(check("crates/bench/src/bin/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn shift_amounts_are_not_salts() {
+        let ok = "let s = seed::mix(exp, (n as u64) << 20 | sample << 4 | state as u64);\n";
+        assert!(check("crates/bench/src/bin/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn exempt_files_and_test_code_pass() {
+        let src = "pub fn cpm(seed: u64) -> u64 { mix(seed, 2000) }\n";
+        assert!(check("crates/core/src/seed.rs", src).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { StdRng::seed_from_u64(3); }\n}\n";
+        assert!(check("crates/core/src/x.rs", test).is_empty());
+    }
+
+    #[test]
+    fn salt_overlap_is_reported() {
+        let src = "const A_BASE: u64 = 100;\nconst B_BASE: u64 = 150;\n";
+        let mut cfg = Config::workspace(".");
+        cfg.salt_file = Some("s.rs".to_owned());
+        cfg.salts = vec![
+            crate::config::SaltDef { ident: "A_BASE".to_owned(), width: 100 },
+            crate::config::SaltDef { ident: "B_BASE".to_owned(), width: 10 },
+        ];
+        cfg.reserved_salts.clear();
+        let files = [FileSource { rel: "s.rs".to_owned(), text: src.to_owned(), lines: scan(src) }];
+        let v = salt_ranges(&cfg, &files);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("[100, 200)"), "{}", v[0].message);
+        assert!(v[0].message.contains("[150, 160)"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn workspace_salt_layout_is_disjoint() {
+        let src = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../crates/core/src/seed.rs"
+        ))
+        .expect("seed.rs readable");
+        let cfg = Config::workspace(".");
+        let files = [FileSource {
+            rel: "crates/core/src/seed.rs".to_owned(),
+            lines: scan(&src),
+            text: src,
+        }];
+        assert!(salt_ranges(&cfg, &files).is_empty());
+    }
+
+    #[test]
+    fn shifted_const_values_parse() {
+        let lines = scan("const EDM_BASE: u64 = 0xED0 << 40;\n");
+        let (v, line) = const_value(&lines, "EDM_BASE").expect("parses");
+        assert_eq!(v, 0xED0 << 40);
+        assert_eq!(line, 1);
+    }
+}

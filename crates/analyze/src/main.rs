@@ -1,46 +1,193 @@
-//! CLI entry point: `cargo run -p jigsaw-analyze [--release] [ROOT]`.
+//! CLI entry point.
 //!
-//! Scans the workspace (default: the current directory, so CI can run it
-//! from the checkout root), prints every violation as `file:line: [rule]
-//! message`, and exits nonzero when any survive the allowlist.
+//! ```text
+//! jigsaw-analyze [ROOT] [--format text|json] [--rule NAME]... [--spec PATH]
+//! ```
+//!
+//! Scans the workspace (default root: the current directory, so CI can
+//! run it from the checkout root) and reports findings.
+//!
+//! * `--format json` emits the stable machine schema below instead of
+//!   `file:line: [rule] message` lines.
+//! * `--rule NAME` (repeatable) restricts reporting — and the exit code —
+//!   to the named rules.
+//! * `--spec PATH` points `format-drift` at an alternate spec document
+//!   (the CI mutation step scans a deliberately drifted copy).
+//!
+//! Exit codes are distinct so tooling can tell findings from breakage:
+//! `0` clean, `1` at least one surviving finding, `2` internal error
+//! (unusable arguments, unreadable tree or spec).
+//!
+//! JSON schema (stable; fields are only ever added):
+//!
+//! ```json
+//! {
+//!   "files_scanned": 123,
+//!   "findings": [
+//!     {"rule": "...", "file": "...", "line": 1,
+//!      "message": "...", "allowed": false, "reason": null}
+//!   ]
+//! }
+//! ```
+//!
+//! Suppressed findings appear with `"allowed": true` and the allow's
+//! reason — the audit trail is part of the artifact. Only non-allowed
+//! findings count toward the exit code.
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
+use jigsaw_analyze::{Report, Suppressed, Violation};
+
+/// Parsed command line.
+struct Args {
+    root: String,
+    json: bool,
+    rules: Vec<String>,
+    spec: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: ".".to_owned(), json: false, rules: Vec::new(), spec: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--rule" => match it.next() {
+                Some(name) => args.rules.push(name),
+                None => return Err("--rule expects a rule name".to_owned()),
+            },
+            "--spec" => match it.next() {
+                Some(path) => args.spec = Some(path),
+                None => return Err("--spec expects a path".to_owned()),
+            },
+            "--help" | "-h" => {
+                return Err("usage: jigsaw-analyze [ROOT] [--format text|json] [--rule NAME]... \
+                     [--spec PATH]"
+                    .to_owned())
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            root => args.root = root.to_owned(),
+        }
+    }
+    Ok(args)
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
-    let cfg = jigsaw_analyze::Config::workspace(&root);
-    let report = match jigsaw_analyze::run(&cfg) {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("jigsaw-analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = jigsaw_analyze::Config::workspace(&args.root);
+    if let Some(spec) = &args.spec {
+        cfg.spec_path = Some(spec.clone());
+    }
+    let mut report = match jigsaw_analyze::run(&cfg) {
         Ok(report) => report,
         Err(err) => {
-            eprintln!("jigsaw-analyze: cannot scan {root}: {err}");
+            eprintln!("jigsaw-analyze: {}: {err}", args.root);
             return ExitCode::from(2);
         }
     };
     if report.files.is_empty() {
         eprintln!(
-            "jigsaw-analyze: no Rust sources under {root} (expected crates/*/src); \
-             pass the workspace root as the first argument"
+            "jigsaw-analyze: no Rust sources under {} (expected crates/*/src); \
+             pass the workspace root as the first argument",
+            args.root
         );
         return ExitCode::from(2);
     }
+    if !args.rules.is_empty() {
+        report.violations.retain(|v| args.rules.iter().any(|r| r == v.rule));
+        report.suppressed.retain(|s| args.rules.iter().any(|r| r == s.violation.rule));
+    }
+    if args.json {
+        print_json(&report);
+    } else {
+        print_text(&report);
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_text(report: &Report) {
     for violation in &report.violations {
         println!("{violation}");
     }
     if report.violations.is_empty() {
         println!(
-            "jigsaw-analyze: {} files clean (det-map, wallclock, panic-free, \
-             lock-order, forbid-unsafe)",
-            report.files.len()
+            "jigsaw-analyze: {} files clean (det-map, wallclock, lock-order, \
+             forbid-unsafe, format-drift, seed-flow, panic-reach); {} reasoned allow(s)",
+            report.files.len(),
+            report.suppressed.len()
         );
-        ExitCode::SUCCESS
     } else {
         println!(
             "jigsaw-analyze: {} violation(s) in {} files",
             report.violations.len(),
             report.files.len()
         );
-        ExitCode::FAILURE
     }
+}
+
+fn print_json(report: &Report) {
+    let mut entries: Vec<(&Violation, Option<&str>)> =
+        report.violations.iter().map(|v| (v, None)).collect();
+    entries.extend(
+        report
+            .suppressed
+            .iter()
+            .map(|Suppressed { violation, reason }| (violation, Some(reason.as_str()))),
+    );
+    entries.sort_by_key(|(v, _)| (v.file.clone(), v.line, v.rule));
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"files_scanned\": {},\n  \"findings\": [", report.files.len()));
+    for (i, (v, reason)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \
+             \"allowed\": {}, \"reason\": {}}}",
+            json_str(v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.message),
+            reason.is_some(),
+            reason.map_or("null".to_owned(), json_str),
+        ));
+    }
+    out.push_str("\n  ]\n}");
+    println!("{out}");
+}
+
+/// Minimal JSON string encoding (the schema has no non-string scalars
+/// beyond line numbers and booleans).
+fn json_str(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -17,8 +17,9 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule identifier (`det-map`, `wallclock`, `panic-free`,
-    /// `lock-order`, `forbid-unsafe`, `bad-allow`).
+    /// Rule identifier (`det-map`, `wallclock`, `lock-order`,
+    /// `forbid-unsafe`, `format-drift`, `seed-flow`, `panic-reach`,
+    /// `bad-allow`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -103,58 +104,25 @@ pub fn wallclock(rel: &str, lines: &[SourceLine]) -> Vec<Violation> {
     out
 }
 
-/// `panic-free`: files that parse untrusted bytes (wire frames, archives)
-/// must not contain reachable panics — no `unwrap`/`expect`, no panicking
-/// macros, no direct slice indexing. Hostile input must map to typed
-/// errors.
-pub fn panic_free(rel: &str, lines: &[SourceLine], cfg: &Config) -> Vec<Violation> {
-    if !cfg.panic_free_files.iter().any(|f| f == rel) {
-        return Vec::new();
-    }
-    const TOKENS: [(&str, &str); 6] = [
-        (".unwrap()", "`unwrap()` on an untrusted surface"),
-        (".expect(", "`expect()` on an untrusted surface"),
-        ("panic!", "`panic!` on an untrusted surface"),
-        ("unreachable!", "`unreachable!` on an untrusted surface"),
-        ("todo!", "`todo!` on an untrusted surface"),
-        ("unimplemented!", "`unimplemented!` on an untrusted surface"),
-    ];
-    let mut out = Vec::new();
-    for line in lines.iter().filter(|l| !l.in_test) {
-        for (token, what) in TOKENS {
-            if line.code.contains(token) {
-                out.push(Violation {
-                    file: rel.to_owned(),
-                    line: line.number,
-                    rule: "panic-free",
-                    message: format!(
-                        "{what}: untrusted bytes must map to a typed error, never a panic"
-                    ),
-                });
-            }
-        }
-        for idx in indexing_sites(&line.code) {
-            let snippet: String = line.code[idx..].chars().take(12).collect();
-            out.push(Violation {
-                file: rel.to_owned(),
-                line: line.number,
-                rule: "panic-free",
-                message: format!(
-                    "direct indexing (`…{snippet}`) on an untrusted surface: use \
-                     `get`/`split` and map the miss to a typed error"
-                ),
-            });
-        }
-    }
-    out
-}
+/// The panic-introducing tokens the `panic-reach` pass looks for in
+/// reachable function bodies. Plain `assert!` is deliberately absent:
+/// assertions state programmer invariants about *our* logic, while these
+/// tokens turn hostile input into aborts.
+pub(crate) const PANIC_TOKENS: [(&str, &str); 6] = [
+    (".unwrap()", "`unwrap()`"),
+    (".expect(", "`expect()`"),
+    ("panic!", "`panic!`"),
+    ("unreachable!", "`unreachable!`"),
+    ("todo!", "`todo!`"),
+    ("unimplemented!", "`unimplemented!`"),
+];
 
 /// Byte offsets of `[` characters that look like slice/array indexing: the
 /// previous character ends an expression (identifier, `)`, `]`). Excludes
 /// attributes (`#[…]`), macro bangs (`vec![…]`), types (`&[u8]`,
 /// `: [u8; 8]`) and array literals (`= [0; 8]`), whose `[` never follows
 /// an expression character.
-fn indexing_sites(code: &str) -> Vec<usize> {
+pub(crate) fn indexing_sites(code: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut prev = ' ';
     for (offset, c) in code.char_indices() {

@@ -167,13 +167,22 @@ fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
 
 /// If a raw string starts at `i` (`r"`, `r#"`, `br"`, …), returns its hash
 /// count. The caller sits on the `r` (a leading `b` is consumed as code).
+/// The `b` prefix of a raw *byte* string must be recognised here: treating
+/// `br"…"` as a cooked string would honor `\` escapes that raw strings do
+/// not have, desynchronising the lexer and silently mis-blanking the rest
+/// of the file.
 fn raw_string_open(bytes: &[char], i: usize) -> Option<usize> {
     if bytes[i] != 'r' {
         return None;
     }
-    // `r` must not terminate an identifier (`for`, `var`, …).
+    // `r` must not terminate an identifier (`for`, `var`, …) — except the
+    // single-byte prefix of `br"`, which is itself identifier-free before.
     if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
-        return None;
+        let byte_prefix = bytes[i - 1] == 'b'
+            && (i < 2 || !(bytes[i - 2].is_alphanumeric() || bytes[i - 2] == '_'));
+        if !byte_prefix {
+            return None;
+        }
     }
     let mut hashes = 0;
     while bytes.get(i + 1 + hashes) == Some(&'#') {
@@ -260,6 +269,44 @@ mod tests {
         let lines = scan("let p = r#\"panic!(\"no\")\"#;\nb.expect(\"x\");\n");
         assert!(!lines[0].code.contains("panic!"));
         assert!(lines[1].code.contains(".expect("));
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lines = scan("let b = b\"unwrap()\";\nc.unwrap();\n");
+        assert!(!lines[0].code.contains("unwrap"), "{:?}", lines[0].code);
+        assert!(lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_byte_strings_do_not_honor_escapes() {
+        // `br"a\"` is one complete raw byte string containing `a\`; a
+        // cooked-string lexer would treat `\"` as an escaped quote, stay
+        // "inside the string" and blank the panic on the next line.
+        let lines = scan("let b = br\"a\\\"; x.unwrap();\nfoo.expect(\"y\");\n");
+        assert!(lines[0].code.contains(".unwrap()"), "{:?}", lines[0].code);
+        assert!(lines[1].code.contains(".expect("), "{:?}", lines[1].code);
+    }
+
+    #[test]
+    fn hashed_raw_byte_strings_are_blanked() {
+        let lines = scan("let b = br#\"panic!(\"no\")\"#;\ny.unwrap();\n");
+        assert!(!lines[0].code.contains("panic!"), "{:?}", lines[0].code);
+        assert!(lines[1].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn identifiers_ending_in_br_do_not_open_raw_strings() {
+        let lines = scan("let abr = 1; let s = \"x.unwrap()\";\n");
+        assert!(!lines[0].code.contains("unwrap"), "{:?}", lines[0].code);
+        assert!(lines[0].code.contains("abr"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_correctly() {
+        let lines = scan("/* a /* b /* c */ */ still */ x.unwrap();\n/* /**/ */ y.expect(\"\");\n");
+        assert!(lines[0].code.contains(".unwrap()"), "{:?}", lines[0].code);
+        assert!(lines[1].code.contains(".expect("), "{:?}", lines[1].code);
     }
 
     #[test]

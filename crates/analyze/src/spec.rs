@@ -1,0 +1,1007 @@
+//! The `format-drift` pass: spec ↔ source agreement.
+//!
+//! `docs/FORMAT.md` is the contract every archive and wire frame is read
+//! and written against. This pass parses the document's *machine-checked
+//! surface* into a spec model and compares each fact against the source
+//! location [`Config::spec_bindings`] binds it to, reporting divergence in
+//! either direction plus intra-spec defects (duplicate tag bytes, a name
+//! list whose length disagrees with its declared range).
+//!
+//! ## Spec-model grammar
+//!
+//! The parser recognises, in document order (full details in
+//! `docs/ANALYSIS.md`):
+//!
+//! * **Layout tables** — `| offset | size | field |` tables; the first is
+//!   the archive header (§1), the second the job frame (§6). Within the
+//!   field cell: `` magic `HH HH …` `` yields a byte fact, a cell
+//!   containing *version* and *currently* yields an integer fact (last
+//!   backticked integer), and a *stage kind* cell yields tag pairs.
+//! * **Tag-pair text** — `` `N` name `` sequences: a backticked integer
+//!   followed immediately by a word. Used by stage-kind cells, the
+//!   `code byte (…)` parenthetical (error codes), and the
+//!   `**Priority byte**` paragraph.
+//! * **Frame-kind table** — the `| tag | kind | … |` table; each data row
+//!   contributes (kind, tag).
+//! * **§4 tag bullets** — `` * **`Type`** — … tag … `` bullets.
+//!   ``tag `LO`–`HI` … (`A B C …`)`` is a declaration-order fact,
+//!   ``tag `LO`–`HI` `` alone a range fact, and ``tag `N` name, …`` a
+//!   tag-pair fact. The bullet's backticked type name keys the binding.
+//!
+//! Names are compared case-insensitively ignoring `-`/`_`
+//! (`global-compiled` ↔ `GlobalCompiled`).
+//!
+//! ## Finding discipline
+//!
+//! Per bound fact the pass reports **at most one finding** — the first
+//! difference in spec order — naming both locations, so mutating either
+//! side of any checked fact yields exactly one actionable report (the
+//! property the CI mutation step asserts). Divergence findings anchor at
+//! the source line and cite the spec line; intra-spec defects and missing
+//! facts anchor at the spec document itself and are not suppressible with
+//! `analyze:allow` (the spec is not scanned source).
+
+use crate::callgraph::FnIndex;
+use crate::config::{Config, FactKind, SpecBinding};
+use crate::flow::{bare_int_literal, const_value, parse_int};
+use crate::rules::Violation;
+use crate::FileSource;
+
+/// One fact parsed from the spec document.
+#[derive(Debug)]
+enum SpecFact {
+    /// A magic byte sequence.
+    Bytes(Vec<u8>),
+    /// A version-style integer.
+    Int(u64),
+    /// Explicit (name, tag) assignments.
+    TagList(Vec<(String, u64)>),
+    /// Declaration-order names carrying tags `lo..`.
+    TagOrder { lo: u64, hi: u64, names: Vec<String> },
+    /// A bare contiguous range `lo..=hi` over declaration order.
+    TagRange { lo: u64, hi: u64 },
+}
+
+/// The parsed spec model: keyed facts with their line anchors.
+#[derive(Debug, Default)]
+pub struct SpecModel {
+    facts: Vec<(String, SpecFact, usize)>,
+}
+
+impl SpecModel {
+    fn get(&self, key: &str) -> Option<(&SpecFact, usize)> {
+        self.facts.iter().find(|(k, _, _)| k == key).map(|(_, f, l)| (f, *l))
+    }
+}
+
+/// Case/punctuation-insensitive name form (`global-compiled` ↔
+/// `GlobalCompiled`).
+fn normalize(name: &str) -> String {
+    name.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase()
+}
+
+/// Extracts `` `N` name `` pairs from free text. A backticked token that
+/// parses as an integer opens a pair; the name is the word (alnum/`-`/`_`)
+/// immediately following the closing backtick (after one space). Tokens
+/// with no following word are skipped, so prose like ``code `5`
+/// (*overloaded*)`` contributes nothing.
+fn tag_pairs(text: &str) -> Vec<(String, u64)> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '`' {
+            i += 1;
+            continue;
+        }
+        let Some(close) = (i + 1..chars.len()).find(|&k| chars[k] == '`') else { break };
+        let token: String = chars[i + 1..close].iter().collect();
+        i = close + 1;
+        let Some(tag) = parse_int(token.trim()) else { continue };
+        // The name follows after whitespace.
+        let mut j = i;
+        while j < chars.len() && chars[j] == ' ' {
+            j += 1;
+        }
+        let start = j;
+        while j < chars.len()
+            && (chars[j].is_ascii_alphanumeric() || chars[j] == '-' || chars[j] == '_')
+        {
+            j += 1;
+        }
+        if j > start {
+            let name: String = chars[start..j].iter().collect();
+            out.push((name, tag));
+            i = j;
+        }
+    }
+    out
+}
+
+/// The content of the first backtick group following `after` in `text`.
+fn backtick_group_after<'a>(text: &'a str, after: &str) -> Option<&'a str> {
+    let at = text.find(after)? + after.len();
+    let rest = &text[at..];
+    let open = rest.find('`')?;
+    let body = &rest[open + 1..];
+    let close = body.find('`')?;
+    Some(&body[..close])
+}
+
+/// A `` `LO`–`HI` `` range in `text` (en-dash or hyphen).
+fn tag_range(text: &str) -> Option<(u64, u64)> {
+    // Whole-word match only: "tag" also occurs inside identifiers such as
+    // `StageName`, which must not anchor the scan.
+    let at = text.match_indices("tag").find_map(|(at, _)| {
+        let before_ok =
+            at == 0 || !text[..at].chars().next_back().is_some_and(char::is_alphanumeric);
+        let after_ok = !text[at + 3..].chars().next().is_some_and(char::is_alphanumeric);
+        (before_ok && after_ok).then_some(at)
+    })?;
+    let rest = &text[at..];
+    let chars: Vec<char> = rest.chars().collect();
+    let mut nums: Vec<u64> = Vec::new();
+    let mut i = 0;
+    let mut expecting_dash = false;
+    while i < chars.len() {
+        if chars[i] == '`' {
+            let close = (i + 1..chars.len()).find(|&k| chars[k] == '`')?;
+            let token: String = chars[i + 1..close].iter().collect();
+            if let Some(v) = parse_int(token.trim()) {
+                if nums.is_empty() {
+                    nums.push(v);
+                    expecting_dash = true;
+                } else if !expecting_dash {
+                    nums.push(v);
+                    break;
+                }
+            }
+            i = close + 1;
+        } else if expecting_dash && (chars[i] == '–' || chars[i] == '-') {
+            expecting_dash = false;
+            i += 1;
+        } else if expecting_dash && chars[i] != '`' {
+            // Something other than a dash after the first number: not a
+            // range (e.g. ``tag `0` auto``).
+            return None;
+        } else {
+            i += 1;
+        }
+    }
+    match nums.as_slice() {
+        [lo, hi] => Some((*lo, *hi)),
+        _ => None,
+    }
+}
+
+/// Parses the spec document into the model.
+#[must_use]
+pub fn parse_spec(text: &str) -> SpecModel {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut model = SpecModel::default();
+    let mut layout_tables_seen = 0usize;
+    let mut in_layout_table = false;
+    let mut in_kind_table = false;
+    let mut kind_pairs: Vec<(String, u64)> = Vec::new();
+    let mut kind_line = 0usize;
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let number = i + 1;
+        let trimmed = line.trim_start();
+        if trimmed.starts_with('|') {
+            let cells: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+            let body: &[&str] = cells.get(1..cells.len().saturating_sub(1)).unwrap_or(&[]);
+            let is_sep = body.iter().all(|c| c.chars().all(|ch| ch == '-' || ch == ' '));
+            if body.first() == Some(&"offset") {
+                in_layout_table = true;
+                layout_tables_seen += 1;
+            } else if body.first() == Some(&"tag") && body.get(1) == Some(&"kind") {
+                in_kind_table = true;
+                kind_line = number;
+            } else if !is_sep && in_layout_table {
+                let prefix = if layout_tables_seen == 1 { "archive" } else { "frame" };
+                if let Some(field) = body.get(2) {
+                    parse_layout_field(prefix, field, number, &mut model);
+                }
+            } else if !is_sep && in_kind_table {
+                if let (Some(tag_cell), Some(kind_cell)) = (body.first(), body.get(1)) {
+                    if let Some(tag) = parse_int(tag_cell) {
+                        let name = kind_cell.trim_matches('`').to_owned();
+                        kind_pairs.push((name, tag));
+                    }
+                }
+                if let Some(payload) = body.get(3) {
+                    parse_error_codes(payload, number, &mut model);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if in_kind_table {
+            in_kind_table = false;
+            if !kind_pairs.is_empty() {
+                model.facts.push((
+                    "frame.kind".to_owned(),
+                    SpecFact::TagList(std::mem::take(&mut kind_pairs)),
+                    kind_line,
+                ));
+            }
+        }
+        in_layout_table = false;
+        if trimmed.starts_with("**Priority byte**") {
+            let mut para = String::new();
+            let mut j = i;
+            while j < lines.len() && !lines[j].trim().is_empty() {
+                para.push_str(lines[j]);
+                para.push(' ');
+                j += 1;
+            }
+            let pairs = tag_pairs(&para);
+            if !pairs.is_empty() {
+                model.facts.push(("priority".to_owned(), SpecFact::TagList(pairs), number));
+            }
+            i = j;
+            continue;
+        }
+        if trimmed.starts_with("* **`") {
+            // A §4 type bullet: join continuation lines.
+            let name = backtick_group_after(trimmed, "* **").unwrap_or("").to_owned();
+            let mut bullet = String::new();
+            let mut j = i;
+            loop {
+                bullet.push_str(lines[j].trim());
+                bullet.push(' ');
+                j += 1;
+                let Some(next) = lines.get(j) else { break };
+                let t = next.trim_start();
+                if t.is_empty() || t.starts_with("* ") || t.starts_with('#') || t.starts_with('|') {
+                    break;
+                }
+            }
+            if !name.is_empty() && (bullet.contains("tag `") || bullet.contains("tag byte `")) {
+                parse_tag_bullet(&name, &bullet, number, &mut model);
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    model
+}
+
+/// Interprets one layout-table field cell.
+fn parse_layout_field(prefix: &str, field: &str, number: usize, model: &mut SpecModel) {
+    if field.contains("magic `") {
+        if let Some(group) = backtick_group_after(field, "magic") {
+            let bytes: Option<Vec<u8>> =
+                group.split_whitespace().map(|p| u8::from_str_radix(p, 16).ok()).collect();
+            if let Some(bytes) = bytes {
+                if !bytes.is_empty() {
+                    model.facts.push((format!("{prefix}.magic"), SpecFact::Bytes(bytes), number));
+                }
+            }
+        }
+        return;
+    }
+    if field.contains("version") && field.contains("currently") {
+        let last_int =
+            field.split('`').skip(1).step_by(2).filter_map(|t| parse_int(t.trim())).last();
+        if let Some(v) = last_int {
+            model.facts.push((format!("{prefix}.version"), SpecFact::Int(v), number));
+        }
+        return;
+    }
+    if field.contains("stage kind") {
+        let pairs = tag_pairs(field);
+        if !pairs.is_empty() {
+            model.facts.push((format!("{prefix}.stage"), SpecFact::TagList(pairs), number));
+        }
+    }
+}
+
+/// Extracts the `code byte (…)` error-code pairs from a payload cell.
+fn parse_error_codes(payload: &str, number: usize, model: &mut SpecModel) {
+    let Some(at) = payload.find("code byte (") else { return };
+    let rest = &payload[at + "code byte (".len()..];
+    let Some(close) = rest.find(')') else { return };
+    let pairs = tag_pairs(&rest[..close]);
+    if !pairs.is_empty() {
+        model.facts.push(("error-code".to_owned(), SpecFact::TagList(pairs), number));
+    }
+}
+
+/// Interprets one §4 bullet mentioning tags.
+fn parse_tag_bullet(name: &str, bullet: &str, number: usize, model: &mut SpecModel) {
+    if let Some((lo, hi)) = tag_range(bullet) {
+        // Declaration-order names, when listed: the first backtick group
+        // after the range containing two or more space-separated idents.
+        let names: Vec<String> = bullet
+            .split('`')
+            .skip(1)
+            .step_by(2)
+            .find(|g| g.split_whitespace().count() >= 2 && !g.contains(','))
+            .map(|g| g.split_whitespace().map(str::to_owned).collect())
+            .unwrap_or_default();
+        let fact = if names.is_empty() {
+            SpecFact::TagRange { lo, hi }
+        } else {
+            SpecFact::TagOrder { lo, hi, names }
+        };
+        model.facts.push((name.to_owned(), fact, number));
+        return;
+    }
+    let pairs = tag_pairs(bullet);
+    if !pairs.is_empty() {
+        model.facts.push((name.to_owned(), SpecFact::TagList(pairs), number));
+    }
+}
+
+/// One variant's tag assignment extracted from source.
+#[derive(Debug)]
+struct SourceTag {
+    variant: String,
+    tag: u64,
+    line: usize,
+}
+
+/// Tag assignments of `ident`'s `fn code` / `fn encode` arms in `file`
+/// (`Self::X => 1`, `Self::X => w.put_u8(1)`, and block arms whose
+/// `put_u8` sits on a following line).
+fn source_tags(ident: &str, file: &FileSource, file_idx: usize, index: &FnIndex) -> Vec<SourceTag> {
+    for fn_name in ["code", "encode"] {
+        let mut arms: Vec<SourceTag> = Vec::new();
+        for f in &index.fns {
+            if f.file != file_idx || f.name != fn_name || f.impl_type.as_deref() != Some(ident) {
+                continue;
+            }
+            let body: Vec<_> = file
+                .lines
+                .iter()
+                .filter(|l| l.number >= f.body.0 && l.number <= f.body.1 && !l.in_test)
+                .collect();
+            for (li, line) in body.iter().enumerate() {
+                let Some((variant, after)) = arm_on_line(ident, &line.code) else { continue };
+                // Tag: first integer after `=>`, scanning forward through
+                // block arms until the next arm.
+                let mut tag = bare_int_literal(after).and_then(|t| parse_int(&t));
+                if tag.is_none() {
+                    for next in body.iter().skip(li + 1) {
+                        if arm_on_line(ident, &next.code).is_some() {
+                            break;
+                        }
+                        tag = bare_int_literal(&next.code).and_then(|t| parse_int(&t));
+                        if tag.is_some() {
+                            break;
+                        }
+                    }
+                }
+                if let Some(tag) = tag {
+                    if !arms.iter().any(|a| a.variant == variant) {
+                        arms.push(SourceTag { variant, tag, line: line.number });
+                    }
+                }
+            }
+        }
+        if !arms.is_empty() {
+            return arms;
+        }
+    }
+    Vec::new()
+}
+
+/// If `code` contains a match arm `Self::Variant => …` (or
+/// `Ident::Variant => …`), returns the variant and the text after `=>`.
+fn arm_on_line<'a>(ident: &str, code: &'a str) -> Option<(String, &'a str)> {
+    let qualified = format!("{ident}::");
+    for prefix in [qualified.as_str(), "Self::"] {
+        let Some(at) = code.find(prefix) else { continue };
+        let rest = &code[at + prefix.len()..];
+        let variant: String =
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if variant.is_empty() {
+            continue;
+        }
+        let Some(arrow) = rest.find("=>") else { continue };
+        return Some((variant, &rest[arrow + 2..]));
+    }
+    None
+}
+
+/// Declaration-order variants of `enum ident` in `file`.
+fn enum_variants(ident: &str, file: &FileSource) -> Vec<(String, usize)> {
+    let pat = format!("enum {ident}");
+    let mut out = Vec::new();
+    let Some(open) = file.lines.iter().find(|l| {
+        l.code.find(&pat).is_some_and(|at| {
+            let after = l.code[at + pat.len()..].chars().next();
+            !after.is_some_and(|c| c.is_alphanumeric() || c == '_')
+        }) && !l.in_test
+    }) else {
+        return out;
+    };
+    let enum_depth = open.depth;
+    for line in file.lines.iter().filter(|l| l.number > open.number) {
+        // `depth` is the start-of-line brace depth: the enum's closing `}`
+        // still *starts* at `enum_depth + 1`, and any line at or below the
+        // enum's own depth is past the body entirely.
+        if line.depth <= enum_depth {
+            break;
+        }
+        if line.depth != enum_depth + 1 {
+            continue;
+        }
+        let t = line.code.trim_start();
+        if t.starts_with('}') {
+            break;
+        }
+        let first: String = t.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if first.chars().next().is_some_and(char::is_uppercase) {
+            out.push((first, line.number));
+        }
+    }
+    out
+}
+
+/// Runs `format-drift` against the parsed spec text.
+#[must_use]
+pub fn format_drift(
+    cfg: &Config,
+    spec_text: &str,
+    files: &[FileSource],
+    index: &FnIndex,
+) -> Vec<Violation> {
+    let Some(spec_rel) = &cfg.spec_path else { return Vec::new() };
+    let model = parse_spec(spec_text);
+    let mut out = Vec::new();
+    for binding in &cfg.spec_bindings {
+        check_binding(cfg, spec_rel, binding, &model, files, index, &mut out);
+    }
+    out
+}
+
+/// Emits at most one finding for one binding.
+#[allow(clippy::too_many_lines)]
+fn check_binding(
+    _cfg: &Config,
+    spec_rel: &str,
+    binding: &SpecBinding,
+    model: &SpecModel,
+    files: &[FileSource],
+    index: &FnIndex,
+    out: &mut Vec<Violation>,
+) {
+    let spec_finding = |line: usize, message: String| Violation {
+        file: spec_rel.to_owned(),
+        line,
+        rule: "format-drift",
+        message,
+    };
+    let Some((fact, spec_line)) = model.get(&binding.key) else {
+        out.push(spec_finding(
+            1,
+            format!(
+                "spec fact `{}` (bound to {}) was not found in the document: the \
+                 machine-checked table or bullet was removed or reshaped beyond the \
+                 documented grammar",
+                binding.key, binding.file
+            ),
+        ));
+        return;
+    };
+    // Intra-spec defects first: a duplicated tag byte inside one fact.
+    if let SpecFact::TagList(pairs) = fact {
+        for (i, (name_a, tag_a)) in pairs.iter().enumerate() {
+            if let Some((name_b, _)) = pairs[i + 1..].iter().find(|(_, t)| t == tag_a) {
+                out.push(spec_finding(
+                    spec_line,
+                    format!(
+                        "spec fact `{}` assigns tag `{tag_a}` to both `{name_a}` and \
+                         `{name_b}`: tag bytes must be unique within an enum (§5: never \
+                         reuse a tag)",
+                        binding.key
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+    if let SpecFact::TagOrder { lo, hi, names } = fact {
+        let expect = (hi - lo + 1) as usize;
+        if names.len() != expect {
+            out.push(spec_finding(
+                spec_line,
+                format!(
+                    "spec fact `{}` declares tags `{lo}`–`{hi}` ({expect} variants) but \
+                     lists {} names: the range and the name list disagree within the spec",
+                    binding.key,
+                    names.len()
+                ),
+            ));
+            return;
+        }
+    }
+    let Some((file_idx, file)) = files.iter().enumerate().find(|(_, f)| f.rel == binding.file)
+    else {
+        out.push(spec_finding(
+            spec_line,
+            format!("bound source file `{}` was not scanned", binding.file),
+        ));
+        return;
+    };
+    let src_finding = |line: usize, message: String| Violation {
+        file: binding.file.clone(),
+        line,
+        rule: "format-drift",
+        message,
+    };
+    let cite = format!("{spec_rel}:{spec_line}");
+    match (&binding.kind, fact) {
+        (FactKind::MagicBytes { ident }, SpecFact::Bytes(spec_bytes)) => {
+            match magic_bytes(ident, file) {
+                Some((src_bytes, line)) => {
+                    if &src_bytes != spec_bytes {
+                        out.push(src_finding(
+                            line,
+                            format!(
+                                "magic `{ident}` is `{}` but {cite} specifies `{}`",
+                                hex(&src_bytes),
+                                hex(spec_bytes)
+                            ),
+                        ));
+                    }
+                }
+                None => out.push(src_finding(
+                    1,
+                    format!(
+                        "magic constant `{ident}` bound to spec fact `{}` ({cite}) was \
+                         not found as a byte-string literal in this file",
+                        binding.key
+                    ),
+                )),
+            }
+        }
+        (FactKind::ConstInt { ident }, SpecFact::Int(spec_val)) => {
+            match const_value(&file.lines, ident) {
+                Some((src_val, line)) => {
+                    if src_val != *spec_val {
+                        out.push(src_finding(
+                            line,
+                            format!("`{ident}` is `{src_val}` but {cite} specifies `{spec_val}`"),
+                        ));
+                    }
+                }
+                None => out.push(src_finding(
+                    1,
+                    format!(
+                        "constant `{ident}` bound to spec fact `{}` ({cite}) was not \
+                         found in this file",
+                        binding.key
+                    ),
+                )),
+            }
+        }
+        (FactKind::EnumTags { ident }, SpecFact::TagList(pairs)) => {
+            let tags = source_tags(ident, file, file_idx, index);
+            if tags.is_empty() {
+                out.push(src_finding(
+                    1,
+                    format!(
+                        "no tag assignments found for `{ident}` (bound to spec fact \
+                         `{}`, {cite}): expected `Self::X => N` or `put_u8(N)` arms in \
+                         a `fn code`/`fn encode`",
+                        binding.key
+                    ),
+                ));
+                return;
+            }
+            compare_tag_list(
+                ident,
+                pairs,
+                &tags,
+                &cite,
+                spec_line,
+                &src_finding,
+                &spec_finding,
+                out,
+            );
+        }
+        (FactKind::EnumTagOrder { ident }, SpecFact::TagOrder { lo, names, .. }) => {
+            let variants = enum_variants(ident, file);
+            if variants.is_empty() {
+                out.push(src_finding(
+                    1,
+                    format!("declaration of `enum {ident}` (bound to {cite}) was not found"),
+                ));
+                return;
+            }
+            // Declared order must match the spec's name list…
+            for (i, spec_name) in names.iter().enumerate() {
+                match variants.get(i) {
+                    Some((v, line)) if normalize(v) != normalize(spec_name) => {
+                        out.push(src_finding(
+                            *line,
+                            format!(
+                                "`{ident}` declares `{v}` at position {i} but {cite} \
+                                 names `{spec_name}` there: declaration order carries \
+                                 the wire tags and must not be reordered"
+                            ),
+                        ));
+                        return;
+                    }
+                    None => {
+                        out.push(src_finding(
+                            variants.last().map_or(1, |(_, l)| *l),
+                            format!(
+                                "`{ident}` declares {} variants but {cite} names {} — \
+                                 `{spec_name}` is missing",
+                                variants.len(),
+                                names.len()
+                            ),
+                        ));
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            if variants.len() > names.len() {
+                let (v, line) = &variants[names.len()];
+                out.push(src_finding(
+                    *line,
+                    format!(
+                        "`{ident}` declares `{v}` beyond the {} variants {cite} names",
+                        names.len()
+                    ),
+                ));
+                return;
+            }
+            // …and the encode arms must assign `lo + position`.
+            let tags = source_tags(ident, file, file_idx, index);
+            for (i, (variant, _)) in variants.iter().enumerate() {
+                let want = lo + i as u64;
+                if let Some(t) = tags.iter().find(|t| &t.variant == variant) {
+                    if t.tag != want {
+                        out.push(src_finding(
+                            t.line,
+                            format!(
+                                "`{ident}::{variant}` encodes tag `{}` but declaration \
+                                 position {i} implies `{want}` per {cite}",
+                                t.tag
+                            ),
+                        ));
+                        return;
+                    }
+                }
+            }
+        }
+        (FactKind::EnumTagRange { ident }, SpecFact::TagRange { lo, hi }) => {
+            let variants = enum_variants(ident, file);
+            let expect = (hi - lo + 1) as usize;
+            if variants.len() != expect {
+                out.push(src_finding(
+                    variants.first().map_or(1, |(_, l)| *l),
+                    format!(
+                        "`{ident}` declares {} variants but {cite} reserves tags \
+                         `{lo}`–`{hi}` ({expect} variants)",
+                        variants.len()
+                    ),
+                ));
+                return;
+            }
+            let tags = source_tags(ident, file, file_idx, index);
+            for (i, (variant, _)) in variants.iter().enumerate() {
+                let want = lo + i as u64;
+                if let Some(t) = tags.iter().find(|t| &t.variant == variant) {
+                    if t.tag != want {
+                        out.push(src_finding(
+                            t.line,
+                            format!(
+                                "`{ident}::{variant}` encodes tag `{}` but declaration \
+                                 position {i} implies `{want}` per {cite}",
+                                t.tag
+                            ),
+                        ));
+                        return;
+                    }
+                }
+            }
+        }
+        (kind, _) => {
+            out.push(spec_finding(
+                spec_line,
+                format!(
+                    "spec fact `{}` parsed with a different shape than its binding \
+                     ({kind:?}) expects: the table or bullet was reshaped",
+                    binding.key
+                ),
+            ));
+        }
+    }
+}
+
+/// Compares explicit (name, tag) spec pairs against source arms; pushes at
+/// most one finding.
+#[allow(clippy::too_many_arguments)]
+fn compare_tag_list(
+    ident: &str,
+    pairs: &[(String, u64)],
+    tags: &[SourceTag],
+    cite: &str,
+    spec_line: usize,
+    src_finding: &dyn Fn(usize, String) -> Violation,
+    spec_finding: &dyn Fn(usize, String) -> Violation,
+    out: &mut Vec<Violation>,
+) {
+    for (spec_name, spec_tag) in pairs {
+        let Some(t) = tags.iter().find(|t| normalize(&t.variant) == normalize(spec_name)) else {
+            out.push(spec_finding(
+                spec_line,
+                format!(
+                    "spec names `{spec_name}` (tag `{spec_tag}`) but `{ident}` has no \
+                     matching variant with a tag assignment"
+                ),
+            ));
+            return;
+        };
+        if t.tag != *spec_tag {
+            out.push(src_finding(
+                t.line,
+                format!(
+                    "`{ident}::{}` encodes tag `{}` but {cite} assigns `{spec_name}` \
+                     tag `{spec_tag}`",
+                    t.variant, t.tag
+                ),
+            ));
+            return;
+        }
+    }
+    for t in tags {
+        if !pairs.iter().any(|(n, _)| normalize(n) == normalize(&t.variant)) {
+            out.push(src_finding(
+                t.line,
+                format!(
+                    "`{ident}::{}` encodes tag `{}` but {cite} does not list it: new \
+                     variants must be specified with fresh tag bytes",
+                    t.variant, t.tag
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+/// `const IDENT: … = *b"…";` bytes, unescaped from the raw text.
+fn magic_bytes(ident: &str, file: &FileSource) -> Option<(Vec<u8>, usize)> {
+    let pat = format!("const {ident}:");
+    let line = file.lines.iter().find(|l| l.code.contains(&pat) && !l.in_test)?;
+    let raw = file.text.lines().nth(line.number - 1)?;
+    let at = raw.find("b\"")?;
+    let body = &raw[at + 2..];
+    let mut out = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Some((out, line.number)),
+            '\\' => {
+                let esc = *chars.get(i + 1)?;
+                match esc {
+                    'x' => {
+                        let hx: String = chars.get(i + 2..i + 4)?.iter().collect();
+                        out.push(u8::from_str_radix(&hx, 16).ok()?);
+                        i += 4;
+                    }
+                    'n' => {
+                        out.push(b'\n');
+                        i += 2;
+                    }
+                    'r' => {
+                        out.push(b'\r');
+                        i += 2;
+                    }
+                    't' => {
+                        out.push(b'\t');
+                        i += 2;
+                    }
+                    '0' => {
+                        out.push(0);
+                        i += 2;
+                    }
+                    '\\' | '"' => {
+                        out.push(esc as u8);
+                        i += 2;
+                    }
+                    _ => return None,
+                }
+            }
+            c if c.is_ascii() => {
+                out.push(c as u8);
+                i += 1;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// `89 4A 53 57` rendering.
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02X}")).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build_index;
+    use crate::scan::scan;
+
+    const MINI_SPEC: &str = "\
+# mini
+| offset | size | field |
+| ------ | ---- | ----- |
+| 0      | 8    | magic `89 4A 53 57 0D 0A 1A 0A` (`\"\\x89JSW\\r\\n\\x1a\\n\"`) |
+| 8      | 2    | format version, `u16` — currently `1` |
+| 10     | 1    | stage kind: `1` planned, `2` global-compiled |
+
+* **`Gate`** — tag byte `0`–`2` in declaration order (`H X Y`), then operands.
+* **`BackendKind`** — tag `0` dense, `1` stabilizer.
+* **`StageName`** — tag `0`–`1` in protocol order.
+
+| tag | kind | direction | payload |
+| --- | ---- | --------- | ------- |
+| 1   | `SubmitJob` | C → S | request |
+| 3   | `JobError` | S → C | code byte (`1` malformed, `2` digest-mismatch) ‖ text |
+
+**Priority byte** (new in version 2). Lanes: `0` interactive, `1` sweep,
+`2` background (aging applies). Refusals use code `5` (*overloaded*).
+";
+
+    #[test]
+    fn spec_parses_every_fact_shape() {
+        let m = parse_spec(MINI_SPEC);
+        assert!(matches!(m.get("archive.magic"), Some((SpecFact::Bytes(b), _)) if b.len() == 8));
+        assert!(matches!(m.get("archive.version"), Some((SpecFact::Int(1), _))));
+        assert!(
+            matches!(m.get("archive.stage"), Some((SpecFact::TagList(p), _)) if p.len() == 2 && p[1] == ("global-compiled".to_owned(), 2))
+        );
+        assert!(
+            matches!(m.get("Gate"), Some((SpecFact::TagOrder { lo: 0, hi: 2, names }, _)) if names == &["H", "X", "Y"])
+        );
+        assert!(
+            matches!(m.get("BackendKind"), Some((SpecFact::TagList(p), _)) if p == &[("dense".to_owned(), 0), ("stabilizer".to_owned(), 1)])
+        );
+        assert!(matches!(m.get("StageName"), Some((SpecFact::TagRange { lo: 0, hi: 1 }, _))));
+        assert!(
+            matches!(m.get("frame.kind"), Some((SpecFact::TagList(p), _)) if p.len() == 2 && p[0] == ("SubmitJob".to_owned(), 1))
+        );
+        assert!(matches!(m.get("error-code"), Some((SpecFact::TagList(p), _)) if p.len() == 2));
+        // The priority paragraph stops at words — `5` (*overloaded*) has no
+        // following word and contributes nothing.
+        assert!(
+            matches!(m.get("priority"), Some((SpecFact::TagList(p), _)) if p.len() == 3 && p[2] == ("background".to_owned(), 2))
+        );
+    }
+
+    fn mini_cfg(src_rel: &str) -> Config {
+        let mut cfg = Config::workspace(".");
+        cfg.spec_path = Some("docs/FORMAT.md".to_owned());
+        cfg.spec_bindings = vec![
+            SpecBinding {
+                key: "archive.stage".to_owned(),
+                file: src_rel.to_owned(),
+                kind: FactKind::EnumTags { ident: "StageKind".to_owned() },
+            },
+            SpecBinding {
+                key: "archive.version".to_owned(),
+                file: src_rel.to_owned(),
+                kind: FactKind::ConstInt { ident: "FORMAT_VERSION".to_owned() },
+            },
+        ];
+        cfg
+    }
+
+    fn file(rel: &str, src: &str) -> FileSource {
+        FileSource { rel: rel.to_owned(), text: src.to_owned(), lines: scan(src) }
+    }
+
+    const MINI_SRC: &str = "\
+pub const FORMAT_VERSION: u16 = 1;
+pub enum StageKind { Planned, GlobalCompiled }
+impl StageKind {
+    fn code(self) -> u8 {
+        match self {
+            Self::Planned => 1,
+            Self::GlobalCompiled => 2,
+        }
+    }
+}
+";
+
+    #[test]
+    fn agreeing_pair_is_clean() {
+        let cfg = mini_cfg("crates/x/src/a.rs");
+        let files = [file("crates/x/src/a.rs", MINI_SRC)];
+        let index = build_index(&files);
+        let v = format_drift(&cfg, MINI_SPEC, &files, &index);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn mutated_source_tag_yields_exactly_one_finding_naming_both_sides() {
+        let cfg = mini_cfg("crates/x/src/a.rs");
+        let drifted = MINI_SRC.replace("Self::GlobalCompiled => 2,", "Self::GlobalCompiled => 9,");
+        let files = [file("crates/x/src/a.rs", &drifted)];
+        let index = build_index(&files);
+        let v = format_drift(&cfg, MINI_SPEC, &files, &index);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].file, "crates/x/src/a.rs");
+        assert!(v[0].message.contains("docs/FORMAT.md:"), "{}", v[0].message);
+        assert!(v[0].message.contains("tag `9`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn mutated_spec_tag_yields_exactly_one_finding() {
+        let cfg = mini_cfg("crates/x/src/a.rs");
+        let mutated = MINI_SPEC.replace("`2` global-compiled", "`3` global-compiled");
+        let files = [file("crates/x/src/a.rs", MINI_SRC)];
+        let index = build_index(&files);
+        let v = format_drift(&cfg, &mutated, &files, &index);
+        assert_eq!(v.len(), 1, "{v:#?}");
+    }
+
+    #[test]
+    fn duplicate_spec_tags_are_an_intra_spec_defect() {
+        let cfg = mini_cfg("crates/x/src/a.rs");
+        let mutated = MINI_SPEC.replace("`2` global-compiled", "`1` global-compiled");
+        let files = [file("crates/x/src/a.rs", MINI_SRC)];
+        let index = build_index(&files);
+        let v = format_drift(&cfg, &mutated, &files, &index);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].file, "docs/FORMAT.md");
+        assert!(v[0].message.contains("never reuse"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn version_drift_is_reported_at_the_constant() {
+        let cfg = mini_cfg("crates/x/src/a.rs");
+        let drifted = MINI_SRC.replace("FORMAT_VERSION: u16 = 1", "FORMAT_VERSION: u16 = 2");
+        let files = [file("crates/x/src/a.rs", &drifted)];
+        let index = build_index(&files);
+        let v = format_drift(&cfg, MINI_SPEC, &files, &index);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].message.contains("`2`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn magic_bytes_unescape_correctly() {
+        let src = "pub(crate) const MAGIC: [u8; 8] = *b\"\\x89JSW\\r\\n\\x1a\\n\";\n";
+        let f = file("crates/x/src/a.rs", src);
+        let (bytes, line) = magic_bytes("MAGIC", &f).expect("parses");
+        assert_eq!(bytes, [0x89, 0x4A, 0x53, 0x57, 0x0D, 0x0A, 0x1A, 0x0A]);
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn reordered_enum_declaration_is_caught() {
+        let cfg = {
+            let mut c = mini_cfg("crates/x/src/a.rs");
+            c.spec_bindings = vec![SpecBinding {
+                key: "Gate".to_owned(),
+                file: "crates/x/src/a.rs".to_owned(),
+                kind: FactKind::EnumTagOrder { ident: "Gate".to_owned() },
+            }];
+            c
+        };
+        let good = "pub enum Gate {\n    H,\n    X,\n    Y,\n}\n";
+        let files = [file("crates/x/src/a.rs", good)];
+        let index = build_index(&files);
+        assert!(format_drift(&cfg, MINI_SPEC, &files, &index).is_empty());
+        let bad = "pub enum Gate {\n    H,\n    Y,\n    X,\n}\n";
+        let files = [file("crates/x/src/a.rs", bad)];
+        let index = build_index(&files);
+        let v = format_drift(&cfg, MINI_SPEC, &files, &index);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert!(v[0].message.contains("declaration order"), "{}", v[0].message);
+    }
+}

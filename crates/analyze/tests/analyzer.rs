@@ -1,19 +1,49 @@
 //! End-to-end analyzer battery: the fixture corpus must light up every
-//! rule (with exact file/line anchors), the allowlist must round-trip,
-//! and the real workspace must scan clean.
+//! rule (with exact file/line anchors), the allowlist must round-trip
+//! for every suppressible rule, the spec drift checker must prove
+//! bidirectional coverage against both the fixture spec and the real
+//! `docs/FORMAT.md`, and the real workspace must scan clean.
 
-use jigsaw_analyze::{run, Config, LockDef, Violation};
+use std::path::Path;
+
+use jigsaw_analyze::config::{FactKind, SpecBinding};
+use jigsaw_analyze::{load_files, run, run_files, scan, Config, FileSource, LockDef, Violation};
 
 /// Policy pointed at the fixture corpus: the `demo` crate is
-/// result-producing, `panic_bad.rs` is an untrusted surface, and
-/// `lock_bad.rs` declares `journal (10) < table (20)`.
+/// result-producing, `lock_bad.rs` declares `journal (10) < table (20)`,
+/// and the fixture spec in `docs/FORMAT.md` binds to `wire.rs`.
 fn fixture_config() -> Config {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
     let mut cfg = Config::workspace(root);
     cfg.scan_dirs = vec!["crates".to_owned()];
     cfg.result_crates = vec!["demo".to_owned()];
     cfg.det_map_exempt.clear();
-    cfg.panic_free_files = vec!["crates/demo/src/panic_bad.rs".to_owned()];
+    cfg.panic_entries.clear();
+    cfg.salt_file = None;
+    cfg.spec_path = Some("docs/FORMAT.md".to_owned());
+    let wire = "crates/demo/src/wire.rs";
+    cfg.spec_bindings = vec![
+        SpecBinding {
+            key: "archive.magic".to_owned(),
+            file: wire.to_owned(),
+            kind: FactKind::MagicBytes { ident: "MAGIC".to_owned() },
+        },
+        SpecBinding {
+            key: "archive.version".to_owned(),
+            file: wire.to_owned(),
+            kind: FactKind::ConstInt { ident: "WIRE_VERSION".to_owned() },
+        },
+        SpecBinding {
+            key: "archive.stage".to_owned(),
+            file: wire.to_owned(),
+            kind: FactKind::EnumTags { ident: "StageTag".to_owned() },
+        },
+        SpecBinding {
+            key: "WireTag".to_owned(),
+            file: wire.to_owned(),
+            kind: FactKind::EnumTags { ident: "WireTag".to_owned() },
+        },
+    ];
     cfg.locks = vec![
         LockDef {
             file: "crates/demo/src/lock_bad.rs".to_owned(),
@@ -42,12 +72,22 @@ fn rule_hits<'a>(violations: &'a [Violation], rule: &str) -> Vec<&'a Violation> 
 #[test]
 fn every_rule_fires_on_its_fixture() {
     let violations = fixture_violations();
-    for rule in ["det-map", "wallclock", "panic-free", "lock-order", "forbid-unsafe", "bad-allow"] {
+    for rule in [
+        "det-map",
+        "wallclock",
+        "lock-order",
+        "forbid-unsafe",
+        "bad-allow",
+        "seed-flow",
+        "panic-reach",
+    ] {
         assert!(
             violations.iter().any(|v| v.rule == rule),
             "rule {rule} found nothing; got {violations:#?}"
         );
     }
+    // The agreeing spec/source pair must stay clean.
+    assert!(rule_hits(&violations, "format-drift").is_empty(), "{violations:#?}");
 }
 
 #[test]
@@ -86,15 +126,49 @@ fn wallclock_requires_encode_impl_in_module() {
 }
 
 #[test]
-fn panic_free_catches_each_shape() {
+fn panic_reach_reports_the_two_hop_chain() {
     let violations = fixture_violations();
-    let hits = rule_hits(&violations, "panic-free");
+    let hits = rule_hits(&violations, "panic-reach");
     assert!(hits.iter().all(|v| v.file == "crates/demo/src/panic_bad.rs"), "{hits:#?}");
     let messages: Vec<&str> = hits.iter().map(|v| v.message.as_str()).collect();
     assert!(messages.iter().any(|m| m.contains("indexing")), "indexing missed: {messages:#?}");
     assert!(messages.iter().any(|m| m.contains("expect")), "expect missed: {messages:#?}");
     assert!(messages.iter().any(|m| m.contains("unwrap")), "unwrap missed: {messages:#?}");
     assert!(messages.iter().any(|m| m.contains("panic!")), "panic! missed: {messages:#?}");
+    // Every finding names the untrusted entry and the witness chain.
+    assert!(
+        messages.iter().all(|m| m.contains("Header::decode")),
+        "entry point missing from a message: {messages:#?}"
+    );
+    assert!(
+        messages.iter().all(|m| m.contains("Header::decode → read_tag → finish")),
+        "two-hop witness chain missing: {messages:#?}"
+    );
+}
+
+#[test]
+fn panic_reach_spares_the_unreachable_helper() {
+    // `cold_helper` (line 35 onward) has the same `.unwrap()` shape as the
+    // reachable chain but no entry reaches it: reachability, not a file
+    // whitelist, decides.
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "panic-reach");
+    assert!(!hits.is_empty());
+    assert!(
+        hits.iter().all(|v| (23..=28).contains(&v.line)),
+        "a finding escaped the reachable chain (cold_helper must stay silent): {hits:#?}"
+    );
+}
+
+#[test]
+fn seed_flow_catches_each_shape() {
+    let violations = fixture_violations();
+    let hits = rule_hits(&violations, "seed-flow");
+    assert!(hits.iter().all(|v| v.file == "crates/demo/src/seed_bad.rs"), "{hits:#?}");
+    let lines: Vec<usize> = hits.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![6, 12, 18], "literal / inline-salt / let-bound hits: {hits:#?}");
+    assert!(hits[0].message.contains("literal seed `42`"), "{}", hits[0]);
+    assert!(hits[1].message.contains("inline salt constant `50_000`"), "{}", hits[1]);
 }
 
 #[test]
@@ -123,13 +197,27 @@ fn forbid_unsafe_flags_the_crate_root() {
 }
 
 #[test]
-fn allowlist_round_trips() {
+fn allowlist_round_trips_for_every_suppressible_rule() {
+    // allow_ok.rs carries reasoned allows for det-map, panic-reach and
+    // seed-flow; none may surface.
     let violations = fixture_violations();
-    // Well-formed allows suppress everything in allow_ok.rs.
     assert!(
         violations.iter().all(|v| v.file != "crates/demo/src/allow_ok.rs"),
         "reasoned allow failed to suppress: {violations:#?}"
     );
+    // The suppressions are recorded with their reasons, not dropped.
+    let report = run(&fixture_config()).expect("fixture corpus scans");
+    let in_ok: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|s| s.violation.file == "crates/demo/src/allow_ok.rs")
+        .collect();
+    for rule in ["det-map", "panic-reach", "seed-flow"] {
+        assert!(
+            in_ok.iter().any(|s| s.violation.rule == rule && !s.reason.is_empty()),
+            "no recorded suppression for {rule}: {in_ok:#?}"
+        );
+    }
     // A reason-less allow surfaces as bad-allow (and nothing else) in
     // allow_bad.rs.
     let in_bad: Vec<&Violation> =
@@ -140,10 +228,44 @@ fn allowlist_round_trips() {
 }
 
 #[test]
+fn drifted_spec_copy_yields_exactly_one_finding_naming_both_sides() {
+    let mut cfg = fixture_config();
+    cfg.spec_path = Some("docs/FORMAT_drifted.md".to_owned());
+    let violations = run(&cfg).expect("fixture corpus scans").violations;
+    let hits = rule_hits(&violations, "format-drift");
+    assert_eq!(hits.len(), 1, "a single swapped tag must yield one finding: {hits:#?}");
+    assert_eq!(hits[0].file, "crates/demo/src/wire.rs");
+    assert!(hits[0].message.contains("docs/FORMAT_drifted.md:"), "{}", hits[0]);
+}
+
+#[test]
+fn format_drift_allow_round_trips() {
+    let mut cfg = Config::workspace(".");
+    cfg.salt_file = None;
+    cfg.panic_entries.clear();
+    cfg.spec_bindings = vec![SpecBinding {
+        key: "archive.version".to_owned(),
+        file: "crates/demo/src/v.rs".to_owned(),
+        kind: FactKind::ConstInt { ident: "WIRE_VERSION".to_owned() },
+    }];
+    let spec = "| offset | size | field |\n| - | - | - |\n| 4 | 2 | format version, `u16` — currently `7` |\n";
+    let src = "// analyze:allow(format-drift, version bump lands with the migration PR)\npub const WIRE_VERSION: u16 = 8;\n";
+    let files = [FileSource {
+        rel: "crates/demo/src/v.rs".to_owned(),
+        text: src.to_owned(),
+        lines: scan::scan(src),
+    }];
+    let report = run_files(&cfg, &files, Some(spec));
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1, "{:#?}", report.suppressed);
+    assert_eq!(report.suppressed[0].violation.rule, "format-drift");
+}
+
+#[test]
 fn workspace_scans_clean() {
     // The analyzer's own acceptance gate: the real workspace (two levels
     // up from this crate) must produce zero violations under the shipped
-    // policy.
+    // policy — including the three semantic passes.
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let report = run(&Config::workspace(root)).expect("workspace scans");
     assert!(
@@ -152,6 +274,83 @@ fn workspace_scans_clean() {
         report.files.len()
     );
     assert!(report.violations.is_empty(), "workspace not clean:\n{:#?}", report.violations);
+    // The semantic passes genuinely engaged: the protocol and codec files
+    // are in the scanned set, and the audited allows carry reasons.
+    for needed in ["crates/server/src/protocol.rs", "crates/core/src/persist.rs"] {
+        assert!(report.files.iter().any(|f| f == needed), "{needed} not scanned");
+    }
+    assert!(
+        report.suppressed.iter().all(|s| !s.reason.is_empty()),
+        "a reason-less suppression survived: {:#?}",
+        report.suppressed
+    );
+}
+
+#[test]
+fn real_spec_mutations_yield_exactly_one_finding_each() {
+    // Bidirectional coverage against the committed FORMAT.md: mutating
+    // either side of a checked fact yields exactly one format-drift
+    // finding naming both locations.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let cfg = Config::workspace(root);
+    let files = load_files(&cfg).expect("workspace loads");
+    let spec = std::fs::read_to_string(Path::new(root).join("docs/FORMAT.md")).expect("spec");
+
+    let baseline = run_files(&cfg, &files, Some(&spec));
+    assert!(baseline.violations.is_empty(), "{:#?}", baseline.violations);
+
+    // Spec-side: bump the protocol version only in the document.
+    let mutated = spec.replace(
+        "protocol version, `u16` — currently `2`",
+        "protocol version, `u16` — currently `3`",
+    );
+    assert_ne!(mutated, spec, "mutation anchor lost — update this test with FORMAT.md");
+    let report = run_files(&cfg, &files, Some(&mutated));
+    let hits: Vec<&Violation> =
+        report.violations.iter().filter(|v| v.rule == "format-drift").collect();
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert_eq!(hits[0].file, "crates/server/src/protocol.rs");
+    assert!(hits[0].message.contains("docs/FORMAT.md:"), "{}", hits[0]);
+
+    // Spec-side: move a frame-kind tag byte to an unused value (a *used*
+    // value would also trip the intra-spec duplicate-tag check).
+    let mutated = spec.replace("| 4   | `MetricsRequest` |", "| 9   | `MetricsRequest` |");
+    assert_ne!(mutated, spec, "mutation anchor lost — update this test with FORMAT.md");
+    let report = run_files(&cfg, &files, Some(&mutated));
+    let hits: Vec<&Violation> =
+        report.violations.iter().filter(|v| v.rule == "format-drift").collect();
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("docs/FORMAT.md:"), "{}", hits[0]);
+}
+
+#[test]
+fn real_source_mutation_yields_exactly_one_finding() {
+    // Source-side: reorder two Gate variants in memory; declaration order
+    // carries the wire tags, so exactly one finding must name the swap.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let cfg = Config::workspace(root);
+    let mut files = load_files(&cfg).expect("workspace loads");
+    let spec = std::fs::read_to_string(Path::new(root).join("docs/FORMAT.md")).expect("spec");
+    let gate =
+        files.iter_mut().find(|f| f.rel == "crates/circuit/src/gate.rs").expect("gate.rs scanned");
+    let swapped = gate.text.replacen(
+        "    X(usize),\n    /// Pauli-Y.\n    Y(usize),",
+        "    Y(usize),\n    /// Pauli-Y.\n    X(usize),",
+        1,
+    );
+    assert_ne!(swapped, gate.text, "mutation anchor lost — update this test with gate.rs");
+    gate.lines = scan::scan(&swapped);
+    gate.text = swapped;
+    let report = run_files(&cfg, &files, Some(&spec));
+    let hits: Vec<&Violation> =
+        report.violations.iter().filter(|v| v.rule == "format-drift").collect();
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert_eq!(hits[0].file, "crates/circuit/src/gate.rs");
+    assert!(
+        hits[0].message.contains("declaration order") || hits[0].message.contains("position"),
+        "{}",
+        hits[0]
+    );
 }
 
 #[test]
@@ -177,4 +376,54 @@ fn lock_table_matches_runtime_names() {
     ranks.sort_unstable();
     ranks.dedup();
     assert_eq!(ranks.len(), cfg.locks.len(), "duplicate ranks in the lock table");
+}
+
+#[test]
+fn cli_json_mode_rule_filter_and_exit_codes() {
+    // End-to-end over the real binary: JSON mode on the clean workspace
+    // exits 0 and emits the stable schema; a mutated spec copy via
+    // --spec with --rule filtering exits 1 with only format-drift
+    // findings (the CI mutation step relies on exactly this contract).
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let bin = env!("CARGO_BIN_EXE_jigsaw-analyze");
+    let out = std::process::Command::new(bin)
+        .args([root, "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "clean workspace must exit 0: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"files_scanned\":"), "{stdout}");
+    assert!(stdout.contains("\"findings\": ["), "{stdout}");
+    assert!(stdout.contains("\"allowed\": true"), "audited allows missing: {stdout}");
+
+    let spec = std::fs::read_to_string(Path::new(root).join("docs/FORMAT.md")).expect("spec");
+    let mutated =
+        spec.replace("`1` planned, `2` global-compiled", "`2` planned, `1` global-compiled");
+    assert_ne!(mutated, spec, "mutation anchor lost — update this test with FORMAT.md");
+    let tmp = std::env::temp_dir().join("jigsaw_analyze_mutated_spec.md");
+    std::fs::write(&tmp, mutated).expect("write temp spec");
+    let out = std::process::Command::new(bin)
+        .args([
+            root,
+            "--format",
+            "json",
+            "--rule",
+            "format-drift",
+            "--spec",
+            tmp.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"rule\": \"format-drift\""), "{stdout}");
+    assert!(!stdout.contains("\"rule\": \"seed-flow\""), "--rule filter leaked: {stdout}");
+    std::fs::remove_file(&tmp).ok();
+
+    // Internal errors are distinct from findings.
+    let out = std::process::Command::new(bin)
+        .args([root, "--spec", "does/not/exist.md"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "internal error must exit 2: {out:?}");
 }

@@ -1,5 +1,6 @@
-//! Allowlist round-trip, good half: a real violation suppressed by a
-//! well-formed `analyze:allow` with a reason. Must produce no findings.
+//! Allowlist round-trip, good half: real violations suppressed by
+//! well-formed `analyze:allow`s with reasons — one per suppressible
+//! rule family. Must produce no findings.
 
 // analyze:allow(det-map, insert-only duplicate check; never iterated)
 use std::collections::HashSet;
@@ -9,4 +10,23 @@ pub fn all_unique(values: &[u64]) -> bool {
     // analyze:allow(det-map, insert-only duplicate check; never iterated)
     let mut seen = HashSet::new();
     values.iter().all(|v| seen.insert(*v))
+}
+
+/// A panic site reachable from an untrusted entry, suppressed with a
+/// reason at the panic site (the chain seeds from the `Decode` impl).
+pub struct Blob;
+
+impl Decode for Blob {
+    fn decode(bytes: &[u8]) -> Blob {
+        // analyze:allow(panic-reach, caller framing guarantees >= 1 byte)
+        let _first = bytes[0];
+        Blob
+    }
+}
+
+/// A literal seed suppressed with a reason.
+pub fn fixture_stream() -> u64 {
+    // analyze:allow(seed-flow, demo stream outside any result path)
+    let mut rng = StdRng::seed_from_u64(9);
+    rng.gen()
 }

@@ -1,18 +1,37 @@
-//! Known-bad: panics and direct indexing on an untrusted decode surface.
+//! Known-bad: panic sites transitively reachable from an untrusted
+//! decode entry point — a two-hop chain (`decode` → `read_tag` →
+//! `finish`) — plus an identical helper that no entry reaches, which
+//! must produce no findings (reachability, not a file whitelist).
 
-/// Parses a header the panicking way (every line here is a finding).
-pub fn parse(bytes: &[u8]) -> (u8, u64) {
+pub struct Header {
+    pub tag: u8,
+}
+
+impl Decode for Header {
+    fn decode(bytes: &[u8]) -> Header {
+        Header { tag: read_tag(bytes) }
+    }
+}
+
+/// Hop one: panic-free itself, but it forwards untrusted bytes.
+fn read_tag(bytes: &[u8]) -> u8 {
+    finish(bytes)
+}
+
+/// Hop two: every panicking shape, reported with the full witness chain.
+fn finish(bytes: &[u8]) -> u8 {
     let tag = bytes[0];
     let word: [u8; 8] = bytes[1..9].try_into().expect("length checked");
     let value = u64::from_le_bytes(word);
-    assert!(tag != 0xFF, "reserved tag");
+    let _checked = value.checked_add(1).unwrap();
     if value == 0 {
         panic!("zero value");
     }
-    (tag, value)
+    tag
 }
 
-/// `unwrap()` on a parse result.
-pub fn first_line(text: &str) -> &str {
+/// Same panicking shape, but unreachable from any untrusted entry: the
+/// analyzer must stay silent here.
+pub fn cold_helper(text: &str) -> &str {
     text.lines().next().unwrap()
 }

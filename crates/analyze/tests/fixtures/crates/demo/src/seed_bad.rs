@@ -1,0 +1,26 @@
+//! Known-bad seed discipline: a literal seed, a `let`-bound literal
+//! seed, and a raw `mix` call with an inline salt constant.
+
+/// Literal seed: the stream is untracked by the experiment seed.
+pub fn sample() -> u64 {
+    let mut rng = StdRng::seed_from_u64(42);
+    rng.gen()
+}
+
+/// Inline salt constant: unauditable against the reserved ranges.
+pub fn trial_stream(exp: u64, r: u64) -> u64 {
+    seed::mix(exp, 50_000 + r)
+}
+
+/// `let`-bound literal seed: same defect, one hop removed.
+pub fn bound_literal() -> u64 {
+    let s = 7;
+    let mut rng = StdRng::seed_from_u64(s);
+    rng.gen()
+}
+
+/// Derived stream: clean.
+pub fn derived(cfg_seed: u64, index: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed::mix(cfg_seed, index));
+    rng.gen()
+}

@@ -1,0 +1,35 @@
+//! Known-good wire constants for the `format-drift` fixture: this file
+//! agrees with `docs/FORMAT.md` (the fixture spec) and disagrees with
+//! `docs/FORMAT_drifted.md` in exactly one tag byte.
+
+pub const MAGIC: [u8; 4] = *b"\xAA\xBB\xCC\xDD";
+
+pub const WIRE_VERSION: u16 = 7;
+
+pub enum StageTag {
+    Alpha,
+    Beta,
+}
+
+impl StageTag {
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Alpha => 1,
+            Self::Beta => 2,
+        }
+    }
+}
+
+pub enum WireTag {
+    Ping,
+    Pong,
+}
+
+impl WireTag {
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Ping => 0,
+            Self::Pong => 1,
+        }
+    }
+}

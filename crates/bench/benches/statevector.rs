@@ -42,8 +42,11 @@ fn bench_sampling(c: &mut Criterion) {
     group.bench_function("sample_1k_from_cdf", |b| {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
+        // Fixed bench seed: sampling timings are independent of the
+        // experiment-seed derivation chain, but stay reproducible.
+        const BENCH_SEED: u64 = 3;
         b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(3);
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED);
             (0..1000).map(|_| sv.sample_from_cdf(&cdf, &mut rng)).count()
         });
     });

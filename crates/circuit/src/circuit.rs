@@ -364,12 +364,14 @@ impl jigsaw_pmf::codec::Decode for Circuit {
             if m.clbit >= n_qubits {
                 return Err(invalid(format!("classical bit {} out of range", m.clbit)));
             }
+            // analyze:allow(panic-reach, m.qubit is range-checked against n_qubits just above)
             if std::mem::replace(&mut qubit_used[m.qubit], true) {
                 return Err(invalid(format!("qubit {} measured twice", m.qubit)));
             }
             clbits.push(m.clbit);
         }
         clbits.sort_unstable();
+        // analyze:allow(panic-reach, windows(2) yields exactly-2 slices)
         if clbits.windows(2).any(|w| w[0] == w[1]) {
             return Err(invalid("a classical bit is written twice".into()));
         }

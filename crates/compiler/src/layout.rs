@@ -153,6 +153,7 @@ impl jigsaw_pmf::codec::Decode for Layout {
                     detail: format!("logical {l} mapped to {p} outside the device"),
                 });
             }
+            // analyze:allow(panic-reach, p is range-checked against device_qubits just above)
             if std::mem::replace(&mut used[p], true) {
                 return Err(CodecError::InvalidValue {
                     what: "Layout",

@@ -66,6 +66,7 @@ mod imp {
         pub fn lock(&self) -> MutexGuard<'_, T> {
             match self.inner.lock() {
                 Ok(inner) => MutexGuard { inner },
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lock `{}` poisoned", self.name),
             }
         }
@@ -117,6 +118,7 @@ mod imp {
         pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
             match self.inner.wait(guard.inner) {
                 Ok(inner) => MutexGuard { inner },
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lock poisoned during condvar wait"),
             }
         }
@@ -130,6 +132,7 @@ mod imp {
         ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
             match self.inner.wait_timeout(guard.inner, dur) {
                 Ok((inner, timeout)) => (MutexGuard { inner }, timeout),
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lock poisoned during condvar wait"),
             }
         }
@@ -218,6 +221,7 @@ mod imp {
         {
             let mut edges = match graph().lock() {
                 Ok(g) => g,
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lockcheck graph poisoned"),
             };
             for (from, from_site) in held {
@@ -257,6 +261,7 @@ mod imp {
             }
         }
         if let Some(message) = cycle {
+            // analyze:allow(panic-reach, a lock-order cycle is a programming bug the checker exists to fail fast on; no request data decides it)
             panic!("{message}");
         }
     }
@@ -303,6 +308,7 @@ mod imp {
             before_acquire(self.name, site);
             let inner = match self.inner.lock() {
                 Ok(inner) => inner,
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lock `{}` poisoned", self.name),
             };
             push_held(self.name, site);
@@ -383,12 +389,14 @@ mod imp {
             let site = Location::caller();
             let name = guard.name;
             let Some(inner) = guard.inner.take() else {
+                // analyze:allow(panic-reach, the guard's inner slot is only taken here; reuse cannot happen)
                 unreachable!("guard used after condvar consumed it")
             };
             pop_held(name);
             drop(guard);
             let inner = match self.inner.wait(inner) {
                 Ok(inner) => inner,
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lock `{name}` poisoned during condvar wait"),
             };
             before_acquire(name, site);
@@ -410,12 +418,14 @@ mod imp {
             let site = Location::caller();
             let name = guard.name;
             let Some(inner) = guard.inner.take() else {
+                // analyze:allow(panic-reach, the guard's inner slot is only taken here; reuse cannot happen)
                 unreachable!("guard used after condvar consumed it")
             };
             pop_held(name);
             drop(guard);
             let (inner, timeout) = match self.inner.wait_timeout(inner, dur) {
                 Ok(pair) => pair,
+                // analyze:allow(panic-reach, poisoning means a sibling thread already panicked; fail-fast is the lockcheck contract)
                 Err(_) => panic!("lock `{name}` poisoned during condvar wait"),
             };
             before_acquire(name, site);

@@ -1341,6 +1341,7 @@ impl Decode for SubsetsSelected {
                 s.len() == layer.size
                     && !s.is_empty()
                     && s.len() < n
+                    // analyze:allow(panic-reach, windows(2) yields exactly-2 slices)
                     && s.windows(2).all(|w| w[0] < w[1])
                     && s.last().is_none_or(|&q| q < n)
             });

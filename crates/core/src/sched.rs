@@ -311,6 +311,7 @@ impl JobTicket {
         while slot.verdict.is_none() {
             slot = self.cell.done.wait(slot);
         }
+        // analyze:allow(panic-reach, the wait loop above only exits once verdict is Some)
         let verdict = slot.verdict.take().expect("just checked");
         let checkpoint = slot.checkpoint.take();
         verdict.map(|result| JobOutput { result, checkpoint })

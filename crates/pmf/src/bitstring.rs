@@ -305,6 +305,7 @@ impl FromStr for BitString {
 impl crate::codec::Encode for BitString {
     fn encode(&self, w: &mut crate::codec::Writer) {
         w.put_u16(self.len);
+        // analyze:allow(panic-reach, len <= MAX_BITS keeps the bound within the WORDS array)
         for word in &self.words[..(self.len as usize).div_ceil(64)] {
             w.put_u64(*word);
         }
@@ -327,6 +328,7 @@ impl crate::codec::Decode for BitString {
             *word = r.u64()?;
         }
         let tail_bits = usize::from(len) % 64;
+        // analyze:allow(panic-reach, guarded by n_words > 0 in the same condition)
         if n_words > 0 && tail_bits != 0 && words[n_words - 1] >> tail_bits != 0 {
             return Err(CodecError::InvalidValue {
                 what: "BitString",

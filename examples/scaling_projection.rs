@@ -39,7 +39,10 @@ fn main() {
     println!();
     println!("Live check — reconstruction round on synthetic 64-qubit PMFs:");
     println!();
-    let mut rng = StdRng::seed_from_u64(11);
+    // Fixed demo seed: the synthetic PMFs here feed a wall-clock
+    // projection, not a result figure.
+    const DEMO_SEED: u64 = 11;
+    let mut rng = StdRng::seed_from_u64(DEMO_SEED);
     for entries in [2_000usize, 4_000, 8_000, 16_000] {
         let mut p = Pmf::new(64);
         while p.support_size() < entries {
