@@ -204,6 +204,7 @@ impl Config {
                 .to_vec(),
             det_map_exempt: vec!["crates/pmf/src/hashing.rs".to_owned()],
             locks: vec![
+                lock("crates/core/src/dist.rs", "queue", "dist.queue", 5),
                 lock("crates/server/src/server.rs", "pending", "server.conn_queue", 10),
                 lock("crates/server/src/cache.rs", "inner", "cache.inner", 20),
                 lock("crates/core/src/sched.rs", "state", "sched.state", 30),
@@ -268,8 +269,10 @@ impl Config {
                 entry(PROTOCOL, "from_bytes"),
                 entry(PROTOCOL, "read_from"),
                 entry(PROTOCOL, "decode_submit"),
+                entry(PROTOCOL, "decode_shard"),
                 entry("crates/server/src/server.rs", "handle_connection"),
                 entry("crates/server/src/server.rs", "handle_submit"),
+                entry("crates/server/src/server.rs", "handle_shard"),
                 entry(PERSIST, "read_header"),
                 entry(PERSIST, "from_bytes"),
                 entry(PERSIST, "load_stage"),
@@ -289,6 +292,10 @@ impl Config {
                 // Scheduling a decoded-and-digest-checked request; the
                 // request never re-enters byte parsing from here.
                 entry("crates/server/src/server.rs", "compute_job"),
+                // Same contract for shards: `decode_shard` has already
+                // range-checked the shard against the decoded stage's own
+                // work list before the scheduler sees it.
+                entry("crates/server/src/server.rs", "compute_shard"),
                 // Constructors with a documented `# Panics` contract whose
                 // decoders re-validate every index *before* constructing
                 // (`Layout::decode`, `Topology::decode`): the asserts

@@ -301,8 +301,8 @@ fn real_spec_mutations_yield_exactly_one_finding_each() {
 
     // Spec-side: bump the protocol version only in the document.
     let mutated = spec.replace(
-        "protocol version, `u16` — currently `2`",
         "protocol version, `u16` — currently `3`",
+        "protocol version, `u16` — currently `4`",
     );
     assert_ne!(mutated, spec, "mutation anchor lost — update this test with FORMAT.md");
     let report = run_files(&cfg, &files, Some(&mutated));
@@ -314,7 +314,7 @@ fn real_spec_mutations_yield_exactly_one_finding_each() {
 
     // Spec-side: move a frame-kind tag byte to an unused value (a *used*
     // value would also trip the intra-spec duplicate-tag check).
-    let mutated = spec.replace("| 4   | `MetricsRequest` |", "| 9   | `MetricsRequest` |");
+    let mutated = spec.replace("| 4   | `MetricsRequest` |", "| 11  | `MetricsRequest` |");
     assert_ne!(mutated, spec, "mutation anchor lost — update this test with FORMAT.md");
     let report = run_files(&cfg, &files, Some(&mutated));
     let hits: Vec<&Violation> =

@@ -80,6 +80,7 @@
 
 pub mod angles;
 pub mod bayes;
+pub mod dist;
 mod evaluate;
 #[allow(clippy::module_inception)]
 mod jigsaw;
@@ -99,6 +100,7 @@ pub use bayes::{
     reconstruction_round_over_entries, reconstruction_round_with_threads, Marginal, Reconstruction,
     ReconstructionConfig,
 };
+pub use dist::{DistConfig, DistError, Shard, ShardRequest, ShardRunner};
 pub use evaluate::Scores;
 pub use jigsaw::{
     run_baseline, run_baseline_from, run_edm, run_jigsaw, JigsawConfig, JigsawResult,
@@ -109,5 +111,5 @@ pub use pipeline::{
     CpmWork, JigsawPipeline, PlanError, StageName, StageOutcome, StageRecord, StageTask,
     StageTimings,
 };
-pub use sched::{JobError, JobOutput, JobTicket, Priority, SchedConfig, Scheduler};
+pub use sched::{JobError, JobOutput, JobTicket, Priority, SchedConfig, Scheduler, ShardTicket};
 pub use subsets::SubsetSelection;

@@ -10,6 +10,7 @@
 //!
 //! | rank | lock |
 //! |-----:|------|
+//! | 5 | `dist.queue` |
 //! | 10 | `server.conn_queue` |
 //! | 20 | `cache.inner` |
 //! | 30 | `sched.state` |

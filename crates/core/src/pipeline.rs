@@ -782,6 +782,16 @@ impl SubsetsSelected {
     /// runs — the property cross-job batching rests on.
     #[must_use]
     pub fn run_cpm_item(&self, item: &CpmWork) -> Marginal {
+        Marginal::new(item.subset.clone(), self.run_cpm_item_counts(item).to_pmf())
+    }
+
+    /// The raw histogram behind [`Self::run_cpm_item`] — the unit a
+    /// distributed sweep ([`crate::dist`]) ships across processes.
+    /// `run_cpm_item` is exactly this followed by the deterministic
+    /// `Counts::to_pmf` normalisation, so moving histograms over the wire
+    /// and normalising at the merge preserves bit-identity.
+    #[must_use]
+    pub fn run_cpm_item_counts(&self, item: &CpmWork) -> jigsaw_pmf::Counts {
         let config = &self.ctx.config;
         // Inner executor runs and CPM placement searches stay serial: the
         // fan-out already uses the worker team, and nested teams would
@@ -798,8 +808,16 @@ impl SubsetsSelected {
         } else {
             CpmArtifact::reusing(&self.global, &item.subset)
         };
-        let counts = Executor::new(&self.ctx.device).run(&artifact.circuit, item.trials, &cpm_run);
-        Marginal::new(item.subset.clone(), counts.to_pmf())
+        Executor::new(&self.ctx.device).run(&artifact.circuit, item.trials, &cpm_run)
+    }
+
+    /// The persist config digest of the producing `(program, device,
+    /// config)` triple — the content address distributed shard frames are
+    /// bound to, mirroring the job protocol's digest binding.
+    #[must_use]
+    pub fn config_digest(&self) -> u64 {
+        let (program, device, config) = self.ctx.digest_inputs();
+        crate::persist::config_digest(program, device, config)
     }
 
     /// Stage 4: compiles (or derives from the global artifact) and executes

@@ -78,11 +78,14 @@ use jigsaw_device::Device;
 use jigsaw_pmf::codec::{fnv1a64, Encode, Writer};
 use jigsaw_pmf::parallel::{fan_out, fan_out_groups};
 
+use jigsaw_pmf::ShardPartial;
+
 use crate::bayes::Marginal;
+use crate::dist;
 use crate::jigsaw::{JigsawConfig, JigsawResult};
 use crate::lockcheck::{Condvar, Mutex};
 use crate::persist::{self, StageKind};
-use crate::pipeline::{JigsawPipeline, PlanError, StageOutcome, StageTask};
+use crate::pipeline::{JigsawPipeline, PlanError, StageOutcome, StageTask, SubsetsSelected};
 use crate::telemetry;
 
 /// Every this-many dispatches, the pick order inverts (lowest lane first)
@@ -318,6 +321,53 @@ impl JobTicket {
     }
 }
 
+/// Completion cell for one distributed-sweep shard: the worker fills it,
+/// the [`ShardTicket`] waits on it. Shares the `sched.cell.slot` lock
+/// rank with [`JobCell`] — the two are never held together.
+struct ShardCell {
+    slot: Mutex<Option<Result<ShardPartial, JobError>>>,
+    done: Condvar,
+}
+
+impl ShardCell {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { slot: Mutex::new("sched.cell.slot", None), done: Condvar::new() })
+    }
+}
+
+/// A claim on one submitted shard ([`Scheduler::submit_shard`]).
+pub struct ShardTicket {
+    cell: Arc<ShardCell>,
+}
+
+impl fmt::Debug for ShardTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let decided = self.cell.slot.lock().is_some();
+        f.debug_struct("ShardTicket").field("decided", &decided).finish()
+    }
+}
+
+impl ShardTicket {
+    /// Blocks until the shard completes and returns its partial result.
+    ///
+    /// # Errors
+    ///
+    /// The [`JobError`] the scheduler refused or failed the shard with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion lock is poisoned (a scheduler bug: shard
+    /// code never runs under it).
+    pub fn wait(self) -> Result<ShardPartial, JobError> {
+        let mut slot = self.cell.slot.lock();
+        while slot.is_none() {
+            slot = self.cell.done.wait(slot);
+        }
+        // analyze:allow(panic-reach, the wait loop above only exits once the verdict is Some)
+        slot.take().expect("just checked")
+    }
+}
+
 /// Which batchable stage a pending task is at, plus the compatibility key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BatchSignature {
@@ -328,15 +378,25 @@ struct BatchSignature {
     key: u64,
 }
 
-/// One queued unit of work: a job parked at a stage boundary. `task` is
-/// `Some` whenever the pending sits in a lane; the executing worker takes
-/// it out while the stage runs.
+/// The payload of one queued dispatch unit.
+enum Work {
+    /// A pipeline job parked at a stage boundary.
+    Stage {
+        cell: Arc<JobCell>,
+        task: Box<StageTask>,
+        /// Stage still awaiting checkpoint capture, if any.
+        hint: Option<StageKind>,
+    },
+    /// One distributed-sweep shard ([`Scheduler::submit_shard`]),
+    /// resolved through [`dist::execute_shard`]. Never batched: a shard
+    /// is already a range fan-out of its own.
+    Shard { cell: Arc<ShardCell>, stage: Arc<SubsetsSelected>, shard: dist::Shard },
+}
+
+/// One queued unit of work sitting in a lane.
 struct Pending {
-    cell: Arc<JobCell>,
-    task: Option<Box<StageTask>>,
+    work: Work,
     lane: Priority,
-    /// Stage still awaiting checkpoint capture, if any.
-    hint: Option<StageKind>,
     signature: Option<BatchSignature>,
     enqueued: Instant,
 }
@@ -460,13 +520,62 @@ impl Scheduler {
             hint = None;
         }
         let pending = Pending {
-            cell: Arc::clone(&cell),
-            task: Some(Box::new(StageTask::Planned(planned))),
+            work: Work::Stage {
+                cell: Arc::clone(&cell),
+                task: Box::new(StageTask::Planned(planned)),
+                hint,
+            },
             lane: priority,
-            hint,
             signature: None,
             enqueued: Instant::now(),
         };
+        self.admit(pending, priority)?;
+        Ok(JobTicket { cell })
+    }
+
+    /// Submits one distributed-sweep shard into `priority`'s lane: the
+    /// worker runs [`dist::execute_shard`] over the range when the lane
+    /// discipline dispatches it. Shards share the job admission bound —
+    /// a saturated worker refuses shard traffic with the same typed
+    /// [`JobError::Overloaded`] the server relays to drivers.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Overloaded`], [`JobError::Shutdown`], or
+    /// [`JobError::Failed`] when the shard range does not fit the stage's
+    /// work list (decoded requests are pre-validated, so this indicates
+    /// caller misuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler lock is poisoned (a bug: shard code never
+    /// runs under it).
+    pub fn submit_shard(
+        &self,
+        stage: Arc<SubsetsSelected>,
+        shard: dist::Shard,
+        priority: Priority,
+    ) -> Result<ShardTicket, JobError> {
+        let items = stage.layers().iter().map(|layer| layer.subsets.len()).sum::<usize>() as u64;
+        if shard.is_empty() || shard.hi > items {
+            return Err(JobError::Failed(format!(
+                "shard range {}..{} invalid for a {items}-item work list",
+                shard.lo, shard.hi
+            )));
+        }
+        let cell = ShardCell::new();
+        let pending = Pending {
+            work: Work::Shard { cell: Arc::clone(&cell), stage, shard },
+            lane: priority,
+            signature: None,
+            enqueued: Instant::now(),
+        };
+        self.admit(pending, priority)?;
+        Ok(ShardTicket { cell })
+    }
+
+    /// Shared admission: bounds capacity, enqueues, wakes one worker.
+    fn admit(&self, pending: Pending, priority: Priority) -> Result<(), JobError> {
         {
             let mut state = self.inner.state.lock();
             if state.shutdown {
@@ -480,7 +589,7 @@ impl Scheduler {
         }
         self.inner.metrics.lane_jobs[priority.index()].inc();
         self.inner.work.notify_one();
-        Ok(JobTicket { cell })
+        Ok(())
     }
 
     /// Stops the workers: queued jobs fail with [`JobError::Shutdown`],
@@ -497,10 +606,20 @@ impl Scheduler {
         };
         self.inner.work.notify_all();
         for pending in drained {
-            Self::complete(&self.inner, &pending.cell, Err(JobError::Shutdown));
+            Self::fail_pending(&self.inner, pending.work);
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+    }
+
+    /// Completes a never-dispatched unit with [`JobError::Shutdown`].
+    fn fail_pending(inner: &Arc<Inner>, work: Work) {
+        match work {
+            Work::Stage { cell, .. } => Self::complete(inner, &cell, Err(JobError::Shutdown)),
+            Work::Shard { cell, .. } => {
+                Self::complete_shard(inner, &cell, Err(JobError::Shutdown));
+            }
         }
     }
 
@@ -575,14 +694,27 @@ impl Scheduler {
             inner.metrics.batched_jobs.add(batch.len() as u64);
         }
         let threads = inner.config.batch_threads;
-        // Split each pending into its bookkeeping and its stage value.
-        let (mut metas, tasks): (Vec<Pending>, Vec<StageTask>) = batch
-            .into_iter()
-            .map(|mut pending| {
-                let task = *pending.task.take().expect("queued pending holds its task");
-                (pending, task)
-            })
-            .unzip();
+        // Split each pending into its bookkeeping and its work payload.
+        // Shards dispatch immediately (they are never batched); stage
+        // tasks go through the batch machinery below.
+        let mut metas: Vec<(Arc<JobCell>, Option<StageKind>, Priority)> = Vec::new();
+        let mut tasks: Vec<StageTask> = Vec::new();
+        for pending in batch {
+            match pending.work {
+                Work::Stage { cell, task, hint } => {
+                    metas.push((cell, hint, pending.lane));
+                    tasks.push(*task);
+                }
+                Work::Shard { cell, stage, shard } => {
+                    let verdict =
+                        contain(|| dist::execute_shard(&stage, &shard)).map_err(JobError::Failed);
+                    Self::complete_shard(inner, &cell, verdict);
+                }
+            }
+        }
+        if tasks.is_empty() {
+            return;
+        }
 
         let outcomes: Vec<Result<StageOutcome, String>> = if metas.len() >= 2 {
             match tasks.first() {
@@ -617,23 +749,26 @@ impl Scheduler {
         };
 
         let mut requeue = Vec::new();
-        for (mut pending, outcome) in metas.drain(..).zip(outcomes) {
+        for ((cell, mut hint, lane), outcome) in metas.drain(..).zip(outcomes) {
             match outcome {
                 Ok(StageOutcome::Next(task)) => {
-                    if pending.hint.is_some() && task.kind() == pending.hint {
-                        pending.cell.slot.lock().checkpoint = Some(checkpoint_bytes(&task));
-                        pending.hint = None;
+                    if hint.is_some() && task.kind() == hint {
+                        cell.slot.lock().checkpoint = Some(checkpoint_bytes(&task));
+                        hint = None;
                     }
-                    pending.signature = Self::signature_of(&task);
-                    pending.task = Some(task);
-                    pending.enqueued = Instant::now();
-                    requeue.push(pending);
+                    let signature = Self::signature_of(&task);
+                    requeue.push(Pending {
+                        work: Work::Stage { cell, task, hint },
+                        lane,
+                        signature,
+                        enqueued: Instant::now(),
+                    });
                 }
                 Ok(StageOutcome::Done(result)) => {
-                    Self::complete(inner, &pending.cell, Ok(*result));
+                    Self::complete(inner, &cell, Ok(*result));
                 }
                 Err(detail) => {
-                    Self::complete(inner, &pending.cell, Err(JobError::Failed(detail)));
+                    Self::complete(inner, &cell, Err(JobError::Failed(detail)));
                 }
             }
         }
@@ -654,7 +789,7 @@ impl Scheduler {
                 inner.work.notify_all();
             }
             for pending in failed {
-                Self::complete(inner, &pending.cell, Err(JobError::Shutdown));
+                Self::fail_pending(inner, pending.work);
             }
         }
     }
@@ -693,6 +828,21 @@ impl Scheduler {
         }
         let mut slot = cell.slot.lock();
         slot.verdict = Some(verdict);
+        drop(slot);
+        cell.done.notify_all();
+    }
+
+    fn complete_shard(
+        inner: &Arc<Inner>,
+        cell: &Arc<ShardCell>,
+        verdict: Result<ShardPartial, JobError>,
+    ) {
+        {
+            let mut state = inner.state.lock();
+            state.admitted = state.admitted.saturating_sub(1);
+        }
+        let mut slot = cell.slot.lock();
+        *slot = Some(verdict);
         drop(slot);
         cell.done.notify_all();
     }
@@ -826,6 +976,46 @@ mod tests {
         }
         let output = good.wait().expect("unaffected job completes");
         assert_eq!(output.result, run_jigsaw(bench::ghz(4).circuit(), &device, &good_config));
+    }
+
+    #[test]
+    fn shards_resolve_through_the_lanes_and_merge_bit_identically() {
+        let device = Device::toronto();
+        let config = quick_config(17).without_recompilation();
+        let program_bench = bench::ghz(5);
+        let program = program_bench.circuit();
+        let solo = encode_to_vec(&run_jigsaw(program, &device, &config));
+        let stage = Arc::new(
+            JigsawPipeline::plan(program, &device, &config)
+                .compile_global()
+                .run_global()
+                .select_subsets(),
+        );
+        let items = stage.layers().iter().map(|l| l.subsets.len()).sum::<usize>();
+        let sched = Scheduler::new(SchedConfig::default().with_workers(2));
+
+        // An out-of-range shard is refused without consuming capacity.
+        let bogus = dist::Shard { index: 0, lo: 0, hi: items as u64 + 1 };
+        assert!(matches!(
+            sched.submit_shard(Arc::clone(&stage), bogus, Priority::Sweep),
+            Err(JobError::Failed(_))
+        ));
+        assert_eq!(sched.admitted(), 0);
+
+        let lanes = [Priority::Interactive, Priority::Sweep, Priority::Background];
+        let tickets: Vec<_> = dist::plan_shards(items, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                sched.submit_shard(Arc::clone(&stage), shard, lanes[i % 3]).expect("shard admitted")
+            })
+            .collect();
+        let partials: Vec<_> = tickets.into_iter().map(|t| t.wait().expect("shard ran")).collect();
+        assert!(partials.iter().all(|p| p.compiles == 0), "workers must not recompile");
+        let merged =
+            dist::merge_partials((*stage).clone(), partials).expect("partials tile the work list");
+        assert_eq!(encode_to_vec(&merged), solo);
+        assert_eq!(sched.admitted(), 0);
     }
 
     #[test]

@@ -257,6 +257,25 @@ pub fn sched_batched_jobs() -> Counter {
     global().counter("jigsaw_sched_batched_jobs_total", &[])
 }
 
+/// Distributed-sweep shard outcome counter
+/// (`jigsaw_dist_shards_total{outcome=...}`): shard executions by final
+/// outcome — `"ok"` for a merged partial, `"error"` for a failed attempt.
+/// Incremented wherever the outcome is observed: the sweep driver counts
+/// every attempt it dispatched, and a worker process counts each shard it
+/// served — so both sides' metrics frames expose the sweep.
+#[must_use]
+pub fn dist_shards(outcome: &str) -> Counter {
+    global().counter("jigsaw_dist_shards_total", &[("outcome", outcome)])
+}
+
+/// Distributed-sweep retry counter (`jigsaw_dist_retries_total`):
+/// incremented by the driver each time a failed shard is requeued for a
+/// surviving worker.
+#[must_use]
+pub fn dist_retries() -> Counter {
+    global().counter("jigsaw_dist_retries_total", &[])
+}
+
 /// The process-wide registry singleton.
 #[must_use]
 pub fn global() -> &'static Registry {

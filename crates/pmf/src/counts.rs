@@ -157,6 +157,72 @@ impl Counts {
     }
 }
 
+/// Wire format: `n_bits` as `u64`, then the outcomes in **canonical order**
+/// (`u64` entry count, then `(BitString, u64 count)` pairs sorted ascending
+/// by outcome). Equal histograms therefore always encode to identical
+/// bytes, no matter what insertion order built them. Decode enforces the
+/// canonical invariants — matching widths, strictly ascending outcomes,
+/// counts ≥ 1, a total that fits `u64` — so corrupt shard frames surface
+/// typed errors instead of undefined histograms.
+impl crate::codec::Encode for Counts {
+    fn encode(&self, w: &mut crate::codec::Writer) {
+        w.put_usize(self.n_bits);
+        let mut entries: Vec<(BitString, u64)> = self.iter().map(|(b, c)| (*b, c)).collect();
+        entries.sort_unstable_by_key(|&(b, _)| b);
+        w.put_usize(entries.len());
+        for (b, c) in entries {
+            crate::codec::Encode::encode(&b, w);
+            w.put_u64(c);
+        }
+    }
+}
+
+impl crate::codec::Decode for Counts {
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::CodecError;
+        let n_bits = r.usize()?;
+        if n_bits > crate::MAX_BITS {
+            return Err(CodecError::InvalidValue {
+                what: "Counts",
+                detail: format!("width {n_bits} exceeds the {}-bit capacity", crate::MAX_BITS),
+            });
+        }
+        let len = r.seq_len(2 + 8)?; // ≥ 2 bytes of BitString + 8 of count
+        let mut map = DetHashMap::default();
+        let mut total: u64 = 0;
+        let mut prev: Option<BitString> = None;
+        for _ in 0..len {
+            let b = BitString::decode(r)?;
+            let c = r.u64()?;
+            if b.len() != n_bits {
+                return Err(CodecError::InvalidValue {
+                    what: "Counts",
+                    detail: format!("entry width {} in a {n_bits}-bit histogram", b.len()),
+                });
+            }
+            if prev.is_some_and(|prev| prev >= b) {
+                return Err(CodecError::InvalidValue {
+                    what: "Counts",
+                    detail: "outcomes not in strictly ascending canonical order".into(),
+                });
+            }
+            if c == 0 {
+                return Err(CodecError::InvalidValue {
+                    what: "Counts",
+                    detail: format!("outcome {b} carries a zero count"),
+                });
+            }
+            total = total.checked_add(c).ok_or_else(|| CodecError::InvalidValue {
+                what: "Counts",
+                detail: "trial total overflows u64".into(),
+            })?;
+            map.insert(b, c);
+            prev = Some(b);
+        }
+        Ok(Self { n_bits, map, total })
+    }
+}
+
 impl FromIterator<BitString> for Counts {
     /// Builds a histogram from an outcome stream.
     ///
@@ -271,5 +337,58 @@ mod tests {
     fn record_rejects_wrong_width() {
         let mut c = Counts::new(3);
         c.record(bs("01"));
+    }
+
+    mod codec {
+        use super::*;
+        use crate::codec::{decode_from_slice, encode_to_vec, CodecError, Encode, Writer};
+
+        #[test]
+        fn round_trips_and_is_insertion_order_independent() {
+            let mut a = Counts::new(2);
+            a.record_many(bs("10"), 3);
+            a.record_many(bs("01"), 1);
+            let mut b = Counts::new(2);
+            b.record_many(bs("01"), 1);
+            b.record_many(bs("10"), 3);
+            assert_eq!(encode_to_vec(&a), encode_to_vec(&b));
+            let back: Counts = decode_from_slice(&encode_to_vec(&a)).unwrap();
+            assert_eq!(back, a);
+            assert_eq!(back.total(), 4);
+            let empty: Counts = decode_from_slice(&encode_to_vec(&Counts::new(5))).unwrap();
+            assert_eq!(empty, Counts::new(5));
+        }
+
+        /// Encodes `(width, entries)` without canonicalisation so tests can
+        /// craft invalid byte streams.
+        fn raw(n_bits: usize, entries: &[(&str, u64)]) -> Vec<u8> {
+            let mut w = Writer::new();
+            w.put_usize(n_bits);
+            w.put_usize(entries.len());
+            for (s, c) in entries {
+                bs(s).encode(&mut w);
+                w.put_u64(*c);
+            }
+            w.into_bytes()
+        }
+
+        #[test]
+        fn decode_rejects_non_canonical_histograms() {
+            for (bytes, needle) in [
+                (raw(300, &[]), "capacity"),
+                (raw(2, &[("011", 1)]), "entry width"),
+                (raw(2, &[("10", 1), ("01", 2)]), "ascending"),
+                (raw(2, &[("01", 1), ("01", 2)]), "ascending"),
+                (raw(2, &[("01", 0)]), "zero count"),
+                (raw(1, &[("0", u64::MAX), ("1", 1)]), "overflows"),
+            ] {
+                let err = decode_from_slice::<Counts>(&bytes).unwrap_err();
+                let CodecError::InvalidValue { what, detail } = &err else {
+                    panic!("expected InvalidValue, got {err:?}");
+                };
+                assert_eq!(*what, "Counts");
+                assert!(detail.contains(needle), "{detail:?} missing {needle:?}");
+            }
+        }
     }
 }

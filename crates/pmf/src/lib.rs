@@ -15,6 +15,8 @@
 //! * [`metrics`] — the paper's figures of merit: TVD-based Fidelity
 //!   (Equation 3), PST (Equation 1), IST (Equation 2), plus Hellinger and KL
 //!   distances.
+//! * [`partial`] — per-CPM histogram and per-shard partial-result wire
+//!   types for distributed sweeps ([`CpmHistogram`], [`ShardPartial`]).
 //! * [`codec`] — the [`Encode`](codec::Encode)/[`Decode`](codec::Decode)
 //!   trait pair and little-endian primitives behind the workspace's
 //!   persistable-artifact format (`docs/FORMAT.md`); every crate implements
@@ -43,9 +45,11 @@ mod counts;
 pub mod hashing;
 pub mod metrics;
 pub mod parallel;
+pub mod partial;
 #[allow(clippy::module_inception)]
 mod pmf;
 
 pub use bitstring::{BitString, ParseBitStringError, MAX_BITS};
 pub use counts::Counts;
+pub use partial::{CpmHistogram, ShardPartial};
 pub use pmf::Pmf;

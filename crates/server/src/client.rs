@@ -130,6 +130,35 @@ impl Client {
         }
     }
 
+    /// Submits one distributed-sweep shard and decodes the worker's
+    /// partial. The caller (normally the sweep driver in
+    /// `crate::dist`) is responsible for merging partials in shard-index
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] carries the worker's typed
+    /// [`JobRejection`]; other variants are transport/framing failures —
+    /// including [`ClientError::Closed`] when the worker dies mid-shard.
+    pub fn submit_shard(
+        &mut self,
+        request: &jigsaw_core::dist::ShardRequest,
+    ) -> Result<jigsaw_pmf::ShardPartial, ClientError> {
+        Frame::submit_shard(request).write_to(&mut self.stream)?;
+        let reply = self.expect_frame()?;
+        match reply.kind {
+            FrameKind::ShardResult => {
+                let partial = decode_from_slice(&reply.payload).map_err(ProtocolError::Codec)?;
+                Ok(partial)
+            }
+            FrameKind::ShardError => {
+                let rejection = decode_from_slice(&reply.payload).map_err(ProtocolError::Codec)?;
+                Err(ClientError::Rejected(rejection))
+            }
+            kind => Err(ClientError::UnexpectedFrame(kind)),
+        }
+    }
+
     /// Fetches the server's metrics exposition text.
     ///
     /// # Errors

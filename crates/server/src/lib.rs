@@ -21,6 +21,10 @@
 //!   cooperative shutdown.
 //! * [`client`] — a blocking client, plus the raw hooks the concurrency
 //!   and fuzz test batteries drive.
+//! * [`dist`] — the wire side of distributed CPM sweeps: shards of a
+//!   checkpointed `SubsetsSelected` scatter to worker processes as v3
+//!   frames and merge back bit-identically (`jigsaw_core::dist` owns the
+//!   planning/retry/merge algebra).
 //!
 //! Responses are bit-identical to a solo `jigsaw_core::run_jigsaw` call:
 //! the server runs the same staged pipeline, stage replay is deterministic
@@ -51,11 +55,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod dist;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheMetrics, Outcome, StageCache};
 pub use client::{Client, ClientError};
+pub use dist::{run_distributed, RemoteRunner};
 pub use protocol::{
     decode_submit, ErrorCode, Frame, FrameKind, JobRejection, JobRequest, ProtocolError,
 };

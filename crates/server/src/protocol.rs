@@ -10,7 +10,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  89 4A 53 4A 0D 0A 1A 0A   ("\x89JSJ\r\n\x1a\n")
-//! 8       2     protocol version (u16 LE, currently 2)
+//! 8       2     protocol version (u16 LE, currently 3)
 //! 10      1     frame kind tag (see FrameKind)
 //! 11      8     config digest (u64 LE; 0 where not applicable)
 //! 19      8     payload length N (u64 LE)
@@ -36,6 +36,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use jigsaw_circuit::Circuit;
+use jigsaw_core::dist::ShardRequest;
 use jigsaw_core::persist::config_digest;
 use jigsaw_core::sched::Priority;
 use jigsaw_core::{JigsawConfig, StageKind};
@@ -56,8 +57,12 @@ pub const MAGIC: [u8; 8] = *b"\x89JSJ\r\n\x1a\x0a";
 /// grew a trailing scheduling-priority byte (see [`JobRequest::priority`]),
 /// so a v1 `SubmitJob` payload no longer decodes — the version field exists
 /// precisely to refuse it with a typed [`ProtocolError::UnsupportedVersion`]
-/// instead of a payload decode error deep inside the codec.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// instead of a payload decode error deep inside the codec. v3: the
+/// distributed-sweep shard frames [`SubmitShard`](FrameKind::SubmitShard)
+/// (tag 8), [`ShardResult`](FrameKind::ShardResult) (tag 9) and
+/// [`ShardError`](FrameKind::ShardError) (tag 10) joined the kind space
+/// (`docs/FORMAT.md` §7); a v2 peer is refused the same typed way.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Fixed-size frame prefix: magic + version + kind + digest + length.
 pub const HEADER_LEN: usize = 8 + 2 + 1 + 8 + 8;
@@ -84,6 +89,14 @@ pub enum FrameKind {
     Shutdown,
     /// Server → client: empty payload; shutdown acknowledged.
     ShutdownAck,
+    /// Driver → worker: a [`ShardRequest`] payload; digest field must
+    /// equal the payload's [`config_digest`].
+    SubmitShard,
+    /// Worker → driver: an encoded `ShardPartial` payload for the digest.
+    ShardResult,
+    /// Worker → driver: a [`JobRejection`] payload explaining a shard
+    /// refusal or failure.
+    ShardError,
 }
 
 impl FrameKind {
@@ -98,6 +111,9 @@ impl FrameKind {
             Self::MetricsText => 5,
             Self::Shutdown => 6,
             Self::ShutdownAck => 7,
+            Self::SubmitShard => 8,
+            Self::ShardResult => 9,
+            Self::ShardError => 10,
         }
     }
 
@@ -112,6 +128,9 @@ impl FrameKind {
             5 => Some(Self::MetricsText),
             6 => Some(Self::Shutdown),
             7 => Some(Self::ShutdownAck),
+            8 => Some(Self::SubmitShard),
+            9 => Some(Self::ShardResult),
+            10 => Some(Self::ShardError),
             _ => None,
         }
     }
@@ -251,6 +270,17 @@ impl Frame {
     pub fn submit(request: &JobRequest) -> Self {
         Self {
             kind: FrameKind::SubmitJob,
+            digest: request.digest(),
+            payload: encode_to_vec(request),
+        }
+    }
+
+    /// Frames a [`ShardRequest`], binding the digest field to the payload
+    /// exactly like [`Self::submit`] does for jobs.
+    #[must_use]
+    pub fn submit_shard(request: &ShardRequest) -> Self {
+        Self {
+            kind: FrameKind::SubmitShard,
             digest: request.digest(),
             payload: encode_to_vec(request),
         }
@@ -640,6 +670,23 @@ pub fn decode_submit(frame: &Frame) -> Result<JobRequest, ProtocolError> {
     Ok(request)
 }
 
+/// Decodes a [`FrameKind::SubmitShard`] payload and enforces the digest
+/// binding: the frame's digest field must equal the persist digest the
+/// decoded stage re-derives, the same contract as [`decode_submit`].
+///
+/// # Errors
+///
+/// [`ProtocolError::Codec`] for a payload that fails structural
+/// validation and [`ProtocolError::DigestMismatch`] for a digest lie.
+pub fn decode_shard(frame: &Frame) -> Result<ShardRequest, ProtocolError> {
+    let request: ShardRequest = decode_from_slice(&frame.payload)?;
+    let computed = request.digest();
+    if frame.digest != computed {
+        return Err(ProtocolError::DigestMismatch { claimed: frame.digest, computed });
+    }
+    Ok(request)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,6 +794,54 @@ mod tests {
         *bytes.last_mut().expect("non-empty") = 9;
         let err = decode_from_slice::<JobRequest>(&bytes).expect_err("bad lane");
         assert!(matches!(err, CodecError::InvalidTag { what: "Priority", .. }));
+    }
+
+    fn sample_shard_request() -> ShardRequest {
+        let config = JigsawConfig::jigsaw(512).without_recompilation();
+        let stage = jigsaw_core::pipeline::JigsawPipeline::plan(
+            bench::ghz(4).circuit(),
+            &Device::toronto(),
+            &config,
+        )
+        .compile_global()
+        .run_global()
+        .select_subsets();
+        ShardRequest {
+            stage,
+            shard: jigsaw_core::dist::Shard { index: 0, lo: 0, hi: 2 },
+            priority: Priority::Sweep,
+        }
+    }
+
+    #[test]
+    fn shard_frames_round_trip_under_digest_binding() {
+        let request = sample_shard_request();
+        let frame = Frame::submit_shard(&request);
+        assert_eq!(frame.kind, FrameKind::SubmitShard);
+        let reparsed = Frame::from_bytes(&frame.to_bytes()).expect("parses");
+        let decoded = decode_shard(&reparsed).expect("bound");
+        // `SubsetsSelected` has no `PartialEq`; canonical bytes are the
+        // equality the whole protocol is built on anyway.
+        assert_eq!(encode_to_vec(&decoded), encode_to_vec(&request));
+
+        let mut tampered = frame;
+        tampered.digest ^= 1;
+        let reparsed = Frame::from_bytes(&tampered.to_bytes()).expect("valid frame shape");
+        match decode_shard(&reparsed) {
+            Err(ProtocolError::DigestMismatch { claimed, computed }) => {
+                assert_eq!(claimed, request.digest() ^ 1);
+                assert_eq!(computed, request.digest());
+            }
+            other => panic!("expected DigestMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_payload_decode_rejects_out_of_range_shards() {
+        let mut request = sample_shard_request();
+        request.shard.hi = 10_000;
+        let err = decode_from_slice::<ShardRequest>(&encode_to_vec(&request)).expect_err("range");
+        assert!(matches!(err, CodecError::InvalidValue { what: "ShardRequest", .. }), "{err:?}");
     }
 
     #[test]

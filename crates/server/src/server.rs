@@ -32,21 +32,24 @@ use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use jigsaw_core::dist::ShardRequest;
 use jigsaw_core::lockcheck::{Condvar, Mutex};
 use jigsaw_core::persist;
 use jigsaw_core::sched::{JobError, SchedConfig, Scheduler};
 use jigsaw_core::telemetry::{self, Counter};
 use jigsaw_core::StageKind;
 use jigsaw_pmf::codec::encode_to_vec;
+use jigsaw_pmf::ShardPartial;
 
 use crate::cache::{JobArtifacts, StageCache};
 use crate::protocol::{
-    decode_submit, ErrorCode, Frame, FrameKind, JobRejection, JobRequest, ProtocolError,
+    decode_shard, decode_submit, ErrorCode, Frame, FrameKind, JobRejection, JobRequest,
+    ProtocolError,
 };
 
 /// How often an idle handler re-checks the shutdown flag.
@@ -69,6 +72,11 @@ pub struct ServerConfig {
     /// Stage-scheduler configuration (worker pool, admission capacity,
     /// cross-job batching).
     pub sched: SchedConfig,
+    /// Fault-injection knob for the distributed-sweep suites: the process
+    /// exits (code 86) upon receiving its N-th `SubmitShard` frame,
+    /// *before* replying — simulating a worker killed mid-shard. `None`
+    /// (the default, and the only sane production value) never dies.
+    pub die_after_shards: Option<u64>,
 }
 
 impl ServerConfig {
@@ -84,6 +92,7 @@ impl ServerConfig {
             handlers: 8,
             queue_depth: 64,
             sched: SchedConfig::default(),
+            die_after_shards: None,
         }
     }
 
@@ -112,6 +121,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_sched(mut self, sched: SchedConfig) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Arms the fault-injection knob: die on the `n`-th `SubmitShard`.
+    #[must_use]
+    pub fn with_die_after_shards(mut self, n: u64) -> Self {
+        self.die_after_shards = Some(n);
         self
     }
 }
@@ -185,6 +201,15 @@ impl ServerHandle {
         self.stop();
     }
 
+    /// Blocks until a peer shuts the server down (a [`FrameKind::Shutdown`]
+    /// frame), then joins every thread. The worker binary's main loop.
+    pub fn wait(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.stop();
+    }
+
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor: it only re-checks the flag per accept.
@@ -207,6 +232,14 @@ impl Drop for ServerHandle {
             self.stop();
         }
     }
+}
+
+/// Shard-frame fault injection shared by the handler pool: counts
+/// `SubmitShard` arrivals so [`ServerConfig::die_after_shards`] can kill
+/// the process on the configured one.
+struct FaultPlan {
+    shards_seen: AtomicU64,
+    die_after_shards: Option<u64>,
 }
 
 /// Counters the serving layer feeds (the cache and scheduler register
@@ -239,6 +272,10 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns = Arc::new(ConnQueue::new(config.queue_depth));
     let metrics = ServerMetrics::register();
+    let faults = Arc::new(FaultPlan {
+        shards_seen: AtomicU64::new(0),
+        die_after_shards: config.die_after_shards,
+    });
 
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
@@ -271,9 +308,12 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
             let cache = Arc::clone(&cache);
             let scheduler = Arc::clone(&scheduler);
             let metrics = metrics.clone();
+            let faults = Arc::clone(&faults);
             std::thread::spawn(move || {
                 while let Some(stream) = conns.pop(&shutdown) {
-                    handle_connection(stream, &cache, &scheduler, &shutdown, &metrics, addr);
+                    handle_connection(
+                        stream, &cache, &scheduler, &shutdown, &metrics, &faults, addr,
+                    );
                 }
             })
         })
@@ -298,6 +338,7 @@ fn handle_connection(
     scheduler: &Scheduler,
     shutdown: &Arc<AtomicBool>,
     metrics: &ServerMetrics,
+    faults: &FaultPlan,
     self_addr: SocketAddr,
 ) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
@@ -322,6 +363,7 @@ fn handle_connection(
         };
         let keep_going = match frame.kind {
             FrameKind::SubmitJob => handle_submit(&mut stream, &frame, cache, scheduler, metrics),
+            FrameKind::SubmitShard => handle_shard(&mut stream, &frame, scheduler, faults),
             FrameKind::MetricsRequest => {
                 let text = telemetry::global().render_text();
                 Frame { kind: FrameKind::MetricsText, digest: 0, payload: text.into_bytes() }
@@ -339,7 +381,9 @@ fn handle_connection(
             FrameKind::JobResult
             | FrameKind::JobError
             | FrameKind::MetricsText
-            | FrameKind::ShutdownAck => {
+            | FrameKind::ShutdownAck
+            | FrameKind::ShardResult
+            | FrameKind::ShardError => {
                 let rejection = JobRejection::new(
                     ErrorCode::Malformed,
                     format!("unexpected client frame kind {:?}", frame.kind),
@@ -395,6 +439,72 @@ fn handle_submit(
         }
     };
     reply.write_to(stream).is_ok()
+}
+
+/// Resolves one shard submission through the scheduler's priority lanes
+/// and writes the reply frame. Returns whether the connection should stay
+/// open.
+///
+/// Shards are *not* routed through the stage cache: a sweep driver never
+/// re-asks for a shard it already holds, and retried shards after a worker
+/// death land on a *different* process, so per-process memoisation would
+/// only hide the recompute the fault suites want to observe.
+fn handle_shard(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    scheduler: &Scheduler,
+    faults: &FaultPlan,
+) -> bool {
+    let received = faults.shards_seen.fetch_add(1, Ordering::SeqCst) + 1;
+    if faults.die_after_shards.is_some_and(|n| received >= n) {
+        // Simulate a worker killed mid-shard: exit before any reply, so
+        // the driver observes a dead connection, never an error frame.
+        std::process::exit(86);
+    }
+    let request = match decode_shard(frame) {
+        Ok(request) => request,
+        Err(error) => {
+            telemetry::dist_shards("error").inc();
+            let code = match error {
+                ProtocolError::DigestMismatch { .. } => ErrorCode::DigestMismatch,
+                _ => ErrorCode::Malformed,
+            };
+            let rejection = JobRejection::new(code, error.to_string());
+            return Frame {
+                kind: FrameKind::ShardError,
+                digest: frame.digest,
+                payload: encode_to_vec(&rejection),
+            }
+            .write_to(stream)
+            .is_ok();
+        }
+    };
+    let digest = frame.digest;
+    let reply = match compute_shard(scheduler, request) {
+        Ok(partial) => {
+            telemetry::dist_shards("ok").inc();
+            Frame { kind: FrameKind::ShardResult, digest, payload: encode_to_vec(&partial) }
+        }
+        Err(rejection) => {
+            telemetry::dist_shards("error").inc();
+            Frame { kind: FrameKind::ShardError, digest, payload: encode_to_vec(&rejection) }
+        }
+    };
+    reply.write_to(stream).is_ok()
+}
+
+/// Submits one decoded shard to the stage scheduler in its priority lane
+/// and waits for the partial. The partial's bytes are what
+/// `dist::execute_shard` produces in-process — per-CPM seeds are pinned
+/// by index, so which worker runs the shard never shows in the result.
+fn compute_shard(
+    scheduler: &Scheduler,
+    request: ShardRequest,
+) -> Result<ShardPartial, JobRejection> {
+    let ticket = scheduler
+        .submit_shard(Arc::new(request.stage), request.shard, request.priority)
+        .map_err(|e| reject_job(&e))?;
+    ticket.wait().map_err(|e| reject_job(&e))
 }
 
 /// Maps a scheduler refusal or failure onto the wire's error codes.

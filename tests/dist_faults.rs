@@ -1,0 +1,282 @@
+//! Fault-injection battery for distributed CPM sweeps: workers die
+//! mid-shard, results get dropped, duplicated or delivered out of order —
+//! and the driver must either merge the *exact* solo bytes or fail with a
+//! typed [`DistError`], always within a bounded wall time, never a hang.
+//!
+//! Fault surfaces exercised:
+//!
+//! * **Worker killed mid-shard** — a real `jigsaw-worker` process armed
+//!   with `--die-after-shards` exits (code 86) before replying; the
+//!   driver retires it, reassigns the shard to a survivor, and the merged
+//!   bytes are unchanged (index-pinned seeds make the retry identical).
+//! * **Dropped result** — a flaky runner erroring on first contact is the
+//!   same observable as a `ShardResult` lost in flight; retry, identical.
+//! * **Duplicate / out-of-order delivery** — [`merge_partials`] dedupes
+//!   by shard index and sorts, so the merged bytes are delivery-free.
+//! * **Exhausted retries, dead fleets, wedged workers** — typed
+//!   `ShardFailed` / `NoWorkers` / watchdog `Timeout`, promptly.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use jigsaw_repro::circuit::bench;
+use jigsaw_repro::core::dist::{
+    execute_shard, merge_partials, plan_shards, run_sharded, DistConfig, DistError, LocalRunner,
+    Shard, ShardRunner,
+};
+use jigsaw_repro::core::pipeline::{JigsawPipeline, SubsetsSelected};
+use jigsaw_repro::core::sched::Priority;
+use jigsaw_repro::core::{run_jigsaw, JigsawConfig};
+use jigsaw_repro::device::Device;
+use jigsaw_repro::pmf::codec::encode_to_vec;
+use jigsaw_repro::pmf::ShardPartial;
+use jigsaw_repro::server::dist::run_distributed;
+use jigsaw_repro::server::Client;
+
+fn sweep_inputs(seed: u64) -> (jigsaw_repro::circuit::Circuit, Device, JigsawConfig) {
+    let mut config = JigsawConfig::jigsaw(1_200).without_recompilation().with_seed(seed);
+    config.compiler.max_seeds = 3;
+    (bench::ghz(6).circuit().clone(), Device::toronto(), config)
+}
+
+fn sweep_stage(seed: u64) -> SubsetsSelected {
+    let (program, device, config) = sweep_inputs(seed);
+    JigsawPipeline::plan(&program, &device, &config).compile_global().run_global().select_subsets()
+}
+
+fn solo_bytes(seed: u64) -> Vec<u8> {
+    let (program, device, config) = sweep_inputs(seed);
+    encode_to_vec(&run_jigsaw(&program, &device, &config))
+}
+
+fn cpm_count(stage: &SubsetsSelected) -> usize {
+    stage.layers().iter().map(|layer| layer.subsets.len()).sum()
+}
+
+/// Polls `try_wait` until the child exits or the limit passes — reaping
+/// a process under test must never be able to hang the suite.
+fn wait_bounded(
+    child: &mut std::process::Child,
+    limit: Duration,
+) -> Option<std::process::ExitStatus> {
+    let started = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("poll worker") {
+            return Some(status);
+        }
+        if started.elapsed() >= limit {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A runner that errors on its first `failures` calls, then executes
+/// in-process — the observable shape of a worker that ate a shard (a
+/// dropped `ShardResult` and a crashed worker look identical from the
+/// driver's side: the attempt is charged and the shard reassigned).
+struct FlakyRunner {
+    failures: usize,
+}
+
+impl ShardRunner for FlakyRunner {
+    fn run_shard(
+        &mut self,
+        stage: &SubsetsSelected,
+        shard: &Shard,
+        _priority: Priority,
+    ) -> Result<ShardPartial, String> {
+        if self.failures > 0 {
+            self.failures -= 1;
+            return Err(format!("injected fault on shard {}", shard.index));
+        }
+        Ok(execute_shard(stage, shard))
+    }
+}
+
+/// A runner whose shards never fail — they just never finish quickly.
+/// From the driver's side this is a silently wedged worker; only the
+/// watchdog can end the sweep.
+struct WedgedRunner {
+    stall: Duration,
+}
+
+impl ShardRunner for WedgedRunner {
+    fn run_shard(
+        &mut self,
+        _stage: &SubsetsSelected,
+        _shard: &Shard,
+        _priority: Priority,
+    ) -> Result<ShardPartial, String> {
+        std::thread::sleep(self.stall);
+        Err("wedged worker finally gave up".to_owned())
+    }
+}
+
+/// A real worker killed mid-shard: armed with `--die-after-shards 2`, it
+/// serves one warm-up shard submitted directly, then exits with code 86
+/// *before* replying to its second — which is deterministically the
+/// first shard the sweep driver hands it (shard-to-worker assignment is
+/// timing-dependent, so the warm-up is what guarantees the fault fires
+/// no matter which sweep shard lands on the doomed worker). The
+/// surviving worker absorbs the reassigned shard and the merged bytes
+/// are unchanged.
+#[test]
+fn killed_worker_process_is_reassigned_with_identical_bytes() {
+    let solo = solo_bytes(7);
+    let stage = sweep_stage(7);
+
+    let spawn = |args: &[&str]| {
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_jigsaw-worker"))
+            .args(args)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn jigsaw-worker");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("worker PORT line");
+        let port: u16 = line
+            .trim()
+            .strip_prefix("PORT=")
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| panic!("worker printed {line:?}, expected PORT=<n>"));
+        (child, SocketAddr::from(([127, 0, 0, 1], port)))
+    };
+
+    let (mut doomed, doomed_addr) = spawn(&["--die-after-shards", "2"]);
+    let (mut survivor, survivor_addr) = spawn(&[]);
+
+    // Warm-up: serve one shard directly so the doomed worker's counter
+    // sits at 1 — its first sweep shard is then guaranteed to kill it.
+    let warmup = jigsaw_repro::core::dist::ShardRequest {
+        stage: stage.clone(),
+        shard: plan_shards(cpm_count(&stage), 2)[0],
+        priority: Priority::Sweep,
+    };
+    let mut client = Client::connect(doomed_addr).expect("connect doomed worker");
+    let served = client.submit_shard(&warmup).expect("warm-up shard served");
+    assert_eq!(served.shard_index, 0, "warm-up shard must be served normally");
+    drop(client);
+
+    let merged = run_distributed(
+        &stage,
+        &[doomed_addr, survivor_addr],
+        &DistConfig::default().with_shard_size(2),
+    )
+    .expect("sweep survives one worker death");
+    assert_eq!(
+        encode_to_vec(&merged),
+        solo,
+        "merge after a mid-shard worker death diverged from solo"
+    );
+
+    // The doomed worker really died through the injected fault, not a
+    // clean shutdown. Bounded reap: a live doomed worker is a test
+    // failure, never a hang.
+    let status = wait_bounded(&mut doomed, Duration::from_secs(30)).unwrap_or_else(|| {
+        let _ = doomed.kill();
+        let _ = doomed.wait();
+        panic!("doomed worker outlived the sweep; the fault knob never fired");
+    });
+    assert_eq!(status.code(), Some(86), "worker should exit through the fault knob");
+    if let Ok(mut client) = Client::connect(survivor_addr) {
+        let _ = client.shutdown_server();
+    }
+    let _ = survivor.wait();
+}
+
+/// A dropped/errored first attempt is retried on a survivor and the
+/// bytes are unchanged — with every injected fault visible in the retry
+/// accounting rather than the result.
+#[test]
+fn dropped_results_are_retried_with_identical_bytes() {
+    let solo = solo_bytes(11);
+    let stage = sweep_stage(11);
+    let runners: Vec<Box<dyn ShardRunner>> =
+        vec![Box::new(FlakyRunner { failures: 1 }), Box::new(LocalRunner)];
+    let merged = run_sharded(&stage, runners, &DistConfig::default().with_shard_size(2))
+        .expect("sweep survives a dropped result");
+    assert_eq!(encode_to_vec(&merged), solo, "retried sweep diverged from solo");
+}
+
+/// Duplicate and out-of-order deliveries are merge-level no-ops: dedupe
+/// by shard index (first wins; identical seeds make every delivery of a
+/// shard byte-identical anyway), then sort.
+#[test]
+fn duplicate_and_out_of_order_deliveries_merge_identically() {
+    let solo = solo_bytes(13);
+    let stage = sweep_stage(13);
+    let partials: Vec<ShardPartial> = plan_shards(cpm_count(&stage), 2)
+        .iter()
+        .map(|shard| execute_shard(&stage, shard))
+        .collect();
+
+    // Reversed order with the first and last shard delivered twice.
+    let mut delivered = partials.clone();
+    delivered.reverse();
+    delivered.push(partials.first().expect("non-empty plan").clone());
+    delivered.push(partials.last().expect("non-empty plan").clone());
+
+    let merged = merge_partials(stage, delivered).expect("merge");
+    assert_eq!(encode_to_vec(&merged), solo, "duplicated/shuffled delivery changed the bytes");
+}
+
+/// Exhausted retries surface as a typed `ShardFailed` carrying the last
+/// error — quickly, not as a hang.
+#[test]
+fn exhausted_retries_fail_typed_and_bounded() {
+    let stage = sweep_stage(17);
+    let started = Instant::now();
+    let runners: Vec<Box<dyn ShardRunner>> = vec![
+        Box::new(FlakyRunner { failures: usize::MAX }),
+        Box::new(FlakyRunner { failures: usize::MAX }),
+    ];
+    let error = run_sharded(&stage, runners, &DistConfig::default().with_max_attempts(2))
+        .expect_err("an all-faulty fleet cannot succeed");
+    assert!(started.elapsed() < Duration::from_secs(60), "failure must be prompt, not a hang");
+    match error {
+        DistError::ShardFailed { attempts, ref last_error, .. } => {
+            assert!(attempts >= 1, "at least one attempt must be charged");
+            assert!(
+                last_error.contains("injected fault") || last_error.contains("no surviving"),
+                "last error should name the injected fault, got: {last_error}"
+            );
+        }
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+}
+
+/// An empty fleet is refused up front.
+#[test]
+fn empty_fleet_is_refused_typed() {
+    let stage = sweep_stage(19);
+    let error =
+        run_sharded(&stage, Vec::new(), &DistConfig::default()).expect_err("no workers, no sweep");
+    assert_eq!(error, DistError::NoWorkers);
+}
+
+/// A silently wedged fleet cannot outlive the watchdog: the sweep ends
+/// with a typed `Timeout` naming the outstanding shard count, within a
+/// small multiple of the configured bound.
+#[test]
+fn wedged_workers_trip_the_watchdog_not_a_hang() {
+    let stage = sweep_stage(23);
+    let started = Instant::now();
+    let runners: Vec<Box<dyn ShardRunner>> =
+        vec![Box::new(WedgedRunner { stall: Duration::from_secs(2) })];
+    let error = run_sharded(
+        &stage,
+        runners,
+        &DistConfig::default().with_watchdog(Duration::from_millis(200)),
+    )
+    .expect_err("a wedged fleet must time out");
+    assert!(started.elapsed() < Duration::from_secs(30), "watchdog expiry must bound the sweep");
+    match error {
+        DistError::Timeout { waited, unfinished } => {
+            assert!(waited >= Duration::from_millis(200), "watchdog fired early: {waited:?}");
+            assert!(unfinished >= 1, "a timeout with nothing outstanding is a merge bug");
+        }
+        other => panic!("expected Timeout, got {other}"),
+    }
+}
